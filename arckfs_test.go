@@ -1,0 +1,166 @@
+package arckfs_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"arckfs"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	sys, err := arckfs.New(arckfs.Options{DevSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := sys.NewApp()
+	if app.Name() != "arckfs+" {
+		t.Fatalf("Name = %q", app.Name())
+	}
+	w := app.NewThread(0)
+	if err := w.Mkdir("/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Create("/docs/readme"); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := w.Open("/docs/readme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello from the public API")
+	if _, err := w.WriteAt(fd, msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := w.ReadAt(fd, got, 0); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("read %q, %v", got, err)
+	}
+	if err := app.ReleaseAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Verifications == 0 {
+		t.Fatal("no verifications recorded")
+	}
+}
+
+func TestPublicCrashRecoverRoundTrip(t *testing.T) {
+	sys, err := arckfs.New(arckfs.Options{DevSize: 64 << 20, CrashTracking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := sys.NewApp()
+	w := app.NewThread(0)
+	if err := w.Create("/durable"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.ReleaseAll(); err != nil {
+		t.Fatal(err)
+	}
+	img := sys.CrashImage(arckfs.CrashDropAll)
+	sys2, rep, err := arckfs.Recover(img, arckfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("recovery not clean: %s", rep)
+	}
+	w2 := sys2.NewApp().NewThread(0)
+	if _, err := w2.Stat("/durable"); err != nil {
+		t.Fatalf("released file lost across crash: %v", err)
+	}
+}
+
+func TestPublicFsck(t *testing.T) {
+	sys, err := arckfs.New(arckfs.Options{DevSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := sys.NewApp()
+	w := app.NewThread(0)
+	w.Create("/f")
+	if err := app.ReleaseAll(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := arckfs.Fsck(sys.Image())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.CommittedInodes != 2 {
+		t.Fatalf("fsck: %s", rep)
+	}
+}
+
+func TestPublicTrustGroupSharing(t *testing.T) {
+	sys, err := arckfs.New(arckfs.Options{DevSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, a2 := sys.NewApp(), sys.NewApp()
+	if err := sys.NewTrustGroup(a1, a2); err != nil {
+		t.Fatal(err)
+	}
+	w1 := a1.NewThread(0)
+	if err := w1.Create("/shared"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.ReleaseAll(); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Stats().TrustTransfers
+	w2 := a2.NewThread(0)
+	fd, err := w2.Open("/shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.WriteAt(fd, []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// The root transfer between group members skipped verification.
+	if sys.Stats().TrustTransfers <= before-1 {
+		t.Fatalf("TrustTransfers did not increase")
+	}
+}
+
+func TestPublicModePresets(t *testing.T) {
+	buggy, err := arckfs.New(arckfs.Options{Mode: arckfs.ModeArckFS, DevSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buggy.NewApp().Name() != "arckfs" {
+		t.Fatal("preset name mismatch")
+	}
+	if buggy.Mode() != arckfs.ModeArckFS {
+		t.Fatal("mode mismatch")
+	}
+}
+
+func TestPublicCommitAndRelease(t *testing.T) {
+	sys, err := arckfs.New(arckfs.Options{DevSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := sys.NewApp()
+	w := app.NewThread(0)
+	w.Mkdir("/d")
+	w.Create("/d/f")
+	if err := app.Commit("/d/f"); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := app.Release("/d/f"); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	// The released file is re-acquired transparently.
+	if _, err := w.Open("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicErrors(t *testing.T) {
+	sys, _ := arckfs.New(arckfs.Options{DevSize: 32 << 20})
+	w := sys.NewApp().NewThread(0)
+	if _, err := w.Open("/nope"); !errors.Is(err, arckfs.ErrNotExist) {
+		t.Fatalf("Open missing = %v", err)
+	}
+}

@@ -1,0 +1,109 @@
+// Command arckbench regenerates the tables and figures of the ArckFS+
+// paper's evaluation against this repository's implementations.
+//
+// Usage:
+//
+//	arckbench -exp figure3|figure4|table2|dataScale|filebench|leveldb|table4|all \
+//	          [-threads 1,2,4,8,16,32,48] [-ops 20000] [-dev 512] [-fast] \
+//	          [-systems arckfs,arckfs+,nova,pmfs,kucofs]
+//
+// Table 1 (the six bugs and their fixes) is reproduced by the test
+// suite: go test ./internal/libfs -run TestBug -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"strings"
+
+	"arckfs/internal/bench/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: figure3, figure4, table2, dataScale, filebench, leveldb, table4, all")
+	threads := flag.String("threads", "1,2,4,8,16,32,48", "comma-separated thread sweep")
+	ops := flag.Int("ops", 20000, "total operations per measurement cell")
+	dev := flag.Int64("dev", 512, "device size in MiB per instance")
+	fast := flag.Bool("fast", false, "disable the calibrated cost model (unit-test speed)")
+	systems := flag.String("systems", strings.Join(experiments.AllSystems, ","), "file systems to measure")
+	smallMB := flag.Uint64("share-small", 2, "Table 4 small shared-file size (MiB)")
+	bigMB := flag.Uint64("share-big", 256, "Table 4 big shared-file size (MiB; paper uses 1024)")
+	trials := flag.Int("trials", 3, "best-of-N trials for single-thread cells")
+	flag.Parse()
+
+	// GC pauses are the dominant noise source on a small host; the
+	// working sets here are bounded, so trade memory for stable numbers.
+	debug.SetGCPercent(400)
+
+	var ths []int
+	for _, s := range strings.Split(*threads, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", s)
+			os.Exit(2)
+		}
+		ths = append(ths, v)
+	}
+	cfg := experiments.Config{
+		Systems:   strings.Split(*systems, ","),
+		Threads:   ths,
+		TotalOps:  *ops,
+		DevSize:   *dev << 20,
+		Realistic: !*fast,
+		Trials:    *trials,
+		Out:       os.Stdout,
+	}
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("=== %s ===\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("figure3") {
+		run("figure3", func() error { return experiments.Figure3(cfg) })
+	}
+	if want("figure4") || want("table2") {
+		run("figure4+table2", func() error {
+			series, err := experiments.Figure4(cfg)
+			if err != nil {
+				return err
+			}
+			return experiments.Table2(cfg, series)
+		})
+	}
+	if want("dataScale") {
+		run("dataScale", func() error { return experiments.DataScale(cfg) })
+	}
+	if want("filebench") {
+		run("filebench", func() error { return experiments.Filebench(cfg) })
+	}
+	if want("leveldb") {
+		run("leveldb", func() error { return experiments.LevelDB(cfg) })
+	}
+	if want("table4") {
+		run("table4", func() error {
+			return experiments.Table4(cfg, *smallMB<<20, *bigMB<<20, 400, 20)
+		})
+	}
+	if *exp != "all" && !isKnown(*exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func isKnown(e string) bool {
+	switch e {
+	case "figure3", "figure4", "table2", "dataScale", "filebench", "leveldb", "table4":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+// Command arckshell is an interactive shell onto a live ArckFS+ system —
+// handy for exploring the architecture: every mutation runs in userspace,
+// and `release` / `stats` make the kernel's verification work visible.
+//
+// Commands:
+//
+//	mkdir <path>              create a directory
+//	create <path> [text]      create a file (optionally with contents)
+//	write <path> <text>       overwrite a file's contents
+//	cat <path>                print a file
+//	ls <path>                 list a directory
+//	stat <path>               show attributes
+//	rm <path>                 unlink a file
+//	rmdir <path>              remove an empty directory
+//	mv <old> <new>            rename
+//	trunc <path> <size>       truncate
+//	release                   release everything to the kernel (verify)
+//	fsck                      check the current image
+//	crash                     simulate a power failure and remount
+//	stats                     kernel + device counters
+//	help, quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"arckfs"
+)
+
+func main() {
+	sys, err := arckfs.New(arckfs.Options{DevSize: 128 << 20, CrashTracking: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	app := sys.NewApp()
+	w := app.NewThread(0)
+	fmt.Println("arckshell — ArckFS+ on a 128 MiB simulated PM device. 'help' for commands.")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("arckfs+ > ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd, args := fields[0], fields[1:]
+		arg := func(i int) string {
+			if i < len(args) {
+				return args[i]
+			}
+			return ""
+		}
+		var err error
+		switch cmd {
+		case "help":
+			fmt.Println("mkdir create write cat ls stat rm rmdir mv trunc release fsck crash stats quit")
+		case "quit", "exit":
+			return
+		case "mkdir":
+			err = w.Mkdir(arg(0))
+		case "create":
+			err = w.Create(arg(0))
+			if err == nil && len(args) > 1 {
+				err = writeAll(w, arg(0), strings.Join(args[1:], " "))
+			}
+		case "write":
+			err = writeAll(w, arg(0), strings.Join(args[1:], " "))
+		case "cat":
+			var st arckfs.Stat
+			st, err = w.Stat(arg(0))
+			if err == nil {
+				var fd arckfs.FD
+				fd, err = w.Open(arg(0))
+				if err == nil {
+					buf := make([]byte, st.Size)
+					_, err = w.ReadAt(fd, buf, 0)
+					fmt.Printf("%s\n", buf)
+					w.Close(fd)
+				}
+			}
+		case "ls":
+			path := arg(0)
+			if path == "" {
+				path = "/"
+			}
+			var names []string
+			names, err = w.Readdir(path)
+			for _, n := range names {
+				fmt.Println(" ", n)
+			}
+		case "stat":
+			var st arckfs.Stat
+			st, err = w.Stat(arg(0))
+			if err == nil {
+				kind := "file"
+				if st.Dir {
+					kind = "dir"
+				}
+				fmt.Printf("  ino=%d type=%s size=%d nlink=%d\n", st.Ino, kind, st.Size, st.Nlink)
+			}
+		case "rm":
+			err = w.Unlink(arg(0))
+		case "rmdir":
+			err = w.Rmdir(arg(0))
+		case "mv":
+			err = w.Rename(arg(0), arg(1))
+		case "trunc":
+			var n uint64
+			n, err = strconv.ParseUint(arg(1), 10, 64)
+			if err == nil {
+				err = w.Truncate(arg(0), n)
+			}
+		case "release":
+			err = app.ReleaseAll()
+			if err == nil {
+				st := sys.Stats()
+				fmt.Printf("  verified; kernel has run %d verifications (%d failures, %d rollbacks)\n",
+					st.Verifications, st.VerifyFailures, st.Rollbacks)
+			}
+		case "fsck":
+			var rep *arckfs.Report
+			rep, err = arckfs.Fsck(sys.Image())
+			if err == nil {
+				fmt.Println(" ", rep)
+			}
+		case "crash":
+			if err = app.ReleaseAll(); err != nil {
+				break
+			}
+			img := sys.CrashImage(arckfs.CrashDropAll)
+			var rep *arckfs.Report
+			sys, rep, err = arckfs.Recover(img, arckfs.Options{CrashTracking: true})
+			if err != nil {
+				break
+			}
+			// Re-enable tracking on the recovered system for further crashes.
+			app = sys.NewApp()
+			w = app.NewThread(0)
+			fmt.Println("  power failed and remounted:", rep)
+		case "stats":
+			st := sys.Stats()
+			stores, bytes, flushes, fences := sys.DeviceStats()
+			fmt.Printf("  kernel: acquires=%d releases=%d commits=%d verifications=%d failures=%d rollbacks=%d trust=%d\n",
+				st.Acquires, st.Releases, st.Commits, st.Verifications, st.VerifyFailures, st.Rollbacks, st.TrustTransfers)
+			fmt.Printf("  device: stores=%d bytes=%d flushes=%d fences=%d\n", stores, bytes, flushes, fences)
+		default:
+			fmt.Println("  unknown command; try 'help'")
+		}
+		if err != nil {
+			fmt.Println("  error:", err)
+		}
+	}
+}
+
+func writeAll(w arckfs.Thread, path, text string) error {
+	fd, err := w.Open(path)
+	if err != nil {
+		return err
+	}
+	defer w.Close(fd)
+	if err := w.Truncate(path, 0); err != nil {
+		return err
+	}
+	_, err = w.WriteAt(fd, []byte(text), 0)
+	return err
+}

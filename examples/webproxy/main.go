@@ -1,0 +1,51 @@
+// Webproxy runs the paper's §5.3 Filebench Webproxy workload — with the
+// shared-directory, per-filename-lock framework the ArckFS+ paper
+// introduces — against ArckFS, ArckFS+, and the NOVA-like baseline, and
+// prints the throughput comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"arckfs/internal/bench/experiments"
+	"arckfs/internal/bench/filebench"
+	"arckfs/internal/costmodel"
+)
+
+func main() {
+	cfg := filebench.Defaults(filebench.Webproxy)
+	cfg.Files = 128
+	cost := costmodel.Default()
+
+	fmt.Println("Filebench Webproxy, shared fileset, fine-grained per-filename locks")
+	fmt.Println("(ops/sec; each op = delete+create+write one file, 5 open/read/close, 1 log append)")
+	for _, threads := range []int{1, 4, 16} {
+		fmt.Printf("\n%d thread(s):\n", threads)
+		for _, name := range []string{"arckfs", "arckfs+", "nova"} {
+			fs, err := experiments.MakeFS(name, 256<<20, cost)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := filebench.Run(fs, cfg, threads, 2000/threads)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			fmt.Printf("  %-8s %8.0f ops/sec\n", name, res.OpsPerSec())
+		}
+	}
+
+	fmt.Println("\nFor the private-directory variant the Trio artifact used instead:")
+	cfg.SharedDir = false
+	for _, name := range []string{"arckfs+"} {
+		fs, err := experiments.MakeFS(name, 256<<20, cost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := filebench.Run(fs, cfg, 4, 500)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %8.0f ops/sec @4 threads (private dirs)\n", name, res.OpsPerSec())
+	}
+}

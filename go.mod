@@ -1,0 +1,3 @@
+module arckfs
+
+go 1.23

@@ -1,0 +1,87 @@
+// Package baseline_test runs the shared conformance suite against every
+// file system in the repository, proving the benchmark harness drives
+// semantically equivalent implementations.
+package baseline_test
+
+import (
+	"testing"
+
+	"arckfs/internal/baseline/kucofs"
+	"arckfs/internal/baseline/nova"
+	"arckfs/internal/baseline/pmfs"
+	"arckfs/internal/core"
+	"arckfs/internal/fsapi"
+	"arckfs/internal/fsapi/fstest"
+)
+
+func TestNovaConformance(t *testing.T) {
+	fstest.Run(t, func(t *testing.T) fsapi.FS {
+		fs, err := nova.New(64<<20, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	})
+}
+
+func TestPmfsConformance(t *testing.T) {
+	fstest.Run(t, func(t *testing.T) fsapi.FS {
+		fs, err := pmfs.New(64<<20, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	})
+}
+
+func TestKucofsConformance(t *testing.T) {
+	fstest.Run(t, func(t *testing.T) fsapi.FS {
+		fs, err := kucofs.New(64<<20, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	})
+}
+
+func TestArckFSPlusConformance(t *testing.T) {
+	fstest.Run(t, func(t *testing.T) fsapi.FS {
+		sys, err := core.NewSystem(core.Config{Mode: core.ArckFSPlus, DevSize: 64 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.NewApp(0, 0)
+	})
+}
+
+// ArckFS (buggy) is still a working file system when run without the
+// adversarial interleavings; the suite exercises the single-thread
+// semantics it shares with ArckFS+ (rename is excluded from its
+// guarantees, so only the safe subset runs here).
+func TestArckFSSingleThreadConformance(t *testing.T) {
+	mk := func(t *testing.T) fsapi.FS {
+		sys, err := core.NewSystem(core.Config{Mode: core.ArckFS, DevSize: 64 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.NewApp(0, 0)
+	}
+	t.Run("CreateOpenReadWrite", func(t *testing.T) {
+		fs := mk(t)
+		w := fs.NewThread(0)
+		if err := w.Create("/f"); err != nil {
+			t.Fatal(err)
+		}
+		fd, err := w.Open("/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.WriteAt(fd, []byte("abc"), 0); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 3)
+		if _, err := w.ReadAt(fd, got, 0); err != nil || string(got) != "abc" {
+			t.Fatalf("read %q, %v", got, err)
+		}
+	})
+}

@@ -1,0 +1,492 @@
+// Package kucofs implements a KucoFS-like baseline: a kernel-userspace
+// collaborative PM file system. Data operations run directly in
+// userspace against mapped pages with per-file locks and no kernel
+// crossing; every metadata operation is shipped to a single trusted
+// kernel thread that validates it before applying it — the
+// per-operation-verification architecture whose cost Trio amortizes
+// away.
+package kucofs
+
+import (
+	"sort"
+	"sync"
+
+	"arckfs/internal/costmodel"
+	"arckfs/internal/fsapi"
+	"arckfs/internal/layout"
+	"arckfs/internal/pmalloc"
+	"arckfs/internal/pmem"
+)
+
+// FS is the mounted KucoFS-like file system.
+type FS struct {
+	dev   *pmem.Device
+	cost  *costmodel.Model
+	alloc *pmalloc.Allocator
+
+	// kmu models the single trusted kernel thread: every metadata
+	// operation serializes through it and pays a verification charge.
+	kmu     sync.Mutex
+	logPage uint64
+	logOff  int
+
+	imu     sync.Mutex
+	inodes  map[uint64]*inode
+	nextIno uint64
+	root    *inode
+}
+
+type inode struct {
+	mu       sync.RWMutex
+	ino      uint64
+	dir      bool
+	children map[string]uint64
+	blocks   []uint64
+	size     uint64
+	mtime    uint64
+	nlink    uint16
+}
+
+// New formats a KucoFS-like file system.
+func New(size int64, cost *costmodel.Model) (*FS, error) {
+	dev := pmem.New(size, cost)
+	g := layout.Geometry{
+		PageCount: uint64(dev.Size()) / layout.PageSize,
+		DataStart: 1,
+		InodeCap:  1,
+	}
+	fs := &FS{
+		dev:     dev,
+		cost:    cost,
+		alloc:   pmalloc.New(g),
+		inodes:  make(map[uint64]*inode),
+		nextIno: 1,
+	}
+	fs.root = fs.newInode(true)
+	return fs, nil
+}
+
+// Name implements fsapi.FS.
+func (fs *FS) Name() string { return "kucofs" }
+
+func (fs *FS) newInode(dir bool) *inode {
+	fs.imu.Lock()
+	ino := fs.nextIno
+	fs.nextIno++
+	in := &inode{ino: ino, dir: dir, nlink: 1}
+	if dir {
+		in.children = make(map[string]uint64)
+		in.nlink = 2
+	}
+	fs.inodes[ino] = in
+	fs.imu.Unlock()
+	return in
+}
+
+func (fs *FS) inode(ino uint64) *inode {
+	fs.imu.Lock()
+	in := fs.inodes[ino]
+	fs.imu.Unlock()
+	return in
+}
+
+// trustedOp runs a metadata mutation on the trusted kernel thread: one
+// message crossing, full serialization, a per-operation integrity check
+// of the touched entries, and a persisted metadata log record.
+func (fs *FS) trustedOp(entriesChecked int, fn func() error) error {
+	fs.cost.Syscall() // message to the trusted thread
+	fs.kmu.Lock()
+	defer fs.kmu.Unlock()
+	fs.cost.VerifyDentries(entriesChecked)
+	if err := fn(); err != nil {
+		return err
+	}
+	// Persist a 64-byte metadata log record.
+	if fs.logPage == 0 || fs.logOff+64 > layout.LogDataSize {
+		p, err := fs.alloc.Alloc(0)
+		if err != nil {
+			return fsapi.ErrNoSpace
+		}
+		fs.logPage, fs.logOff = p, 0
+	}
+	base := int64(fs.logPage*layout.PageSize) + int64(fs.logOff)
+	fs.dev.Store64(base, 0xFACE0001)
+	fs.dev.Persist(base, 64)
+	fs.logOff += 64
+	return nil
+}
+
+// Thread implements fsapi.Thread.
+type Thread struct {
+	fs  *FS
+	cpu int
+	fds []*inode
+}
+
+// NewThread implements fsapi.FS.
+func (fs *FS) NewThread(cpu int) fsapi.Thread { return &Thread{fs: fs, cpu: cpu} }
+
+// resolve runs in userspace against the shared index (KucoFS gives
+// applications a read-only mapping of the namespace).
+func (fs *FS) resolve(path string) (*inode, error) {
+	cur := fs.root
+	for _, name := range fsapi.Components(path) {
+		if !cur.dir {
+			return nil, fsapi.ErrNotDir
+		}
+		cur.mu.RLock()
+		childIno, ok := cur.children[name]
+		cur.mu.RUnlock()
+		if !ok {
+			return nil, fsapi.ErrNotExist
+		}
+		next := fs.inode(childIno)
+		if next == nil {
+			return nil, fsapi.ErrNotExist
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (fs *FS) resolveParent(path string) (*inode, string, error) {
+	dir, name := fsapi.SplitPath(path)
+	if name == "" || !layout.ValidName(name) {
+		if len(name) > layout.MaxName {
+			return nil, "", fsapi.ErrNameTooLong
+		}
+		return nil, "", fsapi.ErrInval
+	}
+	d, err := fs.resolve(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if !d.dir {
+		return nil, "", fsapi.ErrNotDir
+	}
+	return d, name, nil
+}
+
+func (t *Thread) createNode(path string, dir bool) error {
+	d, name, err := t.fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.children[name]; exists {
+		return fsapi.ErrExist
+	}
+	child := t.fs.newInode(dir)
+	if err := t.fs.trustedOp(1, func() error { return nil }); err != nil {
+		return err
+	}
+	d.children[name] = child.ino
+	return nil
+}
+
+// Create implements fsapi.Thread.
+func (t *Thread) Create(path string) error { return t.createNode(path, false) }
+
+// Mkdir implements fsapi.Thread.
+func (t *Thread) Mkdir(path string) error { return t.createNode(path, true) }
+
+// Open implements fsapi.Thread: a pure-userspace lookup.
+func (t *Thread) Open(path string) (fsapi.FD, error) {
+	in, err := t.fs.resolve(path)
+	if err != nil {
+		return -1, err
+	}
+	for i, e := range t.fds {
+		if e == nil {
+			t.fds[i] = in
+			return fsapi.FD(i), nil
+		}
+	}
+	t.fds = append(t.fds, in)
+	return fsapi.FD(len(t.fds) - 1), nil
+}
+
+// Close implements fsapi.Thread.
+func (t *Thread) Close(fd fsapi.FD) error {
+	if int(fd) < 0 || int(fd) >= len(t.fds) || t.fds[fd] == nil {
+		return fsapi.ErrBadFd
+	}
+	t.fds[fd] = nil
+	return nil
+}
+
+func (t *Thread) fdInode(fd fsapi.FD) (*inode, error) {
+	if int(fd) < 0 || int(fd) >= len(t.fds) || t.fds[fd] == nil {
+		return nil, fsapi.ErrBadFd
+	}
+	return t.fds[fd], nil
+}
+
+// ReadAt implements fsapi.Thread: direct userspace access, no syscall.
+func (t *Thread) ReadAt(fd fsapi.FD, p []byte, off int64) (int, error) {
+	in, err := t.fdInode(fd)
+	if err != nil {
+		return 0, err
+	}
+	if in.dir {
+		return 0, fsapi.ErrIsDir
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if off < 0 {
+		return 0, fsapi.ErrInval
+	}
+	if uint64(off) >= in.size {
+		return 0, nil
+	}
+	n := len(p)
+	if uint64(off)+uint64(n) > in.size {
+		n = int(in.size - uint64(off))
+	}
+	read := 0
+	for read < n {
+		bi := int((off + int64(read)) / layout.PageSize)
+		bo := (off + int64(read)) % layout.PageSize
+		chunk := layout.PageSize - int(bo)
+		if chunk > n-read {
+			chunk = n - read
+		}
+		if bi < len(in.blocks) && in.blocks[bi] != 0 {
+			t.fs.dev.Read(int64(in.blocks[bi]*layout.PageSize)+bo, p[read:read+chunk])
+		} else {
+			for i := read; i < read+chunk; i++ {
+				p[i] = 0
+			}
+		}
+		read += chunk
+	}
+	return n, nil
+}
+
+// WriteAt implements fsapi.Thread: direct userspace writes; only block
+// allocation involves the kernel.
+func (t *Thread) WriteAt(fd fsapi.FD, p []byte, off int64) (int, error) {
+	in, err := t.fdInode(fd)
+	if err != nil {
+		return 0, err
+	}
+	if in.dir {
+		return 0, fsapi.ErrIsDir
+	}
+	if off < 0 {
+		return 0, fsapi.ErrInval
+	}
+	fs := t.fs
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	end := uint64(off) + uint64(len(p))
+	needBlocks := layout.BlocksForSize(end)
+	for len(in.blocks) < needBlocks {
+		in.blocks = append(in.blocks, 0)
+	}
+	written := 0
+	for written < len(p) {
+		bi := int((off + int64(written)) / layout.PageSize)
+		bo := (off + int64(written)) % layout.PageSize
+		chunk := layout.PageSize - int(bo)
+		if chunk > len(p)-written {
+			chunk = len(p) - written
+		}
+		if in.blocks[bi] == 0 {
+			// Block grants go through the kernel.
+			fs.cost.Syscall()
+			b, err := fs.alloc.Alloc(t.cpu)
+			if err != nil {
+				return written, fsapi.ErrNoSpace
+			}
+			fs.dev.Zero(int64(b*layout.PageSize), layout.PageSize)
+			in.blocks[bi] = b
+		}
+		base := int64(in.blocks[bi] * layout.PageSize)
+		fs.dev.Write(base+bo, p[written:written+chunk])
+		fs.dev.Flush(base+bo, int64(chunk))
+		written += chunk
+	}
+	fs.dev.Fence()
+	if end > in.size {
+		in.size = end
+	}
+	in.mtime++
+	return written, nil
+}
+
+// Fsync implements fsapi.Thread.
+func (t *Thread) Fsync(fd fsapi.FD) error {
+	_, err := t.fdInode(fd)
+	return err
+}
+
+// Unlink implements fsapi.Thread.
+func (t *Thread) Unlink(path string) error {
+	d, name, err := t.fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	childIno, ok := d.children[name]
+	if !ok {
+		return fsapi.ErrNotExist
+	}
+	child := t.fs.inode(childIno)
+	if child != nil && child.dir {
+		return fsapi.ErrIsDir
+	}
+	if err := t.fs.trustedOp(1, func() error { return nil }); err != nil {
+		return err
+	}
+	delete(d.children, name)
+	if child != nil {
+		t.fs.imu.Lock()
+		delete(t.fs.inodes, childIno)
+		t.fs.imu.Unlock()
+		var pages []uint64
+		for _, b := range child.blocks {
+			if b != 0 {
+				pages = append(pages, b)
+			}
+		}
+		t.fs.alloc.Free(pages...)
+	}
+	return nil
+}
+
+// Rmdir implements fsapi.Thread.
+func (t *Thread) Rmdir(path string) error {
+	d, name, err := t.fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	childIno, ok := d.children[name]
+	if !ok {
+		return fsapi.ErrNotExist
+	}
+	child := t.fs.inode(childIno)
+	if child == nil || !child.dir {
+		return fsapi.ErrNotDir
+	}
+	child.mu.RLock()
+	empty := len(child.children) == 0
+	child.mu.RUnlock()
+	if !empty {
+		return fsapi.ErrNotEmpty
+	}
+	if err := t.fs.trustedOp(1, func() error { return nil }); err != nil {
+		return err
+	}
+	delete(d.children, name)
+	t.fs.imu.Lock()
+	delete(t.fs.inodes, childIno)
+	t.fs.imu.Unlock()
+	return nil
+}
+
+// Rename implements fsapi.Thread.
+func (t *Thread) Rename(oldPath, newPath string) error {
+	od, oldName, err := t.fs.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	nd, newName, err := t.fs.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	first, second := od, nd
+	if first.ino > second.ino {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	if second != first {
+		second.mu.Lock()
+	}
+	defer func() {
+		if second != first {
+			second.mu.Unlock()
+		}
+		first.mu.Unlock()
+	}()
+	childIno, ok := od.children[oldName]
+	if !ok {
+		return fsapi.ErrNotExist
+	}
+	if _, exists := nd.children[newName]; exists {
+		return fsapi.ErrExist
+	}
+	if err := t.fs.trustedOp(2, func() error { return nil }); err != nil {
+		return err
+	}
+	delete(od.children, oldName)
+	nd.children[newName] = childIno
+	return nil
+}
+
+// Stat implements fsapi.Thread: userspace read of the shared index.
+func (t *Thread) Stat(path string) (fsapi.Stat, error) {
+	in, err := t.fs.resolve(path)
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	size := in.size
+	if in.dir {
+		size = uint64(len(in.children))
+	}
+	return fsapi.Stat{Ino: in.ino, Dir: in.dir, Size: size, Nlink: in.nlink, MTime: in.mtime}, nil
+}
+
+// Readdir implements fsapi.Thread.
+func (t *Thread) Readdir(path string) ([]string, error) {
+	in, err := t.fs.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if !in.dir {
+		return nil, fsapi.ErrNotDir
+	}
+	in.mu.RLock()
+	names := make([]string, 0, len(in.children))
+	for n := range in.children {
+		names = append(names, n)
+	}
+	in.mu.RUnlock()
+	sort.Strings(names)
+	return names, nil
+}
+
+// Truncate implements fsapi.Thread.
+func (t *Thread) Truncate(path string, size uint64) error {
+	in, err := t.fs.resolve(path)
+	if err != nil {
+		return err
+	}
+	if in.dir {
+		return fsapi.ErrIsDir
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	keep := layout.BlocksForSize(size)
+	var freed []uint64
+	for bi := keep; bi < len(in.blocks); bi++ {
+		if in.blocks[bi] != 0 {
+			freed = append(freed, in.blocks[bi])
+		}
+	}
+	if keep < len(in.blocks) {
+		in.blocks = in.blocks[:keep]
+	}
+	in.size = size
+	if err := t.fs.trustedOp(1, func() error { return nil }); err != nil {
+		return err
+	}
+	t.fs.alloc.Free(freed...)
+	return nil
+}

@@ -1,0 +1,595 @@
+// Package nova implements a NOVA-like kernel file system baseline: a
+// log-structured PM file system with one operation log per inode,
+// copy-on-write data pages, and DRAM indexes rebuilt from the logs.
+// Every operation crosses a simulated system-call boundary (the
+// configured syscall cost) and takes per-inode locks, so private-
+// directory workloads scale while shared-directory workloads serialize
+// on the directory inode — the behaviour the Trio paper's figures show
+// for NOVA.
+//
+// The implementation follows NOVA's persistence discipline (log entry
+// persisted and fenced before the tail pointer advances; data pages
+// persisted before the write entry that references them) but, as a
+// performance baseline, does not implement NOVA's recovery scan.
+package nova
+
+import (
+	"sort"
+	"sync"
+
+	"arckfs/internal/costmodel"
+	"arckfs/internal/fsapi"
+	"arckfs/internal/layout"
+	"arckfs/internal/pmalloc"
+	"arckfs/internal/pmem"
+)
+
+// log entry types
+const (
+	leCreate  = uint8(1)
+	leLink    = uint8(2) // dentry add (used by rename)
+	leUnlink  = uint8(3)
+	leWrite   = uint8(4)
+	leSetAttr = uint8(5)
+)
+
+// Log entry layout (fixed 64 bytes, one cache line, as NOVA does):
+//
+//	0   1   type
+//	1   1   nameLen
+//	2   2   (pad)
+//	4   4   csum/valid marker
+//	8   8   ino (target)
+//	16  8   off
+//	24  8   len / size
+//	32  8   firstPage
+//	40  24  name prefix (longer names spill into a side record)
+const leSize = 64
+
+// FS is the mounted NOVA-like file system, shared by all threads.
+type FS struct {
+	dev   *pmem.Device
+	cost  *costmodel.Model
+	alloc *pmalloc.Allocator
+
+	imu     sync.Mutex
+	inodes  map[uint64]*inode
+	nextIno uint64
+
+	root *inode
+}
+
+type inode struct {
+	mu  sync.RWMutex
+	ino uint64
+	dir bool
+	// directory state
+	children map[string]uint64
+	// file state
+	blocks []uint64
+	size   uint64
+	mtime  uint64
+	nlink  uint16
+	// per-inode log
+	logHead uint64
+	logPage uint64
+	logOff  int
+}
+
+// New formats a NOVA-like file system over a fresh device.
+func New(size int64, cost *costmodel.Model) (*FS, error) {
+	dev := pmem.New(size, cost)
+	g := layout.Geometry{
+		PageCount: uint64(dev.Size()) / layout.PageSize,
+		DataStart: 1,
+		InodeCap:  1, // unused; the allocator only needs the page range
+	}
+	fs := &FS{
+		dev:     dev,
+		cost:    cost,
+		alloc:   pmalloc.New(g),
+		inodes:  make(map[uint64]*inode),
+		nextIno: 1,
+	}
+	root := fs.newInode(true)
+	fs.root = root
+	return fs, nil
+}
+
+// Name implements fsapi.FS.
+func (fs *FS) Name() string { return "nova" }
+
+func (fs *FS) newInode(dir bool) *inode {
+	fs.imu.Lock()
+	ino := fs.nextIno
+	fs.nextIno++
+	in := &inode{ino: ino, dir: dir, nlink: 1}
+	if dir {
+		in.children = make(map[string]uint64)
+		in.nlink = 2
+	}
+	fs.inodes[ino] = in
+	fs.imu.Unlock()
+	return in
+}
+
+func (fs *FS) inode(ino uint64) *inode {
+	fs.imu.Lock()
+	in := fs.inodes[ino]
+	fs.imu.Unlock()
+	return in
+}
+
+func (fs *FS) dropInode(in *inode) {
+	fs.imu.Lock()
+	delete(fs.inodes, in.ino)
+	fs.imu.Unlock()
+	if len(in.blocks) > 0 {
+		var pages []uint64
+		for _, b := range in.blocks {
+			if b != 0 {
+				pages = append(pages, b)
+			}
+		}
+		fs.alloc.Free(pages...)
+	}
+	if in.logHead != 0 {
+		var pages []uint64
+		for p := in.logHead; p != 0; p = layout.NextPage(fs.dev, p) {
+			pages = append(pages, p)
+		}
+		fs.alloc.Free(pages...)
+	}
+}
+
+// appendLog persists one log entry to in's log (caller holds in.mu). The
+// entry is written and flushed, then fenced, then the DRAM tail advances —
+// NOVA's commit protocol.
+func (fs *FS) appendLog(cpu int, in *inode, typ uint8, target uint64, off, length, firstPage uint64, name string) error {
+	if in.logPage == 0 || in.logOff+leSize > layout.LogDataSize {
+		p, err := fs.alloc.Alloc(cpu)
+		if err != nil {
+			return fsapi.ErrNoSpace
+		}
+		// NOVA keeps pre-zeroed log pages on free lists; charging a
+		// serial full-page flush here would overstate its create cost
+		// (clwb pipelines on real hardware), so only the page is zeroed.
+		layout.ZeroPage(fs.dev, p)
+		if in.logPage != 0 {
+			layout.SetNextPage(fs.dev, in.logPage, p)
+			fs.dev.Persist(int64(in.logPage*layout.PageSize)+layout.NextPtrOff, 8)
+		} else {
+			in.logHead = p
+		}
+		in.logPage, in.logOff = p, 0
+	}
+	base := int64(in.logPage*layout.PageSize) + int64(in.logOff)
+	fs.dev.Store8(base+0, typ)
+	n := len(name)
+	if n > 24 {
+		n = 24
+	}
+	fs.dev.Store8(base+1, uint8(n))
+	fs.dev.Store32(base+4, 0xC0FFEE)
+	fs.dev.Store64(base+8, target)
+	fs.dev.Store64(base+16, off)
+	fs.dev.Store64(base+24, length)
+	fs.dev.Store64(base+32, firstPage)
+	if n > 0 {
+		fs.dev.Write(base+40, []byte(name[:n]))
+	}
+	fs.dev.Persist(base, leSize)
+	in.logOff += leSize
+	return nil
+}
+
+// Thread implements fsapi.Thread. NOVA is a kernel file system: the
+// thread handle only carries the CPU and fd table; all state is shared.
+type Thread struct {
+	fs  *FS
+	cpu int
+	fds []*inode
+}
+
+// NewThread implements fsapi.FS.
+func (fs *FS) NewThread(cpu int) fsapi.Thread {
+	return &Thread{fs: fs, cpu: cpu}
+}
+
+// resolve walks path to its inode (read-locking each directory briefly).
+func (t *Thread) resolve(path string) (*inode, error) {
+	t.fs.cost.Syscall()
+	return t.fs.resolveNoSyscall(path)
+}
+
+func (fs *FS) resolveNoSyscall(path string) (*inode, error) {
+	cur := fs.root
+	for _, name := range fsapi.Components(path) {
+		if !cur.dir {
+			return nil, fsapi.ErrNotDir
+		}
+		cur.mu.RLock()
+		childIno, ok := cur.children[name]
+		cur.mu.RUnlock()
+		if !ok {
+			return nil, fsapi.ErrNotExist
+		}
+		next := fs.inode(childIno)
+		if next == nil {
+			return nil, fsapi.ErrNotExist
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (fs *FS) resolveParent(path string) (*inode, string, error) {
+	dir, name := fsapi.SplitPath(path)
+	if name == "" || !layout.ValidName(name) {
+		if len(name) > layout.MaxName {
+			return nil, "", fsapi.ErrNameTooLong
+		}
+		return nil, "", fsapi.ErrInval
+	}
+	d, err := fs.resolveNoSyscall(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if !d.dir {
+		return nil, "", fsapi.ErrNotDir
+	}
+	return d, name, nil
+}
+
+func (t *Thread) createNode(path string, dir bool) error {
+	t.fs.cost.Syscall()
+	d, name, err := t.fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.children[name]; exists {
+		return fsapi.ErrExist
+	}
+	child := t.fs.newInode(dir)
+	// NOVA: append a create entry to the child's log and a link entry to
+	// the directory's log.
+	if err := t.fs.appendLog(t.cpu, child, leCreate, d.ino, 0, 0, 0, name); err != nil {
+		t.fs.dropInode(child)
+		return err
+	}
+	if err := t.fs.appendLog(t.cpu, d, leLink, child.ino, 0, 0, 0, name); err != nil {
+		t.fs.dropInode(child)
+		return err
+	}
+	d.children[name] = child.ino
+	return nil
+}
+
+// Create implements fsapi.Thread.
+func (t *Thread) Create(path string) error { return t.createNode(path, false) }
+
+// Mkdir implements fsapi.Thread.
+func (t *Thread) Mkdir(path string) error { return t.createNode(path, true) }
+
+// Open implements fsapi.Thread.
+func (t *Thread) Open(path string) (fsapi.FD, error) {
+	in, err := t.resolve(path)
+	if err != nil {
+		return -1, err
+	}
+	for i, e := range t.fds {
+		if e == nil {
+			t.fds[i] = in
+			return fsapi.FD(i), nil
+		}
+	}
+	t.fds = append(t.fds, in)
+	return fsapi.FD(len(t.fds) - 1), nil
+}
+
+// Close implements fsapi.Thread.
+func (t *Thread) Close(fd fsapi.FD) error {
+	if int(fd) < 0 || int(fd) >= len(t.fds) || t.fds[fd] == nil {
+		return fsapi.ErrBadFd
+	}
+	t.fds[fd] = nil
+	return nil
+}
+
+func (t *Thread) fdInode(fd fsapi.FD) (*inode, error) {
+	if int(fd) < 0 || int(fd) >= len(t.fds) || t.fds[fd] == nil {
+		return nil, fsapi.ErrBadFd
+	}
+	return t.fds[fd], nil
+}
+
+// ReadAt implements fsapi.Thread.
+func (t *Thread) ReadAt(fd fsapi.FD, p []byte, off int64) (int, error) {
+	t.fs.cost.Syscall()
+	in, err := t.fdInode(fd)
+	if err != nil {
+		return 0, err
+	}
+	if in.dir {
+		return 0, fsapi.ErrIsDir
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if off < 0 {
+		return 0, fsapi.ErrInval
+	}
+	if uint64(off) >= in.size {
+		return 0, nil
+	}
+	n := len(p)
+	if uint64(off)+uint64(n) > in.size {
+		n = int(in.size - uint64(off))
+	}
+	read := 0
+	for read < n {
+		bi := int((off + int64(read)) / layout.PageSize)
+		bo := (off + int64(read)) % layout.PageSize
+		chunk := layout.PageSize - int(bo)
+		if chunk > n-read {
+			chunk = n - read
+		}
+		if bi < len(in.blocks) && in.blocks[bi] != 0 {
+			t.fs.dev.Read(int64(in.blocks[bi]*layout.PageSize)+bo, p[read:read+chunk])
+		} else {
+			for i := read; i < read+chunk; i++ {
+				p[i] = 0
+			}
+		}
+		read += chunk
+	}
+	return n, nil
+}
+
+// WriteAt implements fsapi.Thread. NOVA writes data copy-on-write: new
+// pages are allocated and persisted, then a write log entry commits them
+// and the DRAM block index swaps in the new pages.
+func (t *Thread) WriteAt(fd fsapi.FD, p []byte, off int64) (int, error) {
+	t.fs.cost.Syscall()
+	in, err := t.fdInode(fd)
+	if err != nil {
+		return 0, err
+	}
+	if in.dir {
+		return 0, fsapi.ErrIsDir
+	}
+	if off < 0 {
+		return 0, fsapi.ErrInval
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	fs := t.fs
+	in.mu.Lock()
+	defer in.mu.Unlock()
+
+	end := uint64(off) + uint64(len(p))
+	needBlocks := layout.BlocksForSize(end)
+	for len(in.blocks) < needBlocks {
+		in.blocks = append(in.blocks, 0)
+	}
+	written := 0
+	var firstNew uint64
+	var old []uint64
+	for written < len(p) {
+		bi := int((off + int64(written)) / layout.PageSize)
+		bo := (off + int64(written)) % layout.PageSize
+		chunk := layout.PageSize - int(bo)
+		if chunk > len(p)-written {
+			chunk = len(p) - written
+		}
+		np, err := fs.alloc.Alloc(t.cpu)
+		if err != nil {
+			return written, fsapi.ErrNoSpace
+		}
+		if firstNew == 0 {
+			firstNew = np
+		}
+		base := int64(np * layout.PageSize)
+		if chunk != layout.PageSize {
+			// COW: preserve the rest of the page from the old block.
+			if ob := in.blocks[bi]; ob != 0 {
+				fs.dev.Write(base, fs.dev.Slice(int64(ob*layout.PageSize), layout.PageSize))
+			} else {
+				fs.dev.Zero(base, layout.PageSize)
+			}
+		}
+		fs.dev.Write(base+bo, p[written:written+chunk])
+		fs.dev.Flush(base, layout.PageSize)
+		if ob := in.blocks[bi]; ob != 0 {
+			old = append(old, ob)
+		}
+		in.blocks[bi] = np
+		written += chunk
+	}
+	// Data persisted before the commit entry.
+	fs.dev.Fence()
+	if end > in.size {
+		in.size = end
+	}
+	if err := fs.appendLog(t.cpu, in, leWrite, in.ino, uint64(off), uint64(len(p)), firstNew, ""); err != nil {
+		return written, err
+	}
+	in.mtime++
+	fs.alloc.Free(old...)
+	return written, nil
+}
+
+// Fsync implements fsapi.Thread (NOVA persists synchronously too).
+func (t *Thread) Fsync(fd fsapi.FD) error {
+	t.fs.cost.Syscall()
+	_, err := t.fdInode(fd)
+	return err
+}
+
+// Unlink implements fsapi.Thread.
+func (t *Thread) Unlink(path string) error {
+	t.fs.cost.Syscall()
+	d, name, err := t.fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	childIno, ok := d.children[name]
+	if !ok {
+		return fsapi.ErrNotExist
+	}
+	child := t.fs.inode(childIno)
+	if child != nil && child.dir {
+		return fsapi.ErrIsDir
+	}
+	if err := t.fs.appendLog(t.cpu, d, leUnlink, childIno, 0, 0, 0, name); err != nil {
+		return err
+	}
+	delete(d.children, name)
+	if child != nil {
+		t.fs.dropInode(child)
+	}
+	return nil
+}
+
+// Rmdir implements fsapi.Thread.
+func (t *Thread) Rmdir(path string) error {
+	t.fs.cost.Syscall()
+	d, name, err := t.fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	childIno, ok := d.children[name]
+	if !ok {
+		return fsapi.ErrNotExist
+	}
+	child := t.fs.inode(childIno)
+	if child == nil || !child.dir {
+		return fsapi.ErrNotDir
+	}
+	child.mu.RLock()
+	empty := len(child.children) == 0
+	child.mu.RUnlock()
+	if !empty {
+		return fsapi.ErrNotEmpty
+	}
+	if err := t.fs.appendLog(t.cpu, d, leUnlink, childIno, 0, 0, 0, name); err != nil {
+		return err
+	}
+	delete(d.children, name)
+	t.fs.dropInode(child)
+	return nil
+}
+
+// Rename implements fsapi.Thread. NOVA journals cross-directory renames;
+// here both directory logs get entries under ordered locks.
+func (t *Thread) Rename(oldPath, newPath string) error {
+	t.fs.cost.Syscall()
+	od, oldName, err := t.fs.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	nd, newName, err := t.fs.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	first, second := od, nd
+	if first.ino > second.ino {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	if second != first {
+		second.mu.Lock()
+	}
+	defer func() {
+		if second != first {
+			second.mu.Unlock()
+		}
+		first.mu.Unlock()
+	}()
+	childIno, ok := od.children[oldName]
+	if !ok {
+		return fsapi.ErrNotExist
+	}
+	if _, exists := nd.children[newName]; exists {
+		return fsapi.ErrExist
+	}
+	if err := t.fs.appendLog(t.cpu, nd, leLink, childIno, 0, 0, 0, newName); err != nil {
+		return err
+	}
+	if err := t.fs.appendLog(t.cpu, od, leUnlink, childIno, 0, 0, 0, oldName); err != nil {
+		return err
+	}
+	delete(od.children, oldName)
+	nd.children[newName] = childIno
+	return nil
+}
+
+// Stat implements fsapi.Thread.
+func (t *Thread) Stat(path string) (fsapi.Stat, error) {
+	in, err := t.resolve(path)
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	size := in.size
+	if in.dir {
+		size = uint64(len(in.children))
+	}
+	return fsapi.Stat{Ino: in.ino, Dir: in.dir, Size: size, Nlink: in.nlink, MTime: in.mtime}, nil
+}
+
+// Readdir implements fsapi.Thread.
+func (t *Thread) Readdir(path string) ([]string, error) {
+	in, err := t.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if !in.dir {
+		return nil, fsapi.ErrNotDir
+	}
+	in.mu.RLock()
+	names := make([]string, 0, len(in.children))
+	for n := range in.children {
+		names = append(names, n)
+	}
+	in.mu.RUnlock()
+	sort.Strings(names)
+	return names, nil
+}
+
+// Truncate implements fsapi.Thread.
+func (t *Thread) Truncate(path string, size uint64) error {
+	t.fs.cost.Syscall()
+	in, err := t.fs.resolveNoSyscall(path)
+	if err != nil {
+		return err
+	}
+	if in.dir {
+		return fsapi.ErrIsDir
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	keep := layout.BlocksForSize(size)
+	var freed []uint64
+	for bi := keep; bi < len(in.blocks); bi++ {
+		if in.blocks[bi] != 0 {
+			freed = append(freed, in.blocks[bi])
+		}
+	}
+	if keep < len(in.blocks) {
+		in.blocks = in.blocks[:keep]
+	}
+	in.size = size
+	if err := t.fs.appendLog(t.cpu, in, leSetAttr, in.ino, 0, size, 0, ""); err != nil {
+		return err
+	}
+	t.fs.alloc.Free(freed...)
+	return nil
+}

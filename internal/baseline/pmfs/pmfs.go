@@ -1,0 +1,546 @@
+// Package pmfs implements a PMFS-like kernel file system baseline: an
+// in-place-update PM file system whose metadata operations are made
+// atomic with a centralized undo journal protected by one global lock.
+// It is the journaled, poorly-scaling archetype: every create, unlink,
+// mkdir, or rename serializes on the journal, while data reads and
+// writes take only per-file locks.
+package pmfs
+
+import (
+	"sort"
+	"sync"
+
+	"arckfs/internal/costmodel"
+	"arckfs/internal/fsapi"
+	"arckfs/internal/layout"
+	"arckfs/internal/pmalloc"
+	"arckfs/internal/pmem"
+)
+
+// Journal geometry: a ring of 64-byte undo records in page 0..jPages.
+const (
+	jPages   = 16
+	jRecSize = 64
+)
+
+// FS is the mounted PMFS-like file system.
+type FS struct {
+	dev   *pmem.Device
+	cost  *costmodel.Model
+	alloc *pmalloc.Allocator
+
+	// jmu is the global journal lock serializing all metadata updates.
+	jmu  sync.Mutex
+	jOff int64
+
+	imu     sync.Mutex
+	inodes  map[uint64]*inode
+	nextIno uint64
+	root    *inode
+}
+
+type inode struct {
+	mu       sync.RWMutex
+	ino      uint64
+	dir      bool
+	children map[string]uint64
+	blocks   []uint64
+	size     uint64
+	mtime    uint64
+	nlink    uint16
+	// dentryPages back the directory's on-PM dentry array (in-place).
+	dentryPages []uint64
+}
+
+// New formats a PMFS-like file system.
+func New(size int64, cost *costmodel.Model) (*FS, error) {
+	dev := pmem.New(size, cost)
+	g := layout.Geometry{
+		PageCount: uint64(dev.Size()) / layout.PageSize,
+		DataStart: jPages + 1,
+		InodeCap:  1,
+	}
+	fs := &FS{
+		dev:     dev,
+		cost:    cost,
+		alloc:   pmalloc.New(g),
+		inodes:  make(map[uint64]*inode),
+		nextIno: 1,
+	}
+	fs.root = fs.newInode(true)
+	return fs, nil
+}
+
+// Name implements fsapi.FS.
+func (fs *FS) Name() string { return "pmfs" }
+
+func (fs *FS) newInode(dir bool) *inode {
+	fs.imu.Lock()
+	ino := fs.nextIno
+	fs.nextIno++
+	in := &inode{ino: ino, dir: dir, nlink: 1}
+	if dir {
+		in.children = make(map[string]uint64)
+		in.nlink = 2
+	}
+	fs.inodes[ino] = in
+	fs.imu.Unlock()
+	return in
+}
+
+func (fs *FS) inode(ino uint64) *inode {
+	fs.imu.Lock()
+	in := fs.inodes[ino]
+	fs.imu.Unlock()
+	return in
+}
+
+// journaledUpdate runs fn under the global journal lock, bracketing it
+// with PMFS's undo-journal persistence pattern: journal the undo records
+// (flush+fence), apply the in-place updates (fn persists them), commit
+// the journal (flush+fence).
+func (fs *FS) journaledUpdate(nrec int, fn func() error) error {
+	fs.jmu.Lock()
+	defer fs.jmu.Unlock()
+	// Write undo records.
+	for i := 0; i < nrec; i++ {
+		base := fs.jOff
+		fs.dev.Store64(base, 0xDEAD0001)
+		fs.dev.Store64(base+8, uint64(i))
+		fs.dev.Flush(base, jRecSize)
+		fs.jOff += jRecSize
+		if fs.jOff+jRecSize > jPages*layout.PageSize {
+			fs.jOff = 0
+		}
+	}
+	fs.dev.Fence()
+	if err := fn(); err != nil {
+		return err
+	}
+	// Commit record.
+	base := fs.jOff
+	fs.dev.Store64(base, 0xC0DE0002)
+	fs.dev.Persist(base, jRecSize)
+	fs.jOff += jRecSize
+	if fs.jOff+jRecSize > jPages*layout.PageSize {
+		fs.jOff = 0
+	}
+	return nil
+}
+
+// persistDentryArray writes the directory's children into its in-place
+// dentry pages (allocating as needed) and persists the touched range —
+// the in-place metadata write the journal protects.
+func (fs *FS) persistDentry(d *inode, name string, ino uint64) error {
+	need := (len(d.children) + 1) * 32
+	for len(d.dentryPages)*layout.PageSize < need {
+		p, err := fs.alloc.Alloc(0)
+		if err != nil {
+			return fsapi.ErrNoSpace
+		}
+		d.dentryPages = append(d.dentryPages, p)
+	}
+	slot := len(d.children) % (layout.PageSize / 32)
+	page := d.dentryPages[len(d.children)/(layout.PageSize/32)%len(d.dentryPages)]
+	base := int64(page*layout.PageSize) + int64(slot*32)
+	fs.dev.Store64(base, ino)
+	n := len(name)
+	if n > 24 {
+		n = 24
+	}
+	fs.dev.Write(base+8, []byte(name[:n]))
+	fs.dev.Persist(base, 32)
+	return nil
+}
+
+// Thread implements fsapi.Thread.
+type Thread struct {
+	fs  *FS
+	cpu int
+	fds []*inode
+}
+
+// NewThread implements fsapi.FS.
+func (fs *FS) NewThread(cpu int) fsapi.Thread { return &Thread{fs: fs, cpu: cpu} }
+
+func (fs *FS) resolve(path string) (*inode, error) {
+	cur := fs.root
+	for _, name := range fsapi.Components(path) {
+		if !cur.dir {
+			return nil, fsapi.ErrNotDir
+		}
+		cur.mu.RLock()
+		childIno, ok := cur.children[name]
+		cur.mu.RUnlock()
+		if !ok {
+			return nil, fsapi.ErrNotExist
+		}
+		next := fs.inode(childIno)
+		if next == nil {
+			return nil, fsapi.ErrNotExist
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (fs *FS) resolveParent(path string) (*inode, string, error) {
+	dir, name := fsapi.SplitPath(path)
+	if name == "" || !layout.ValidName(name) {
+		if len(name) > layout.MaxName {
+			return nil, "", fsapi.ErrNameTooLong
+		}
+		return nil, "", fsapi.ErrInval
+	}
+	d, err := fs.resolve(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if !d.dir {
+		return nil, "", fsapi.ErrNotDir
+	}
+	return d, name, nil
+}
+
+func (t *Thread) createNode(path string, dir bool) error {
+	t.fs.cost.Syscall()
+	d, name, err := t.fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, exists := d.children[name]; exists {
+		return fsapi.ErrExist
+	}
+	child := t.fs.newInode(dir)
+	err = t.fs.journaledUpdate(2, func() error {
+		return t.fs.persistDentry(d, name, child.ino)
+	})
+	if err != nil {
+		return err
+	}
+	d.children[name] = child.ino
+	return nil
+}
+
+// Create implements fsapi.Thread.
+func (t *Thread) Create(path string) error { return t.createNode(path, false) }
+
+// Mkdir implements fsapi.Thread.
+func (t *Thread) Mkdir(path string) error { return t.createNode(path, true) }
+
+// Open implements fsapi.Thread.
+func (t *Thread) Open(path string) (fsapi.FD, error) {
+	t.fs.cost.Syscall()
+	in, err := t.fs.resolve(path)
+	if err != nil {
+		return -1, err
+	}
+	for i, e := range t.fds {
+		if e == nil {
+			t.fds[i] = in
+			return fsapi.FD(i), nil
+		}
+	}
+	t.fds = append(t.fds, in)
+	return fsapi.FD(len(t.fds) - 1), nil
+}
+
+// Close implements fsapi.Thread.
+func (t *Thread) Close(fd fsapi.FD) error {
+	if int(fd) < 0 || int(fd) >= len(t.fds) || t.fds[fd] == nil {
+		return fsapi.ErrBadFd
+	}
+	t.fds[fd] = nil
+	return nil
+}
+
+func (t *Thread) fdInode(fd fsapi.FD) (*inode, error) {
+	if int(fd) < 0 || int(fd) >= len(t.fds) || t.fds[fd] == nil {
+		return nil, fsapi.ErrBadFd
+	}
+	return t.fds[fd], nil
+}
+
+// ReadAt implements fsapi.Thread.
+func (t *Thread) ReadAt(fd fsapi.FD, p []byte, off int64) (int, error) {
+	t.fs.cost.Syscall()
+	in, err := t.fdInode(fd)
+	if err != nil {
+		return 0, err
+	}
+	if in.dir {
+		return 0, fsapi.ErrIsDir
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if off < 0 {
+		return 0, fsapi.ErrInval
+	}
+	if uint64(off) >= in.size {
+		return 0, nil
+	}
+	n := len(p)
+	if uint64(off)+uint64(n) > in.size {
+		n = int(in.size - uint64(off))
+	}
+	read := 0
+	for read < n {
+		bi := int((off + int64(read)) / layout.PageSize)
+		bo := (off + int64(read)) % layout.PageSize
+		chunk := layout.PageSize - int(bo)
+		if chunk > n-read {
+			chunk = n - read
+		}
+		if bi < len(in.blocks) && in.blocks[bi] != 0 {
+			t.fs.dev.Read(int64(in.blocks[bi]*layout.PageSize)+bo, p[read:read+chunk])
+		} else {
+			for i := read; i < read+chunk; i++ {
+				p[i] = 0
+			}
+		}
+		read += chunk
+	}
+	return n, nil
+}
+
+// WriteAt implements fsapi.Thread. PMFS writes data in place, journaling
+// only the metadata (size) update.
+func (t *Thread) WriteAt(fd fsapi.FD, p []byte, off int64) (int, error) {
+	t.fs.cost.Syscall()
+	in, err := t.fdInode(fd)
+	if err != nil {
+		return 0, err
+	}
+	if in.dir {
+		return 0, fsapi.ErrIsDir
+	}
+	if off < 0 {
+		return 0, fsapi.ErrInval
+	}
+	fs := t.fs
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	end := uint64(off) + uint64(len(p))
+	needBlocks := layout.BlocksForSize(end)
+	for len(in.blocks) < needBlocks {
+		in.blocks = append(in.blocks, 0)
+	}
+	written := 0
+	for written < len(p) {
+		bi := int((off + int64(written)) / layout.PageSize)
+		bo := (off + int64(written)) % layout.PageSize
+		chunk := layout.PageSize - int(bo)
+		if chunk > len(p)-written {
+			chunk = len(p) - written
+		}
+		if in.blocks[bi] == 0 {
+			b, err := fs.alloc.Alloc(t.cpu)
+			if err != nil {
+				return written, fsapi.ErrNoSpace
+			}
+			fs.dev.Zero(int64(b*layout.PageSize), layout.PageSize)
+			in.blocks[bi] = b
+		}
+		base := int64(in.blocks[bi] * layout.PageSize)
+		fs.dev.Write(base+bo, p[written:written+chunk])
+		fs.dev.Flush(base+bo, int64(chunk))
+		written += chunk
+	}
+	fs.dev.Fence()
+	if end > in.size {
+		in.size = end
+		// Journal the size update.
+		if err := fs.journaledUpdate(1, func() error { return nil }); err != nil {
+			return written, err
+		}
+	}
+	in.mtime++
+	return written, nil
+}
+
+// Fsync implements fsapi.Thread.
+func (t *Thread) Fsync(fd fsapi.FD) error {
+	t.fs.cost.Syscall()
+	_, err := t.fdInode(fd)
+	return err
+}
+
+// Unlink implements fsapi.Thread.
+func (t *Thread) Unlink(path string) error {
+	t.fs.cost.Syscall()
+	d, name, err := t.fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	childIno, ok := d.children[name]
+	if !ok {
+		return fsapi.ErrNotExist
+	}
+	child := t.fs.inode(childIno)
+	if child != nil && child.dir {
+		return fsapi.ErrIsDir
+	}
+	if err := t.fs.journaledUpdate(2, func() error { return nil }); err != nil {
+		return err
+	}
+	delete(d.children, name)
+	if child != nil {
+		t.fs.imu.Lock()
+		delete(t.fs.inodes, childIno)
+		t.fs.imu.Unlock()
+		var pages []uint64
+		for _, b := range child.blocks {
+			if b != 0 {
+				pages = append(pages, b)
+			}
+		}
+		t.fs.alloc.Free(pages...)
+	}
+	return nil
+}
+
+// Rmdir implements fsapi.Thread.
+func (t *Thread) Rmdir(path string) error {
+	t.fs.cost.Syscall()
+	d, name, err := t.fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	childIno, ok := d.children[name]
+	if !ok {
+		return fsapi.ErrNotExist
+	}
+	child := t.fs.inode(childIno)
+	if child == nil || !child.dir {
+		return fsapi.ErrNotDir
+	}
+	child.mu.RLock()
+	empty := len(child.children) == 0
+	child.mu.RUnlock()
+	if !empty {
+		return fsapi.ErrNotEmpty
+	}
+	if err := t.fs.journaledUpdate(2, func() error { return nil }); err != nil {
+		return err
+	}
+	delete(d.children, name)
+	t.fs.imu.Lock()
+	delete(t.fs.inodes, childIno)
+	t.fs.imu.Unlock()
+	t.fs.alloc.Free(child.dentryPages...)
+	return nil
+}
+
+// Rename implements fsapi.Thread.
+func (t *Thread) Rename(oldPath, newPath string) error {
+	t.fs.cost.Syscall()
+	od, oldName, err := t.fs.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	nd, newName, err := t.fs.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	first, second := od, nd
+	if first.ino > second.ino {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	if second != first {
+		second.mu.Lock()
+	}
+	defer func() {
+		if second != first {
+			second.mu.Unlock()
+		}
+		first.mu.Unlock()
+	}()
+	childIno, ok := od.children[oldName]
+	if !ok {
+		return fsapi.ErrNotExist
+	}
+	if _, exists := nd.children[newName]; exists {
+		return fsapi.ErrExist
+	}
+	if err := t.fs.journaledUpdate(3, func() error {
+		return t.fs.persistDentry(nd, newName, childIno)
+	}); err != nil {
+		return err
+	}
+	delete(od.children, oldName)
+	nd.children[newName] = childIno
+	return nil
+}
+
+// Stat implements fsapi.Thread.
+func (t *Thread) Stat(path string) (fsapi.Stat, error) {
+	t.fs.cost.Syscall()
+	in, err := t.fs.resolve(path)
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	size := in.size
+	if in.dir {
+		size = uint64(len(in.children))
+	}
+	return fsapi.Stat{Ino: in.ino, Dir: in.dir, Size: size, Nlink: in.nlink, MTime: in.mtime}, nil
+}
+
+// Readdir implements fsapi.Thread.
+func (t *Thread) Readdir(path string) ([]string, error) {
+	t.fs.cost.Syscall()
+	in, err := t.fs.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if !in.dir {
+		return nil, fsapi.ErrNotDir
+	}
+	in.mu.RLock()
+	names := make([]string, 0, len(in.children))
+	for n := range in.children {
+		names = append(names, n)
+	}
+	in.mu.RUnlock()
+	sort.Strings(names)
+	return names, nil
+}
+
+// Truncate implements fsapi.Thread.
+func (t *Thread) Truncate(path string, size uint64) error {
+	t.fs.cost.Syscall()
+	in, err := t.fs.resolve(path)
+	if err != nil {
+		return err
+	}
+	if in.dir {
+		return fsapi.ErrIsDir
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	keep := layout.BlocksForSize(size)
+	var freed []uint64
+	for bi := keep; bi < len(in.blocks); bi++ {
+		if in.blocks[bi] != 0 {
+			freed = append(freed, in.blocks[bi])
+		}
+	}
+	if keep < len(in.blocks) {
+		in.blocks = in.blocks[:keep]
+	}
+	in.size = size
+	if err := t.fs.journaledUpdate(1, func() error { return nil }); err != nil {
+		return err
+	}
+	t.fs.alloc.Free(freed...)
+	return nil
+}

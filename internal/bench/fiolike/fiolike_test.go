@@ -1,0 +1,36 @@
+package fiolike
+
+import (
+	"testing"
+
+	"arckfs/internal/baseline/pmfs"
+	"arckfs/internal/core"
+)
+
+func TestStandardJobsRun(t *testing.T) {
+	sys, err := core.NewSystem(core.Config{DevSize: 128 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := sys.NewApp(0, 0)
+	for _, job := range StandardJobs(1 << 20) {
+		res, err := Run(app, job, 2, 200)
+		if err != nil {
+			t.Fatalf("%s: %v", job.Name, err)
+		}
+		if res.Bytes != res.Ops*4096 || res.GiBPerSec() <= 0 {
+			t.Fatalf("%s result: %+v", job.Name, res)
+		}
+	}
+}
+
+func TestFioOnPmfs(t *testing.T) {
+	fs, err := pmfs.New(64<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(fs, Job{Name: "w", Write: true, BlockSize: 4096, FileSize: 256 << 10}, 1, 100)
+	if err != nil || res.Ops != 100 {
+		t.Fatalf("%+v, %v", res, err)
+	}
+}

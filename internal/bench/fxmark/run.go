@@ -1,0 +1,34 @@
+package fxmark
+
+import (
+	"fmt"
+
+	"arckfs/internal/fsapi"
+	"arckfs/internal/harness"
+)
+
+// RunWorkload sets up and executes one workload at the given thread
+// count, returning the aggregate result.
+func RunWorkload(fs fsapi.FS, w Workload, threads, opsPerThread int, cfg Config) (harness.Result, error) {
+	if w.Name == "MRPM" {
+		SetWorkerCount(threads)
+	}
+	if err := w.Setup(fs, threads, cfg); err != nil {
+		return harness.Result{}, fmt.Errorf("%s setup: %w", w.Name, err)
+	}
+	workers := make([]func(i int) error, threads)
+	for tid := 0; tid < threads; tid++ {
+		op, err := w.Worker(fs, tid, cfg)
+		if err != nil {
+			return harness.Result{}, fmt.Errorf("%s worker %d: %w", w.Name, tid, err)
+		}
+		workers[tid] = op
+	}
+	res := harness.Run(fs.Name(), w.Name, threads, opsPerThread, func(tid, i int) error {
+		return workers[tid](i)
+	})
+	if w.Data {
+		res.Bytes = res.Ops * 4096
+	}
+	return res, res.Err
+}

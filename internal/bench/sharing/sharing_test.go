@@ -1,0 +1,89 @@
+package sharing
+
+import (
+	"testing"
+
+	"arckfs/internal/core"
+)
+
+func newSys(t *testing.T, size int64) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.Config{DevSize: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestArckWritePingPong(t *testing.T) {
+	res, err := ArckWrite(newSys(t, 64<<20), 2<<20, false, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GiBps <= 0 || res.System != "arckfs+" {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestArckWriteTrustGroup(t *testing.T) {
+	res, err := ArckWrite(newSys(t, 64<<20), 2<<20, true, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "arckfs+-trust-group" || res.GiBps <= 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+// TestSharingCostGrowsWithFileSize is the Table-4 shape: per-transfer
+// verification cost scales with the shared file's metadata, so a larger
+// file yields lower ping-pong throughput, while the trust group is
+// insensitive to it.
+func TestSharingCostGrowsWithFileSize(t *testing.T) {
+	small, err := ArckWrite(newSys(t, 128<<20), 2<<20, false, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := ArckWrite(newSys(t, 128<<20), 64<<20, false, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.GiBps >= small.GiBps {
+		t.Fatalf("sharing cost did not grow with size: 2MB=%.3f GiB/s, 64MB=%.3f GiB/s", small.GiBps, big.GiBps)
+	}
+	trustBig, err := ArckWrite(newSys(t, 128<<20), 64<<20, true, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trustBig.GiBps <= big.GiBps {
+		t.Fatalf("trust group did not help: verify=%.3f trust=%.3f GiB/s", big.GiBps, trustBig.GiBps)
+	}
+}
+
+func TestArckCreateTurns(t *testing.T) {
+	res, err := ArckCreate(newSys(t, 64<<20), 10, 6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCreates != 60 || res.MicrosPerOp <= 0 {
+		t.Fatalf("%+v", res)
+	}
+	trust, err := ArckCreate(newSys(t, 64<<20), 10, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trust.TotalCreates != 60 {
+		t.Fatalf("%+v", trust)
+	}
+}
+
+func TestNovaComparators(t *testing.T) {
+	w, err := NovaWrite(nil, 64<<20, 2<<20, 50)
+	if err != nil || w.GiBps <= 0 {
+		t.Fatalf("%+v, %v", w, err)
+	}
+	c, err := NovaCreate(nil, 64<<20, 10, 6)
+	if err != nil || c.TotalCreates != 60 {
+		t.Fatalf("%+v, %v", c, err)
+	}
+}

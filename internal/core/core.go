@@ -1,0 +1,148 @@
+// Package core assembles the complete Trio system: the simulated
+// persistent-memory device, the in-kernel access controller, the trusted
+// integrity verifier, and per-application library file systems. It is the
+// paper's subject in one box, with presets for ArckFS (the Trio artifact,
+// all six Table-1 bugs present) and ArckFS+ (all patches applied).
+package core
+
+import (
+	"time"
+
+	"arckfs/internal/costmodel"
+	"arckfs/internal/kernel"
+	"arckfs/internal/libfs"
+	"arckfs/internal/pmem"
+	"arckfs/internal/verifier"
+)
+
+// Mode selects the system preset.
+type Mode int
+
+const (
+	// ArckFSPlus is the patched system of the paper (default).
+	ArckFSPlus Mode = iota
+	// ArckFS is the Trio artifact as shipped: the original verifier plus
+	// all six LibFS bugs.
+	ArckFS
+)
+
+func (m Mode) String() string {
+	if m == ArckFS {
+		return "arckfs"
+	}
+	return "arckfs+"
+}
+
+// Config describes a system instance.
+type Config struct {
+	Mode Mode
+	// DevSize is the device capacity in bytes (default 256 MiB).
+	DevSize int64
+	// Cost is the latency model; nil charges nothing.
+	Cost *costmodel.Model
+	// InodeCap and NTails configure the format (defaults 1<<16, 4).
+	InodeCap uint64
+	NTails   int
+	// Policy is the kernel's corruption policy.
+	Policy kernel.Policy
+	// Bugs, when non-nil, overrides the Mode's bug preset (for per-bug
+	// ablation).
+	Bugs *libfs.Bugs
+	// Hooks are the deterministic race-window hooks for tests.
+	Hooks *libfs.Hooks
+	// DirBuckets sizes directory hash tables.
+	DirBuckets int
+	// Tracking enables pmem crash tracking from the moment after format.
+	Tracking bool
+	// LeaseTTL bounds inode ownership; RenameLeaseTTL bounds the global
+	// rename lock.
+	LeaseTTL       time.Duration
+	RenameLeaseTTL time.Duration
+}
+
+func (c *Config) fill() {
+	if c.DevSize == 0 {
+		c.DevSize = 256 << 20
+	}
+}
+
+func (c *Config) verifierMode() verifier.Mode {
+	if c.Mode == ArckFS {
+		return verifier.Original
+	}
+	return verifier.Enhanced
+}
+
+func (c *Config) bugs() libfs.Bugs {
+	if c.Bugs != nil {
+		return *c.Bugs
+	}
+	if c.Mode == ArckFS {
+		return libfs.BugsAll
+	}
+	return libfs.BugsNone
+}
+
+// System is one mounted Trio instance.
+type System struct {
+	cfg  Config
+	Dev  *pmem.Device
+	Ctrl *kernel.Controller
+}
+
+// NewSystem formats a fresh device and boots the kernel side.
+func NewSystem(cfg Config) (*System, error) {
+	cfg.fill()
+	dev := pmem.New(cfg.DevSize, cfg.Cost)
+	ctrl, err := kernel.Format(dev, kernel.Options{
+		Mode:           cfg.verifierMode(),
+		Policy:         cfg.Policy,
+		Cost:           cfg.Cost,
+		InodeCap:       cfg.InodeCap,
+		NTails:         cfg.NTails,
+		LeaseTTL:       cfg.LeaseTTL,
+		RenameLeaseTTL: cfg.RenameLeaseTTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Tracking {
+		dev.EnableTracking()
+	}
+	return &System{cfg: cfg, Dev: dev, Ctrl: ctrl}, nil
+}
+
+// Recover mounts an existing device image (e.g. a crash image produced by
+// pmem.Device.CrashImage), running recovery and returning its report.
+func Recover(img []byte, cfg Config) (*System, *kernel.Report, error) {
+	cfg.fill()
+	dev := pmem.Restore(img, cfg.Cost)
+	ctrl, rep, err := kernel.Mount(dev, kernel.Options{
+		Mode:           cfg.verifierMode(),
+		Policy:         cfg.Policy,
+		Cost:           cfg.Cost,
+		LeaseTTL:       cfg.LeaseTTL,
+		RenameLeaseTTL: cfg.RenameLeaseTTL,
+	}, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.Tracking {
+		dev.EnableTracking()
+	}
+	return &System{cfg: cfg, Dev: dev, Ctrl: ctrl}, rep, nil
+}
+
+// NewApp registers an application and attaches a LibFS for it.
+func (s *System) NewApp(uid, gid uint32) *libfs.FS {
+	app := s.Ctrl.RegisterApp(uid, gid)
+	return libfs.New(s.Ctrl, app, libfs.Options{
+		Bugs:       s.cfg.bugs(),
+		Cost:       s.cfg.Cost,
+		Hooks:      s.cfg.Hooks,
+		DirBuckets: s.cfg.DirBuckets,
+	})
+}
+
+// Mode returns the configured preset.
+func (s *System) Mode() Mode { return s.cfg.Mode }

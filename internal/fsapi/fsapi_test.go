@@ -1,0 +1,86 @@
+package fsapi
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestClean(t *testing.T) {
+	cases := map[string]string{
+		"":          "/",
+		"/":         "/",
+		"a":         "/a",
+		"/a/":       "/a",
+		"//a//b///": "/a/b",
+		"/a/b":      "/a/b",
+	}
+	for in, want := range cases {
+		if got := Clean(in); got != want {
+			t.Errorf("Clean(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct{ in, dir, name string }{
+		{"/", "/", ""},
+		{"/a", "/", "a"},
+		{"/a/b", "/a", "b"},
+		{"/a/b/c", "/a/b", "c"},
+		{"//a//b", "/a", "b"},
+	}
+	for _, c := range cases {
+		dir, name := SplitPath(c.in)
+		if dir != c.dir || name != c.name {
+			t.Errorf("SplitPath(%q) = (%q, %q), want (%q, %q)", c.in, dir, name, c.dir, c.name)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	if got := Components("/"); len(got) != 0 {
+		t.Errorf("Components(/) = %v", got)
+	}
+	if got := Components("/a/b/c"); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Components = %v", got)
+	}
+	if got := Components("a//b/"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Components = %v", got)
+	}
+}
+
+// Property: SplitPath + join is the identity on cleaned paths.
+func TestQuickSplitJoin(t *testing.T) {
+	f := func(parts []string) bool {
+		path := ""
+		for _, p := range parts {
+			if p == "" {
+				p = "x"
+			}
+			for i := 0; i < len(p); i++ {
+				if p[i] == '/' {
+					p = "y"
+					break
+				}
+			}
+			path += "/" + p
+		}
+		if path == "" {
+			path = "/"
+		}
+		cleaned := Clean(path)
+		dir, name := SplitPath(cleaned)
+		if cleaned == "/" {
+			return dir == "/" && name == ""
+		}
+		rejoined := dir + "/" + name
+		if dir == "/" {
+			rejoined = "/" + name
+		}
+		return Clean(rejoined) == cleaned
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

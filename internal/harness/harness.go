@@ -1,0 +1,198 @@
+// Package harness runs multi-threaded file system workloads and renders
+// the tables and series the paper's figures report. A single-core host
+// cannot exhibit real parallel speedup, so results are aggregate
+// throughput across all workers: a perfectly scalable file system holds a
+// flat line as threads grow, while lock- or journal-bound designs sag.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Result is one measurement cell.
+type Result struct {
+	FS       string
+	Workload string
+	Threads  int
+	Ops      int64
+	Bytes    int64
+	Elapsed  time.Duration
+	Err      error
+}
+
+// OpsPerSec returns aggregate operation throughput.
+func (r Result) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// GiBPerSec returns aggregate data throughput.
+func (r Result) GiBPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / (1 << 30) / r.Elapsed.Seconds()
+}
+
+// Run executes op(tid, i) opsPerThread times on each of threads workers
+// and aggregates. The first error aborts that worker but other workers
+// complete, so partially failed runs are visible rather than hung.
+func Run(fsName, workload string, threads, opsPerThread int, op func(tid, i int) error) Result {
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	start := time.Now()
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < opsPerThread; i++ {
+				if err := op(tid, i); err != nil {
+					errs[tid] = fmt.Errorf("thread %d op %d: %w", tid, i, err)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	res := Result{
+		FS: fsName, Workload: workload, Threads: threads,
+		Ops: int64(threads) * int64(opsPerThread), Elapsed: time.Since(start),
+	}
+	for _, err := range errs {
+		if err != nil {
+			res.Err = err
+			break
+		}
+	}
+	return res
+}
+
+// Geomean returns the geometric mean of xs (ignoring non-positive
+// values).
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Table renders aligned benchmark output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Series collects (threads → throughput) curves per FS for one workload,
+// the shape of a Figure-4 panel.
+type Series struct {
+	Workload string
+	// Points[fs][threads] = ops/sec
+	Points map[string]map[int]float64
+}
+
+// NewSeries creates an empty series.
+func NewSeries(workload string) *Series {
+	return &Series{Workload: workload, Points: map[string]map[int]float64{}}
+}
+
+// Add records one cell.
+func (s *Series) Add(fs string, threads int, opsPerSec float64) {
+	if s.Points[fs] == nil {
+		s.Points[fs] = map[int]float64{}
+	}
+	s.Points[fs][threads] = opsPerSec
+}
+
+// Render prints the curves as a table: one row per thread count, one
+// column per FS.
+func (s *Series) Render() string {
+	var fss []string
+	threadSet := map[int]bool{}
+	for fs, pts := range s.Points {
+		fss = append(fss, fs)
+		for th := range pts {
+			threadSet[th] = true
+		}
+	}
+	sort.Strings(fss)
+	var threads []int
+	for th := range threadSet {
+		threads = append(threads, th)
+	}
+	sort.Ints(threads)
+	tbl := Table{Title: s.Workload, Headers: append([]string{"threads"}, fss...)}
+	for _, th := range threads {
+		row := []string{fmt.Sprintf("%d", th)}
+		for _, fs := range fss {
+			row = append(row, fmt.Sprintf("%.0f", s.Points[fs][th]))
+		}
+		tbl.Add(row...)
+	}
+	return tbl.Render()
+}
+
+// Relative returns fsA's throughput as a percentage of fsB's at the
+// given thread count.
+func (s *Series) Relative(fsA, fsB string, threads int) float64 {
+	b := s.Points[fsB][threads]
+	if b == 0 {
+		return 0
+	}
+	return 100 * s.Points[fsA][threads] / b
+}

@@ -1,0 +1,185 @@
+// Package hlock provides the low-level synchronization primitives ArckFS
+// uses: spinlocks, readers-writer spinlocks, and the lease-based global
+// rename lock introduced by the §4.6 patch.
+//
+// The spin primitives yield to the scheduler under contention so they
+// behave correctly on machines with few cores (goroutines are not
+// preemptible inside a pure spin on a single-core host).
+package hlock
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// spinYield backs off after a burst of failed attempts.
+func spinYield(attempts *int) {
+	*attempts++
+	if *attempts%16 == 0 {
+		runtime.Gosched()
+	}
+}
+
+// SpinLock is a test-and-set mutual exclusion lock.
+// The zero value is unlocked.
+type SpinLock struct {
+	state atomic.Int32
+	_     [60]byte // pad to a cache line against false sharing
+}
+
+// Lock acquires the lock, spinning (with scheduler yields) until free.
+func (l *SpinLock) Lock() {
+	attempts := 0
+	for !l.state.CompareAndSwap(0, 1) {
+		spinYield(&attempts)
+	}
+}
+
+// TryLock acquires the lock if it is free and reports whether it did.
+func (l *SpinLock) TryLock() bool {
+	return l.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the lock.
+func (l *SpinLock) Unlock() {
+	if l.state.Swap(0) != 1 {
+		panic("hlock: unlock of unlocked SpinLock")
+	}
+}
+
+// Locked reports a racy snapshot of whether the lock is held.
+func (l *SpinLock) Locked() bool { return l.state.Load() != 0 }
+
+// RWSpin is a readers-writer spinlock with writer preference encoded as a
+// single atomic counter: positive values count readers, the writerBias
+// marks an exclusive holder.
+// The zero value is unlocked.
+type RWSpin struct {
+	state atomic.Int64
+	_     [56]byte
+}
+
+const writerBias = int64(1) << 40
+
+// RLock acquires the lock in shared mode.
+func (l *RWSpin) RLock() {
+	attempts := 0
+	for {
+		if v := l.state.Load(); v >= 0 && l.state.CompareAndSwap(v, v+1) {
+			return
+		}
+		spinYield(&attempts)
+	}
+}
+
+// TryRLock acquires shared mode without spinning.
+func (l *RWSpin) TryRLock() bool {
+	v := l.state.Load()
+	return v >= 0 && l.state.CompareAndSwap(v, v+1)
+}
+
+// RUnlock releases shared mode.
+func (l *RWSpin) RUnlock() {
+	if l.state.Add(-1) < 0 {
+		panic("hlock: RUnlock without RLock")
+	}
+}
+
+// Lock acquires the lock exclusively.
+func (l *RWSpin) Lock() {
+	attempts := 0
+	for !l.state.CompareAndSwap(0, -writerBias) {
+		spinYield(&attempts)
+	}
+}
+
+// TryLock acquires exclusive mode without spinning.
+func (l *RWSpin) TryLock() bool {
+	return l.state.CompareAndSwap(0, -writerBias)
+}
+
+// Unlock releases exclusive mode.
+func (l *RWSpin) Unlock() {
+	if l.state.Add(writerBias) != 0 {
+		panic("hlock: Unlock of RWSpin not exclusively held")
+	}
+}
+
+// Locked reports a racy snapshot of whether any holder exists.
+func (l *RWSpin) Locked() bool { return l.state.Load() != 0 }
+
+// LeaseLock is a revocable exclusive lock held by a named owner with a
+// deadline. The §4.6 patch uses one as the kernel's global rename lock:
+// a LibFS acquires it around cross-directory directory renames, and the
+// lease expiry prevents a malicious or crashed application from wedging
+// every other application's renames forever.
+type LeaseLock struct {
+	mu       SpinLock
+	owner    int64 // 0 = free
+	deadline time.Time
+	now      func() time.Time // test hook
+}
+
+// SetClock overrides the lease clock (for tests). Pass nil to restore the
+// real clock.
+func (l *LeaseLock) SetClock(now func() time.Time) {
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
+}
+
+func (l *LeaseLock) clock() time.Time {
+	if l.now != nil {
+		return l.now()
+	}
+	return time.Now()
+}
+
+// TryAcquire grants the lease to owner for ttl if the lock is free or the
+// current lease has expired. It reports whether the lease was granted.
+// owner must be nonzero.
+func (l *LeaseLock) TryAcquire(owner int64, ttl time.Duration) bool {
+	if owner == 0 {
+		panic("hlock: zero lease owner")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.owner != 0 && l.owner != owner && l.clock().Before(l.deadline) {
+		return false
+	}
+	l.owner = owner
+	l.deadline = l.clock().Add(ttl)
+	return true
+}
+
+// Acquire spins until the lease is granted.
+func (l *LeaseLock) Acquire(owner int64, ttl time.Duration) {
+	attempts := 0
+	for !l.TryAcquire(owner, ttl) {
+		spinYield(&attempts)
+	}
+}
+
+// Release returns the lease if owner still holds it and reports whether
+// it did (false means the lease had already expired and been stolen).
+func (l *LeaseLock) Release(owner int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.owner != owner {
+		return false
+	}
+	l.owner = 0
+	return true
+}
+
+// Holder returns the current lease owner (0 if free), treating an expired
+// lease as free.
+func (l *LeaseLock) Holder() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.owner != 0 && !l.clock().Before(l.deadline) {
+		return 0
+	}
+	return l.owner
+}

@@ -1,0 +1,175 @@
+package hlock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	var l SpinLock
+	var counter int
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
+	}
+}
+
+func TestSpinLockTryLock(t *testing.T) {
+	var l SpinLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	if !l.Locked() {
+		t.Fatal("Locked() = false while held")
+	}
+	l.Unlock()
+	if l.Locked() {
+		t.Fatal("Locked() = true after unlock")
+	}
+}
+
+func TestSpinLockUnlockOfUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var l SpinLock
+	l.Unlock()
+}
+
+func TestRWSpinReadersShareWritersExclude(t *testing.T) {
+	var l RWSpin
+	l.RLock()
+	if !l.TryRLock() {
+		t.Fatal("second reader blocked")
+	}
+	if l.TryLock() {
+		t.Fatal("writer acquired with readers present")
+	}
+	l.RUnlock()
+	l.RUnlock()
+	if !l.TryLock() {
+		t.Fatal("writer blocked on free lock")
+	}
+	if l.TryRLock() {
+		t.Fatal("reader acquired with writer present")
+	}
+	l.Unlock()
+}
+
+func TestRWSpinCounter(t *testing.T) {
+	var l RWSpin
+	var shared int
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				l.Lock()
+				shared++
+				l.Unlock()
+				l.RLock()
+				_ = shared
+				l.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != 2000 {
+		t.Fatalf("shared = %d", shared)
+	}
+}
+
+func TestRWSpinMisuse(t *testing.T) {
+	for name, f := range map[string]func(){
+		"RUnlock": func() { var l RWSpin; l.RUnlock() },
+		"Unlock":  func() { var l RWSpin; l.Unlock() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s of unheld lock did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLeaseLockBasic(t *testing.T) {
+	var l LeaseLock
+	if !l.TryAcquire(1, time.Minute) {
+		t.Fatal("acquire on free lease failed")
+	}
+	if l.TryAcquire(2, time.Minute) {
+		t.Fatal("second owner acquired a live lease")
+	}
+	if l.Holder() != 1 {
+		t.Fatalf("Holder = %d", l.Holder())
+	}
+	// Re-acquire by the same owner extends the lease.
+	if !l.TryAcquire(1, time.Minute) {
+		t.Fatal("holder could not extend its lease")
+	}
+	if !l.Release(1) {
+		t.Fatal("release by holder failed")
+	}
+	if l.Release(1) {
+		t.Fatal("double release succeeded")
+	}
+	if !l.TryAcquire(2, time.Minute) {
+		t.Fatal("acquire after release failed")
+	}
+}
+
+func TestLeaseLockExpiry(t *testing.T) {
+	var l LeaseLock
+	now := time.Unix(1000, 0)
+	l.SetClock(func() time.Time { return now })
+	if !l.TryAcquire(1, 10*time.Second) {
+		t.Fatal("acquire failed")
+	}
+	now = now.Add(5 * time.Second)
+	if l.TryAcquire(2, 10*time.Second) {
+		t.Fatal("lease stolen before expiry")
+	}
+	now = now.Add(6 * time.Second)
+	if l.Holder() != 0 {
+		t.Fatalf("expired lease has holder %d", l.Holder())
+	}
+	if !l.TryAcquire(2, 10*time.Second) {
+		t.Fatal("expired lease not stealable")
+	}
+	// The original owner's release must now fail: it lost the lease.
+	if l.Release(1) {
+		t.Fatal("stale owner released a stolen lease")
+	}
+}
+
+func TestLeaseLockZeroOwnerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var l LeaseLock
+	l.TryAcquire(0, time.Second)
+}

@@ -1,0 +1,499 @@
+package kernel
+
+import (
+	"fmt"
+
+	"arckfs/internal/fsapi"
+	"arckfs/internal/layout"
+	"arckfs/internal/verifier"
+)
+
+// lockedView adapts the controller to verifier.KernelView. All methods
+// assume c.mu is held by the verification in progress.
+type lockedView struct{ c *Controller }
+
+func (v lockedView) Shadow(ino uint64) (verifier.ShadowInfo, bool) {
+	se, ok := v.c.shadows[ino]
+	if !ok {
+		return verifier.ShadowInfo{}, false
+	}
+	return se.info, true
+}
+
+func (v lockedView) InodeGrantedTo(app AppID, ino uint64) bool {
+	a, ok := v.c.apps[app]
+	return ok && a.grantedInos[ino]
+}
+
+func (v lockedView) PageUsableBy(app AppID, ino, page uint64) bool {
+	if page >= uint64(len(v.c.pages)) {
+		return false
+	}
+	o := v.c.pages[page]
+	return o == ownApp(app) || o == ownIno(ino)
+}
+
+func (v lockedView) OwnedBy(app AppID, ino uint64) bool {
+	se, ok := v.c.shadows[ino]
+	return ok && se.owner == app
+}
+
+func (v lockedView) OwnedByOther(app AppID, ino uint64) bool {
+	se, ok := v.c.shadows[ino]
+	return ok && se.owner != 0 && se.owner != app
+}
+
+func (v lockedView) HoldsRenameLock(app AppID) bool {
+	return v.c.renameLock.Holder() == app
+}
+
+func (v lockedView) IsDescendant(node, anc uint64) bool {
+	return v.c.isDescendantLocked(node, anc)
+}
+
+func (c *Controller) isDescendantLocked(node, anc uint64) bool {
+	cur := node
+	for depth := 0; depth < 1<<16; depth++ {
+		if cur == anc {
+			return true
+		}
+		if cur == layout.RootIno {
+			return false
+		}
+		se, ok := c.shadows[cur]
+		if !ok {
+			return false
+		}
+		cur = se.info.Parent
+	}
+	// Walk exceeded the bound: an existing cycle. Report descent so the
+	// caller refuses the operation.
+	return true
+}
+
+// Acquire grants app access to ino and maps its core state. write
+// requests write intent. A second acquire by the current owner is
+// idempotent and returns the existing mapping.
+func (c *Controller) Acquire(appID AppID, ino uint64, write bool) (*Mapping, error) {
+	c.cost.Syscall()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Stats.Acquires++
+	a, ok := c.apps[appID]
+	if !ok {
+		return nil, fmt.Errorf("kernel: unknown app %d", appID)
+	}
+	se, ok := c.shadows[ino]
+	if !ok || (!se.info.Committed && se.owner != appID) {
+		return nil, fsapi.ErrNotExist
+	}
+	if se.inaccessible {
+		return nil, fmt.Errorf("inode %d marked inaccessible: %w", ino, fsapi.ErrPerm)
+	}
+	perm := se.info.Perm
+	if ov, ok := c.acl(appID, ino); ok {
+		perm = ov
+	}
+	if write && perm&layout.PermWrite == 0 {
+		return nil, fsapi.ErrPerm
+	}
+	if !write && perm&layout.PermRead == 0 {
+		return nil, fsapi.ErrPerm
+	}
+	if se.owner == appID {
+		se.lease = c.clock().Add(c.opts.LeaseTTL)
+		return se.mapping, nil
+	}
+	if se.owner != 0 {
+		holder := c.apps[se.owner]
+		if holder != nil && holder.group != 0 && holder.group == a.group {
+			// Trust group (§5.4): the peer's mapping stays established —
+			// no verification, no unmap, no rebuild. Both applications
+			// access the inode concurrently within the group.
+			c.Stats.TrustTransfers++
+			for _, m := range se.groupMappings {
+				if m.app == appID && m.Valid() {
+					se.lease = c.clock().Add(c.opts.LeaseTTL)
+					return m, nil
+				}
+			}
+			if len(se.groupMappings) == 0 && se.mapping != nil {
+				se.groupMappings = append(se.groupMappings, se.mapping)
+			}
+			m := &Mapping{ino: ino, app: appID, ok: true}
+			se.groupMappings = append(se.groupMappings, m)
+			se.owner = appID
+			se.mapping = m
+			se.lease = c.clock().Add(c.opts.LeaseTTL)
+			c.cost.Map()
+			return m, nil
+		}
+		if c.clock().Before(se.lease) {
+			return nil, errBusy(ino, se.owner)
+		}
+		// Lease expired: involuntary release. The holder may be mid-
+		// operation; that is its problem (§4.3 discussion).
+		c.Stats.Involuntary++
+		if err := c.releaseLocked(se, se.owner); err != nil && !IsVerificationError(err) {
+			return nil, err
+		}
+	}
+	if err := c.mapLocked(se, appID); err != nil {
+		return nil, err
+	}
+	return se.mapping, nil
+}
+
+// mapLocked snapshots ino's core state and establishes app's mapping.
+func (c *Controller) mapLocked(se *shadowEnt, appID AppID) error {
+	snap, err := c.buildSnapshotLocked(se)
+	if err != nil {
+		// A kernel-held inode that does not parse is corrupt at rest.
+		se.inaccessible = true
+		return fmt.Errorf("inode %d unreadable at acquire: %w", se.info.Ino, err)
+	}
+	se.snap = snap
+	se.owner = appID
+	se.mapping = &Mapping{ino: se.info.Ino, app: appID, ok: true}
+	se.lease = c.clock().Add(c.opts.LeaseTTL)
+	c.cost.Map()
+	return nil
+}
+
+// buildSnapshotLocked parses and copies the inode's metadata state: the
+// rollback point and verification baseline.
+func (c *Controller) buildSnapshotLocked(se *shadowEnt) (*snapshot, error) {
+	ino := se.info.Ino
+	snap := &snapshot{pageData: make(map[uint64][]byte)}
+	copyPage := func(p uint64) {
+		b := make([]byte, layout.PageSize)
+		c.dev.Read(int64(p*layout.PageSize), b)
+		snap.pageData[p] = b
+	}
+	rec := make([]byte, layout.InodeSize)
+	c.dev.Read(layout.InodeOff(c.geo, ino), rec)
+	snap.inodeRec = rec
+
+	switch se.info.Type {
+	case layout.TypeDir:
+		dv, err := c.ver.ParseDir(ino)
+		if err != nil {
+			return nil, err
+		}
+		old := &verifier.DirOld{Entries: make(map[string]uint64, len(dv.Entries)), Pages: make(map[uint64]bool, len(dv.Pages))}
+		for name, d := range dv.Entries {
+			old.Entries[name] = d.Ino
+		}
+		copyPage(se.info.DataRoot)
+		for _, p := range dv.Pages {
+			old.Pages[p] = true
+			copyPage(p)
+		}
+		snap.dirOld = old
+	case layout.TypeFile:
+		fv, err := c.ver.ParseFile(ino)
+		if err != nil {
+			return nil, err
+		}
+		old := &verifier.FileOld{Blocks: map[uint64]bool{}, MapPages: map[uint64]bool{}, Size: fv.Inode.Size}
+		for _, p := range fv.MapPages {
+			old.MapPages[p] = true
+			copyPage(p)
+		}
+		for _, b := range fv.Blocks {
+			if b != 0 {
+				old.Blocks[b] = true
+			}
+		}
+		snap.fileOld = old
+	default:
+		return nil, fmt.Errorf("inode %d: unknown type %d", ino, se.info.Type)
+	}
+	return snap, nil
+}
+
+// Release returns ino to the kernel: unmap, verify, apply or roll back.
+func (c *Controller) Release(appID AppID, ino uint64) error {
+	c.cost.Syscall()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Stats.Releases++
+	se, ok := c.shadows[ino]
+	if !ok {
+		if a := c.apps[appID]; a != nil && a.grantedInos[ino] {
+			// LibFS Rule 1 violation: releasing a newly created inode
+			// whose parent directory has not been released — from the
+			// kernel's perspective it is disconnected from the root.
+			return &verifier.FailError{Ino: ino, Reason: "new inode disconnected from the root (I3, LibFS Rule 1)"}
+		}
+		return fsapi.ErrNotExist
+	}
+	if se.owner != appID {
+		return fmt.Errorf("inode %d not held by app %d: %w", ino, appID, fsapi.ErrPerm)
+	}
+	return c.releaseLocked(se, appID)
+}
+
+func (c *Controller) releaseLocked(se *shadowEnt, appID AppID) error {
+	se.mapping.revoke()
+	for _, m := range se.groupMappings {
+		m.revoke()
+	}
+	se.groupMappings = nil
+	c.cost.Unmap()
+	err := c.verifyAndApplyLocked(se, appID, false)
+	se.owner = 0
+	se.mapping = nil
+	se.snap = nil
+	return err
+}
+
+// Commit verifies ino's current state without releasing it [Trio §4.3]:
+// for a pending (newly created) inode it performs the Rule-1 commit; for
+// a held committed inode it applies the verified delta and refreshes the
+// baseline snapshot. The mapping stays valid on success.
+func (c *Controller) Commit(appID AppID, ino uint64) error {
+	c.cost.Syscall()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Stats.Commits++
+	se, ok := c.shadows[ino]
+	if !ok {
+		if a := c.apps[appID]; a != nil && a.grantedInos[ino] {
+			return &verifier.FailError{Ino: ino, Reason: "new inode disconnected from the root (I3, LibFS Rule 1)"}
+		}
+		return fsapi.ErrNotExist
+	}
+	if se.owner != appID {
+		return fmt.Errorf("inode %d not held by app %d: %w", ino, appID, fsapi.ErrPerm)
+	}
+	return c.verifyAndApplyLocked(se, appID, true)
+}
+
+// ForceRelease revokes and verifies ino regardless of lease state —
+// the involuntary-release path, also used by tests to simulate an
+// application crash.
+func (c *Controller) ForceRelease(ino uint64) error {
+	c.cost.Syscall()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	se, ok := c.shadows[ino]
+	if !ok || se.owner == 0 {
+		return fsapi.ErrNotExist
+	}
+	c.Stats.Involuntary++
+	return c.releaseLocked(se, se.owner)
+}
+
+// verifyAndApplyLocked runs the verifier on se's current core state and
+// applies the verdict. keepHeld distinguishes Commit from Release.
+func (c *Controller) verifyAndApplyLocked(se *shadowEnt, appID AppID, keepHeld bool) error {
+	c.Stats.Verifications++
+	ino := se.info.Ino
+
+	if !se.info.Committed {
+		// Rule-1 commit of a newly created inode.
+		res, err := c.ver.VerifyNewInode(appID, ino, se.info.Parent, lockedView{c})
+		if err != nil {
+			c.Stats.VerifyFailures++
+			c.applyPolicyLocked(se)
+			return err
+		}
+		c.applyNewInodeLocked(se, appID, res)
+		if keepHeld {
+			return c.refreshSnapshotLocked(se, appID)
+		}
+		return nil
+	}
+
+	switch se.info.Type {
+	case layout.TypeDir:
+		res, err := c.ver.VerifyDir(appID, ino, se.snap.dirOld, lockedView{c})
+		if err != nil {
+			c.Stats.VerifyFailures++
+			c.applyPolicyLocked(se)
+			return err
+		}
+		c.applyDirLocked(se, appID, res)
+	case layout.TypeFile:
+		res, err := c.ver.VerifyFile(appID, ino, se.snap.fileOld, lockedView{c})
+		if err != nil {
+			c.Stats.VerifyFailures++
+			c.applyPolicyLocked(se)
+			return err
+		}
+		c.applyFileLocked(se, res)
+	default:
+		return fmt.Errorf("inode %d: unknown shadow type %d", ino, se.info.Type)
+	}
+	if keepHeld {
+		return c.refreshSnapshotLocked(se, appID)
+	}
+	return nil
+}
+
+func (c *Controller) refreshSnapshotLocked(se *shadowEnt, appID AppID) error {
+	snap, err := c.buildSnapshotLocked(se)
+	if err != nil {
+		return fmt.Errorf("inode %d unreadable after commit: %w", se.info.Ino, err)
+	}
+	se.snap = snap
+	_ = appID
+	return nil
+}
+
+// applyPolicyLocked handles a verification failure.
+func (c *Controller) applyPolicyLocked(se *shadowEnt) {
+	switch c.opts.Policy {
+	case PolicyRollback:
+		c.Stats.Rollbacks++
+		if se.snap != nil {
+			c.dev.Write(layout.InodeOff(c.geo, se.info.Ino), se.snap.inodeRec)
+			c.dev.Persist(layout.InodeOff(c.geo, se.info.Ino), layout.InodeSize)
+			for p, data := range se.snap.pageData {
+				c.dev.Write(int64(p*layout.PageSize), data)
+				c.dev.Persist(int64(p*layout.PageSize), layout.PageSize)
+			}
+		} else {
+			// A pending inode has no snapshot: discard it entirely.
+			layout.FreeInode(c.dev, c.geo, se.info.Ino)
+			c.dev.Persist(layout.InodeOff(c.geo, se.info.Ino), layout.InodeSize)
+			delete(c.shadows, se.info.Ino)
+			c.inoFree = append(c.inoFree, se.info.Ino)
+		}
+	case PolicyMarkInaccessible:
+		se.inaccessible = true
+	}
+}
+
+// writeShadowLocked mirrors se to the PM shadow table.
+func (c *Controller) writeShadowLocked(se *shadowEnt) {
+	ex := &layout.ShadowExtra{
+		ChildCount:   se.info.ChildCount,
+		Committed:    se.info.Committed,
+		Inaccessible: se.inaccessible,
+	}
+	layout.WriteShadow(c.dev, c.geo, se.info.Ino, &se.inode, ex)
+	layout.PersistShadow(c.dev, c.geo, se.info.Ino)
+}
+
+// applyDirLocked commits a successful directory verification.
+func (c *Controller) applyDirLocked(se *shadowEnt, appID AppID, res *verifier.DirResult) {
+	a := c.apps[appID]
+	for _, ch := range res.Changes {
+		switch ch.Action {
+		case verifier.AddNew:
+			delete(a.grantedInos, ch.Ino)
+			cin, _, _ := layout.ReadInode(c.dev, c.geo, ch.Ino)
+			child := &shadowEnt{
+				info:  shadowInfoOf(ch.Ino, &cin, 0, false),
+				inode: cin,
+				owner: appID,
+			}
+			child.mapping = &Mapping{ino: ch.Ino, app: appID, ok: true}
+			child.lease = c.clock().Add(c.opts.LeaseTTL)
+			c.shadows[ch.Ino] = child
+		case verifier.RelocateIn:
+			// Advance the child's verified parent pointer. The Original
+			// verifier also tracks parents for files (cross-directory
+			// file moves worked in the Trio artifact); its §4.1 defect
+			// is on the old-parent side for directories.
+			child := c.shadows[ch.Ino]
+			child.info.Parent = se.info.Ino
+			child.inode.Parent = se.info.Ino
+			c.writeShadowLocked(child)
+		case verifier.RemoveFile, verifier.RemoveEmptyDir:
+			c.freeInodeLocked(ch.Ino)
+		case verifier.RenamedAway:
+			// Verified at the new parent's commit; nothing to do here.
+		}
+	}
+	se.inode = res.Inode
+	se.info.ChildCount = uint32(len(res.View.Entries))
+	c.applyPagesLocked(se.info.Ino, res.NewPages, res.FreedPages)
+	c.writeShadowLocked(se)
+}
+
+func (c *Controller) applyFileLocked(se *shadowEnt, res *verifier.FileResult) {
+	se.inode = res.Inode
+	c.applyPagesLocked(se.info.Ino, res.NewPages, res.FreedPages)
+	c.writeShadowLocked(se)
+}
+
+func (c *Controller) applyNewInodeLocked(se *shadowEnt, appID AppID, res *verifier.NewInodeResult) {
+	a := c.apps[appID]
+	se.inode = res.Inode
+	se.info = shadowInfoOf(se.info.Ino, &res.Inode, res.ChildCount, true)
+	for _, p := range res.Pages {
+		c.pages[p] = ownIno(se.info.Ino)
+	}
+	for _, ch := range res.PendingChildren {
+		delete(a.grantedInos, ch.Ino)
+		cin, _, _ := layout.ReadInode(c.dev, c.geo, ch.Ino)
+		child := &shadowEnt{
+			info:  shadowInfoOf(ch.Ino, &cin, 0, false),
+			inode: cin,
+			owner: appID,
+		}
+		child.mapping = &Mapping{ino: ch.Ino, app: appID, ok: true}
+		child.lease = c.clock().Add(c.opts.LeaseTTL)
+		c.shadows[ch.Ino] = child
+	}
+	c.writeShadowLocked(se)
+}
+
+func (c *Controller) applyPagesLocked(ino uint64, newPages, freed []uint64) {
+	for _, p := range newPages {
+		c.pages[p] = ownIno(ino)
+	}
+	if len(freed) > 0 {
+		for _, p := range freed {
+			c.pages[p] = ownFree
+		}
+		c.alloc.Free(freed...)
+	}
+}
+
+// freeInodeLocked reclaims a deleted inode: its pages, its shadow record,
+// its PM records, and its number.
+func (c *Controller) freeInodeLocked(ino uint64) {
+	se, ok := c.shadows[ino]
+	if !ok {
+		return
+	}
+	if se.mapping != nil {
+		se.mapping.revoke()
+	}
+	// Reclaim every page the inode owns.
+	var freed []uint64
+	switch se.info.Type {
+	case layout.TypeFile:
+		if fv, err := c.ver.ParseFile(ino); err == nil {
+			freed = append(freed, fv.MapPages...)
+			for _, b := range fv.Blocks {
+				if b != 0 {
+					freed = append(freed, b)
+				}
+			}
+		}
+	case layout.TypeDir:
+		if dv, err := c.ver.ParseDir(ino); err == nil {
+			freed = append(freed, se.info.DataRoot)
+			freed = append(freed, dv.Pages...)
+		}
+	}
+	var reclaim []uint64
+	for _, p := range freed {
+		if c.pages[p] == ownIno(ino) {
+			c.pages[p] = ownFree
+			reclaim = append(reclaim, p)
+		}
+	}
+	c.alloc.Free(reclaim...)
+	layout.FreeInode(c.dev, c.geo, ino)
+	c.dev.Persist(layout.InodeOff(c.geo, ino), layout.InodeSize)
+	layout.FreeShadow(c.dev, c.geo, ino)
+	layout.PersistShadow(c.dev, c.geo, ino)
+	delete(c.shadows, ino)
+	c.inoFree = append(c.inoFree, ino)
+}

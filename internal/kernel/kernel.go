@@ -1,0 +1,421 @@
+// Package kernel implements Trio's in-kernel access controller: it owns
+// the shadow inode table, checks permissions, maps and unmaps inode core
+// state into LibFSes, snapshots state at acquire for rollback, invokes
+// the integrity verifier at ownership transfers, grants inode numbers and
+// pages to applications, arbitrates the global rename lease (§4.6), and
+// implements trust groups (§5.4).
+//
+// Every public entry point models a system call and charges the
+// configured syscall cost. The kernel itself is trusted and always
+// persists its own writes correctly; only LibFS behaviour is under test.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"arckfs/internal/costmodel"
+	"arckfs/internal/fsapi"
+	"arckfs/internal/hlock"
+	"arckfs/internal/layout"
+	"arckfs/internal/pmalloc"
+	"arckfs/internal/pmem"
+	"arckfs/internal/verifier"
+)
+
+// AppID identifies a registered application (a LibFS instance).
+type AppID = int64
+
+// Policy selects what the kernel does with an inode that fails
+// verification (§2.1 step 8).
+type Policy int
+
+const (
+	// PolicyRollback restores the inode's core state to the snapshot
+	// taken when the releasing application acquired it.
+	PolicyRollback Policy = iota
+	// PolicyMarkInaccessible leaves the corrupt state in place but
+	// refuses all future acquires of the inode.
+	PolicyMarkInaccessible
+)
+
+// Options configures a controller.
+type Options struct {
+	// Mode selects the Original (Trio artifact) or Enhanced (ArckFS+)
+	// verifier.
+	Mode verifier.Mode
+	// Policy is the corruption policy.
+	Policy Policy
+	// Cost is the latency model (nil = free).
+	Cost *costmodel.Model
+	// InodeCap is the inode table capacity (Format only).
+	InodeCap uint64
+	// NTails is the directory log tail count (Format only).
+	NTails int
+	// LeaseTTL bounds how long an application may hold an inode another
+	// application is waiting for; 0 means a generous default.
+	LeaseTTL time.Duration
+	// RenameLeaseTTL bounds the global rename lock lease.
+	RenameLeaseTTL time.Duration
+}
+
+func (o *Options) fill() {
+	if o.InodeCap == 0 {
+		o.InodeCap = 1 << 16
+	}
+	if o.NTails == 0 {
+		o.NTails = layout.DefaultTails
+	}
+	if o.LeaseTTL == 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.RenameLeaseTTL == 0 {
+		o.RenameLeaseTTL = time.Second
+	}
+}
+
+// Stats counts kernel events, exported for the benchmarks.
+type Stats struct {
+	Acquires       int64
+	Releases       int64
+	Commits        int64
+	Verifications  int64
+	VerifyFailures int64
+	Rollbacks      int64
+	Involuntary    int64
+	TrustTransfers int64
+}
+
+// page ownership encoding.
+type pageOwner uint64
+
+const (
+	ownFree    = pageOwner(0)
+	ownKindApp = pageOwner(1) << 62
+	ownKindIno = pageOwner(2) << 62
+	ownIDMask  = pageOwner(1)<<62 - 1
+)
+
+func ownApp(app AppID) pageOwner { return ownKindApp | pageOwner(app) }
+func ownIno(ino uint64) pageOwner {
+	return ownKindIno | pageOwner(ino)
+}
+
+// aclKey identifies a per-application permission override.
+type aclKey struct {
+	ino uint64
+	app AppID
+}
+
+// shadowEnt is the kernel's in-memory authoritative record for one inode;
+// it is mirrored to the PM shadow table on every verified change.
+type shadowEnt struct {
+	info verifier.ShadowInfo
+	// mirrored full inode for shadow-table writes
+	inode layout.Inode
+
+	owner   AppID // 0 = kernel-held
+	mapping *Mapping
+	// groupMappings are concurrently valid mappings held by trust-group
+	// peers (§5.4): within a group the kernel does not tear mappings
+	// down on transfer, so no remap or rebuild is needed.
+	groupMappings []*Mapping
+	snap          *snapshot
+	lease         time.Time
+
+	inaccessible bool
+}
+
+type snapshot struct {
+	dirOld  *verifier.DirOld
+	fileOld *verifier.FileOld
+	// pageData holds raw copies of the metadata pages (tail-set and log
+	// pages for directories, map pages for files) for rollback.
+	pageData map[uint64][]byte
+	inodeRec []byte
+}
+
+type app struct {
+	id          AppID
+	uid, gid    uint32
+	group       int // trust group; 0 = none
+	grantedInos map[uint64]bool
+}
+
+// Mapping is a LibFS's handle on an inode's mapped core state. The
+// kernel revokes it on release or involuntary reclaim; any LibFS access
+// through a revoked mapping is the simulated SIGBUS of §4.3.
+type Mapping struct {
+	ino uint64
+	app AppID
+	mu  hlock.SpinLock
+	ok  bool
+}
+
+// Ino returns the mapped inode number.
+func (m *Mapping) Ino() uint64 { return m.ino }
+
+// Valid reports whether the mapping is still established.
+func (m *Mapping) Valid() bool {
+	m.mu.Lock()
+	ok := m.ok
+	m.mu.Unlock()
+	return ok
+}
+
+func (m *Mapping) revoke() {
+	m.mu.Lock()
+	m.ok = false
+	m.mu.Unlock()
+}
+
+// Controller is the in-kernel access controller.
+type Controller struct {
+	dev  *pmem.Device
+	geo  layout.Geometry
+	cost *costmodel.Model
+	opts Options
+
+	alloc *pmalloc.Allocator
+	ver   *verifier.V
+
+	mu         sync.Mutex
+	shadows    map[uint64]*shadowEnt
+	pages      []pageOwner
+	apps       map[AppID]*app
+	nextApp    AppID
+	inoFree    []uint64
+	acls       map[aclKey]uint16
+	renameLock hlock.LeaseLock
+	nextGroup  int
+
+	// clock is a test hook for lease expiry.
+	clock func() time.Time
+
+	Stats Stats
+}
+
+// Format writes a fresh file system and returns its controller.
+func Format(dev *pmem.Device, opts Options) (*Controller, error) {
+	opts.fill()
+	g, err := layout.Mkfs(dev, opts.InodeCap, opts.NTails)
+	if err != nil {
+		return nil, err
+	}
+	c := newController(dev, g, opts)
+
+	// Root shadow.
+	rootIn, _, _ := layout.ReadInode(dev, g, layout.RootIno)
+	c.shadows[layout.RootIno] = &shadowEnt{
+		info:  shadowInfoOf(layout.RootIno, &rootIn, 0, true),
+		inode: rootIn,
+	}
+	// Page ownership: everything below DataStart is reserved; the root
+	// tail-set belongs to the root inode and is excluded from the free
+	// pool.
+	c.alloc = pmalloc.NewExcluding(g, rootIn.DataRoot)
+	c.claimPageLocked(rootIn.DataRoot, ownIno(layout.RootIno))
+	// Inode free list (descending so grants ascend).
+	for ino := g.InodeCap - 1; ino >= 2; ino-- {
+		c.inoFree = append(c.inoFree, ino)
+	}
+	return c, nil
+}
+
+func newController(dev *pmem.Device, g layout.Geometry, opts Options) *Controller {
+	c := &Controller{
+		dev:     dev,
+		geo:     g,
+		cost:    opts.Cost,
+		opts:    opts,
+		shadows: make(map[uint64]*shadowEnt),
+		pages:   make([]pageOwner, g.PageCount),
+		apps:    make(map[AppID]*app),
+		acls:    make(map[aclKey]uint16),
+		clock:   time.Now,
+	}
+	c.ver = &verifier.V{Mode: opts.Mode, Dev: dev, Geo: g, Cost: opts.Cost}
+	return c
+}
+
+func shadowInfoOf(ino uint64, in *layout.Inode, childCount uint32, committed bool) verifier.ShadowInfo {
+	return verifier.ShadowInfo{
+		Ino: ino, Type: in.Type, Perm: in.Perm, UID: in.UID, GID: in.GID,
+		Parent: in.Parent, ChildCount: childCount, Committed: committed,
+		DataRoot: in.DataRoot, NTails: in.NTails,
+	}
+}
+
+// claimPageLocked marks a page's owner and removes it from the allocator
+// if it was free. Call with c.mu held (or during construction).
+func (c *Controller) claimPageLocked(page uint64, owner pageOwner) {
+	c.pages[page] = owner
+}
+
+// Geometry returns the mounted geometry.
+func (c *Controller) Geometry() layout.Geometry { return c.geo }
+
+// Device returns the underlying device.
+func (c *Controller) Device() *pmem.Device { return c.dev }
+
+// Mode returns the verifier mode.
+func (c *Controller) Mode() verifier.Mode { return c.opts.Mode }
+
+// SetClock overrides the lease clock (tests).
+func (c *Controller) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	c.clock = now
+	c.mu.Unlock()
+	c.renameLock.SetClock(now)
+}
+
+// RegisterApp creates an application identity.
+func (c *Controller) RegisterApp(uid, gid uint32) AppID {
+	c.cost.Syscall()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextApp++
+	id := c.nextApp
+	c.apps[id] = &app{id: id, uid: uid, gid: gid, grantedInos: make(map[uint64]bool)}
+	return id
+}
+
+// NewTrustGroup places the given applications in a fresh trust group:
+// inode ownership moves among them without verification (§5.4).
+func (c *Controller) NewTrustGroup(ids ...AppID) (int, error) {
+	c.cost.Syscall()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextGroup++
+	for _, id := range ids {
+		a, ok := c.apps[id]
+		if !ok {
+			return 0, fmt.Errorf("kernel: unknown app %d", id)
+		}
+		a.group = c.nextGroup
+	}
+	return c.nextGroup, nil
+}
+
+// GrantInodes hands n fresh inode numbers to app; the LibFS builds new
+// files and directories in them without further system calls.
+func (c *Controller) GrantInodes(appID AppID, n int) ([]uint64, error) {
+	c.cost.Syscall()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.apps[appID]
+	if !ok {
+		return nil, fmt.Errorf("kernel: unknown app %d", appID)
+	}
+	if len(c.inoFree) < n {
+		return nil, fsapi.ErrNoSpace
+	}
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		ino := c.inoFree[len(c.inoFree)-1]
+		c.inoFree = c.inoFree[:len(c.inoFree)-1]
+		a.grantedInos[ino] = true
+		out[i] = ino
+	}
+	return out, nil
+}
+
+// GrantPages hands n free pages to app.
+func (c *Controller) GrantPages(appID AppID, cpu, n int) ([]uint64, error) {
+	c.cost.Syscall()
+	pages, err := c.alloc.AllocBatch(cpu, n)
+	if err != nil {
+		return nil, fsapi.ErrNoSpace
+	}
+	c.mu.Lock()
+	if _, ok := c.apps[appID]; !ok {
+		c.mu.Unlock()
+		c.alloc.Free(pages...)
+		return nil, fmt.Errorf("kernel: unknown app %d", appID)
+	}
+	for _, p := range pages {
+		c.pages[p] = ownApp(appID)
+	}
+	c.mu.Unlock()
+	return pages, nil
+}
+
+// ReturnPages gives unused granted pages back (LibFS teardown).
+func (c *Controller) ReturnPages(appID AppID, pages []uint64) {
+	c.cost.Syscall()
+	c.mu.Lock()
+	var back []uint64
+	for _, p := range pages {
+		if c.pages[p] == ownApp(appID) {
+			c.pages[p] = ownFree
+			back = append(back, p)
+		}
+	}
+	c.mu.Unlock()
+	c.alloc.Free(back...)
+}
+
+// RenameLockAcquire takes the global rename lease for app (§4.6 patch).
+func (c *Controller) RenameLockAcquire(appID AppID) {
+	c.cost.Syscall()
+	c.renameLock.Acquire(appID, c.opts.RenameLeaseTTL)
+}
+
+// RenameLockRelease returns the lease; false means it had expired and
+// been stolen.
+func (c *Controller) RenameLockRelease(appID AppID) bool {
+	c.cost.Syscall()
+	return c.renameLock.Release(appID)
+}
+
+// SetACL overrides app's permission bits on ino (layout.PermRead |
+// layout.PermWrite). The §3.1 attack scenario uses this to deny App1
+// write access on specific inodes.
+func (c *Controller) SetACL(ino uint64, appID AppID, perm uint16) {
+	c.mu.Lock()
+	c.acls[aclKey{ino, appID}] = perm
+	c.mu.Unlock()
+}
+
+// acl returns app's permission override for ino, if any. c.mu held.
+func (c *Controller) acl(appID AppID, ino uint64) (uint16, bool) {
+	p, ok := c.acls[aclKey{ino, appID}]
+	return p, ok
+}
+
+// FreeCount exposes allocator occupancy for tests.
+func (c *Controller) FreeCount() int { return c.alloc.FreeCount() }
+
+// ShadowOf returns a copy of ino's shadow info (tests and tools).
+func (c *Controller) ShadowOf(ino uint64) (verifier.ShadowInfo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	se, ok := c.shadows[ino]
+	if !ok {
+		return verifier.ShadowInfo{}, false
+	}
+	return se.info, true
+}
+
+// OwnerOf returns the app currently holding ino (0 = kernel).
+func (c *Controller) OwnerOf(ino uint64) AppID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if se, ok := c.shadows[ino]; ok {
+		return se.owner
+	}
+	return 0
+}
+
+// errBusy wraps fsapi.ErrBusy with holder context.
+func errBusy(ino uint64, holder AppID) error {
+	return fmt.Errorf("inode %d held by app %d: %w", ino, holder, fsapi.ErrBusy)
+}
+
+// IsVerificationError reports whether err is a verifier rejection.
+func IsVerificationError(err error) bool {
+	var fe *verifier.FailError
+	return errors.As(err, &fe)
+}

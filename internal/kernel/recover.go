@@ -1,0 +1,258 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"arckfs/internal/layout"
+	"arckfs/internal/pmalloc"
+	"arckfs/internal/pmem"
+)
+
+// Report summarizes what recovery (or a dry-run check) found on a device.
+type Report struct {
+	CommittedInodes int
+	// CorruptDentries counts committed records whose name hash or length
+	// was torn — the §4.2 partial-persist signature.
+	CorruptDentries int
+	// DanglingEntries counts live dentries referencing inodes that were
+	// never committed (creations lost to a crash) or whose verified
+	// parent is a different directory.
+	DanglingEntries int
+	// RestoredInodes counts LibFS inode records rebuilt from the shadow
+	// table.
+	RestoredInodes int
+	// OrphanInodes counts committed shadow inodes unreachable from the
+	// root, freed by recovery.
+	OrphanInodes int
+	// LeakedPages reports the size of the rebuilt free pool: every data
+	// page not referenced by the surviving tree, including pages leaked
+	// by crashes mid-allocation.
+	LeakedPages int
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("inodes=%d corruptDentries=%d danglingEntries=%d restoredInodes=%d orphans=%d leakedPages=%d",
+		r.CommittedInodes, r.CorruptDentries, r.DanglingEntries, r.RestoredInodes, r.OrphanInodes, r.LeakedPages)
+}
+
+// Clean reports whether nothing needed repair.
+func (r Report) Clean() bool {
+	return r.CorruptDentries == 0 && r.DanglingEntries == 0 &&
+		r.RestoredInodes == 0 && r.OrphanInodes == 0
+}
+
+// Mount recovers a formatted device. It trusts the PM shadow table,
+// reconciles every committed inode's LibFS core state against it
+// (repairing torn dentries and dropping uncommitted creations), rebuilds
+// page ownership, and returns everything unreachable to the allocator.
+//
+// When repair is false the device is not modified (fsck dry-run); the
+// returned controller is still usable for inspection but repairs that
+// would have been persisted are only counted.
+func Mount(dev *pmem.Device, opts Options, repair bool) (*Controller, *Report, error) {
+	opts.fill()
+	g, err := layout.Load(dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.InodeCap = g.InodeCap
+	c := newController(dev, g, opts)
+	rep := &Report{}
+
+	// Pass 1: read the shadow table — the trusted ground truth.
+	for ino := uint64(1); ino < g.InodeCap; ino++ {
+		sin, ex, ok, corrupt := layout.ReadShadow(dev, g, ino)
+		if corrupt {
+			return nil, nil, fmt.Errorf("kernel: shadow record %d corrupt; shadow table writes are fenced, device damaged", ino)
+		}
+		if !ok || !ex.Committed {
+			// Pending shadows (crash before the child committed) are
+			// dropped: the creation never completed.
+			continue
+		}
+		c.shadows[ino] = &shadowEnt{
+			info:  shadowInfoOf(ino, &sin, ex.ChildCount, true),
+			inode: sin,
+		}
+		if ex.Inaccessible {
+			c.shadows[ino].inaccessible = true
+		}
+	}
+	if _, ok := c.shadows[layout.RootIno]; !ok {
+		return nil, nil, fmt.Errorf("kernel: no committed root shadow")
+	}
+
+	// Pass 2: restore LibFS inode records that disagree with the shadow
+	// (zeroed or torn by a crash mid-create).
+	for ino, se := range c.shadows {
+		in, ok, corrupt := layout.ReadInode(dev, g, ino)
+		if ok && !corrupt && in.Type == se.info.Type && in.DataRoot == se.info.DataRoot {
+			continue
+		}
+		rep.RestoredInodes++
+		if repair {
+			layout.WriteInode(dev, g, ino, &se.inode)
+			dev.Persist(layout.InodeOff(g, ino), layout.InodeSize)
+		}
+	}
+
+	// Pass 3: reachability walk from the root, reconciling each
+	// directory's dentry log against the shadow table.
+	reachable := map[uint64]bool{layout.RootIno: true}
+	queue := []uint64{layout.RootIno}
+	for len(queue) > 0 {
+		dirIno := queue[0]
+		queue = queue[1:]
+		se := c.shadows[dirIno]
+		if se.info.Type != layout.TypeDir {
+			continue
+		}
+		children := c.reconcileDir(dirIno, se, rep, repair)
+		// Recount children after repair.
+		se.info.ChildCount = uint32(len(children))
+		if repair {
+			c.writeShadowLocked(se)
+		}
+		for _, child := range children {
+			if !reachable[child] {
+				reachable[child] = true
+				queue = append(queue, child)
+			}
+		}
+	}
+
+	// Pass 4: free unreachable committed inodes (orphans).
+	var orphans []uint64
+	for ino := range c.shadows {
+		if !reachable[ino] {
+			orphans = append(orphans, ino)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, ino := range orphans {
+		rep.OrphanInodes++
+		if repair {
+			layout.FreeInode(dev, g, ino)
+			dev.Persist(layout.InodeOff(g, ino), layout.InodeSize)
+			layout.FreeShadow(dev, g, ino)
+			layout.PersistShadow(dev, g, ino)
+		}
+		delete(c.shadows, ino)
+	}
+
+	// Pass 5: rebuild page ownership and the allocator from the
+	// surviving tree.
+	var usedPages []uint64
+	rep.CommittedInodes = len(c.shadows)
+	for ino, se := range c.shadows {
+		pages := c.inodePages(ino, se)
+		for _, p := range pages {
+			c.pages[p] = ownIno(ino)
+		}
+		usedPages = append(usedPages, pages...)
+	}
+	c.alloc = pmalloc.NewExcluding(g, usedPages...)
+	// Everything not referenced by the surviving tree returns to the free
+	// pool; report how many pages that recovered beyond the tree itself.
+	rep.LeakedPages = c.alloc.FreeCount()
+
+	// Pass 6: rebuild the inode free list.
+	for ino := g.InodeCap - 1; ino >= 2; ino-- {
+		if _, used := c.shadows[ino]; !used {
+			c.inoFree = append(c.inoFree, ino)
+		}
+	}
+	return c, rep, nil
+}
+
+// reconcileDir scans dirIno's dentry log, invalidating corrupt records
+// (torn §4.2 commits) and dangling entries, and returns the surviving
+// child inode numbers.
+func (c *Controller) reconcileDir(dirIno uint64, se *shadowEnt, rep *Report, repair bool) []uint64 {
+	var children []uint64
+	seen := map[string]bool{}
+	nt := int(se.info.NTails)
+	if se.info.DataRoot == 0 || se.info.DataRoot >= c.geo.PageCount {
+		return nil
+	}
+	for t := 0; t < nt; t++ {
+		head := layout.TailHead(c.dev, se.info.DataRoot, t)
+		if head == 0 {
+			continue
+		}
+		layout.ScanTail(c.dev, head, func(d layout.Dentry) bool {
+			if !d.Live {
+				return true
+			}
+			drop := false
+			rd, corrupt := layout.ReadDentry(c.dev, d.Ref)
+			switch {
+			case corrupt:
+				rep.CorruptDentries++
+				drop = true
+			case seen[rd.Name]:
+				rep.DanglingEntries++
+				drop = true
+			default:
+				child, ok := c.shadows[rd.Ino]
+				if !ok || child.info.Parent != dirIno {
+					// Never committed, or verified under another parent.
+					rep.DanglingEntries++
+					drop = true
+				}
+			}
+			if drop {
+				if repair {
+					layout.InvalidateDentry(c.dev, d.Ref)
+					c.dev.Persist(d.Ref.MarkerOff(), 2)
+				}
+				return true
+			}
+			seen[rd.Name] = true
+			children = append(children, rd.Ino)
+			return true
+		})
+	}
+	return children
+}
+
+// inodePages lists every page ino's structure references (best effort on
+// a reconciled tree).
+func (c *Controller) inodePages(ino uint64, se *shadowEnt) []uint64 {
+	var pages []uint64
+	switch se.info.Type {
+	case layout.TypeDir:
+		if se.info.DataRoot == 0 || se.info.DataRoot >= c.geo.PageCount {
+			return nil
+		}
+		pages = append(pages, se.info.DataRoot)
+		for t := 0; t < int(se.info.NTails); t++ {
+			head := layout.TailHead(c.dev, se.info.DataRoot, t)
+			for p := head; p != 0 && p < c.geo.PageCount; p = layout.NextPage(c.dev, p) {
+				pages = append(pages, p)
+				if len(pages) > 1<<20 {
+					return pages
+				}
+			}
+		}
+	case layout.TypeFile:
+		if fv, err := c.ver.ParseFile(ino); err == nil {
+			pages = append(pages, fv.MapPages...)
+			for _, b := range fv.Blocks {
+				if b != 0 {
+					pages = append(pages, b)
+				}
+			}
+		} else if se.info.DataRoot != 0 && se.info.DataRoot < c.geo.PageCount {
+			pages = append(pages, layout.MapChainPages(c.dev, se.info.DataRoot)...)
+		}
+	}
+	return pages
+}
+
+// Fsck runs recovery analysis without modifying the device.
+func Fsck(dev *pmem.Device, opts Options) (*Report, error) {
+	_, rep, err := Mount(dev, opts, false)
+	return rep, err
+}

@@ -1,0 +1,165 @@
+package kv
+
+import (
+	"bytes"
+	"container/heap"
+	"sort"
+)
+
+// Iterator walks live keys in ascending order over a consistent view of
+// the store (memtable + every table at creation time).
+type Iterator struct {
+	h       iterHeap
+	current struct {
+		key []byte
+		val []byte
+		ok  bool
+	}
+}
+
+// source is one sorted input to the merge.
+type source struct {
+	prio int // lower wins ties (newer data)
+	key  []byte
+	val  []byte
+	del  bool
+	next func() bool // advances; false at exhaustion
+}
+
+type iterHeap []*source
+
+func (h iterHeap) Len() int { return len(h) }
+func (h iterHeap) Less(i, j int) bool {
+	if c := bytes.Compare(h[i].key, h[j].key); c != 0 {
+		return c < 0
+	}
+	return h[i].prio < h[j].prio
+}
+func (h iterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *iterHeap) Push(x any)   { *h = append(*h, x.(*source)) }
+func (h *iterHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h iterHeap) Peek() *source { return h[0] }
+
+// NewIterator creates a merged iterator positioned before the first key.
+func (db *DB) NewIterator() (*Iterator, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	it := &Iterator{}
+	prio := 0
+
+	// Memtable source.
+	node := db.mem.first()
+	if node != nil {
+		s := &source{prio: prio}
+		cur := node
+		s.next = func() bool {
+			if cur == nil {
+				return false
+			}
+			s.key, s.val, s.del = cur.key, cur.val, cur.del
+			cur = cur.next[0]
+			return true
+		}
+		if s.next() {
+			it.h = append(it.h, s)
+		}
+	}
+	prio++
+
+	// Table sources: materialize each table's entries (tables are
+	// immutable; this snapshot stays consistent after the lock drops).
+	for _, tables := range db.levels {
+		for _, meta := range tables {
+			r := db.readers[meta.file]
+			if r == nil {
+				continue
+			}
+			type ent struct {
+				k, v []byte
+				del  bool
+			}
+			var ents []ent
+			if err := r.scan(func(k, v []byte, del bool) bool {
+				ents = append(ents, ent{append([]byte(nil), k...), append([]byte(nil), v...), del})
+				return true
+			}); err != nil {
+				return nil, err
+			}
+			if len(ents) == 0 {
+				prio++
+				continue
+			}
+			i := 0
+			s := &source{prio: prio}
+			s.next = func() bool {
+				if i >= len(ents) {
+					return false
+				}
+				s.key, s.val, s.del = ents[i].k, ents[i].v, ents[i].del
+				i++
+				return true
+			}
+			s.next()
+			it.h = append(it.h, s)
+			prio++
+		}
+	}
+	heap.Init(&it.h)
+	return it, nil
+}
+
+// Next advances to the next live key and reports whether one exists.
+func (it *Iterator) Next() bool {
+	var lastKey []byte
+	for it.h.Len() > 0 {
+		s := it.h.Peek()
+		key := append([]byte(nil), s.key...)
+		val := append([]byte(nil), s.val...)
+		del := s.del
+		if s.next() {
+			heap.Fix(&it.h, 0)
+		} else {
+			heap.Pop(&it.h)
+		}
+		if lastKey != nil && bytes.Equal(key, lastKey) {
+			continue // shadowed older version
+		}
+		lastKey = key
+		// Skip older versions of this key still in the heap.
+		for it.h.Len() > 0 && bytes.Equal(it.h.Peek().key, key) {
+			shadow := it.h.Peek()
+			if shadow.next() {
+				heap.Fix(&it.h, 0)
+			} else {
+				heap.Pop(&it.h)
+			}
+		}
+		if del {
+			continue
+		}
+		it.current.key, it.current.val, it.current.ok = key, val, true
+		return true
+	}
+	it.current.ok = false
+	return false
+}
+
+// Key returns the current key (valid after Next reported true).
+func (it *Iterator) Key() []byte { return it.current.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.current.val }
+
+// Keys collects every live key (tests and sanity checks).
+func (db *DB) Keys() ([]string, error) {
+	it, err := db.NewIterator()
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	for it.Next() {
+		keys = append(keys, string(it.Key()))
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

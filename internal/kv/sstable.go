@@ -1,0 +1,240 @@
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"arckfs/internal/fsapi"
+)
+
+// SSTable format (all little-endian):
+//
+//	entries:  [klen u32][vlen u32][key][value]...   (vlen 0xFFFFFFFF = tombstone)
+//	index:    [klen u32][key][offset u64]...        (every indexStride-th entry)
+//	footer:   indexOff u64 | indexCount u32 | entryCount u32 | smallest/largest key lens u32 u32 | magic u64
+//
+// The footer is fixed-size at the end of the file; smallest/largest keys
+// directly precede it.
+const (
+	tombstoneLen = uint32(0xFFFFFFFF)
+	indexStride  = 16
+	ssMagic      = uint64(0x5353544142663031)
+	footerSize   = 8 + 4 + 4 + 4 + 4 + 8
+)
+
+// tableMeta describes one on-FS table.
+type tableMeta struct {
+	file     string
+	smallest []byte
+	largest  []byte
+	entries  int
+}
+
+// writeTable writes sorted entries to path via t and returns its meta.
+// src must yield keys in strictly increasing order.
+func writeTable(t fsapi.Thread, path string, src func(yield func(key, val []byte, del bool))) (*tableMeta, error) {
+	if err := t.Create(path); err != nil {
+		return nil, err
+	}
+	fd, err := t.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer t.Close(fd)
+
+	var buf bytes.Buffer
+	var idx bytes.Buffer
+	var smallest, largest []byte
+	count := 0
+	src(func(key, val []byte, del bool) {
+		if count%indexStride == 0 {
+			var kl [4]byte
+			binary.LittleEndian.PutUint32(kl[:], uint32(len(key)))
+			idx.Write(kl[:])
+			idx.Write(key)
+			var off [8]byte
+			binary.LittleEndian.PutUint64(off[:], uint64(buf.Len()))
+			idx.Write(off[:])
+		}
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(key)))
+		vlen := uint32(len(val))
+		if del {
+			vlen = tombstoneLen
+		}
+		binary.LittleEndian.PutUint32(hdr[4:], vlen)
+		buf.Write(hdr[:])
+		buf.Write(key)
+		if !del {
+			buf.Write(val)
+		}
+		if smallest == nil {
+			smallest = append([]byte(nil), key...)
+		}
+		largest = append(largest[:0], key...)
+		count++
+	})
+
+	indexOff := buf.Len()
+	indexCount := 0
+	if count > 0 {
+		indexCount = (count + indexStride - 1) / indexStride
+	}
+	buf.Write(idx.Bytes())
+	// Trailer: smallest key, largest key, footer.
+	buf.Write(smallest)
+	buf.Write(largest)
+	var foot [footerSize]byte
+	binary.LittleEndian.PutUint64(foot[0:], uint64(indexOff))
+	binary.LittleEndian.PutUint32(foot[8:], uint32(indexCount))
+	binary.LittleEndian.PutUint32(foot[12:], uint32(count))
+	binary.LittleEndian.PutUint32(foot[16:], uint32(len(smallest)))
+	binary.LittleEndian.PutUint32(foot[20:], uint32(len(largest)))
+	binary.LittleEndian.PutUint64(foot[24:], ssMagic)
+	buf.Write(foot[:])
+
+	if _, err := t.WriteAt(fd, buf.Bytes(), 0); err != nil {
+		return nil, err
+	}
+	if err := t.Fsync(fd); err != nil {
+		return nil, err
+	}
+	return &tableMeta{file: path, smallest: smallest, largest: largest, entries: count}, nil
+}
+
+// tableReader serves point lookups and scans from one table. It keeps
+// the sparse index in memory, as LevelDB keeps index blocks cached.
+type tableReader struct {
+	t        fsapi.Thread
+	fd       fsapi.FD
+	meta     *tableMeta
+	idxKeys  [][]byte
+	idxOffs  []uint64
+	dataSize int64
+}
+
+func openTable(t fsapi.Thread, meta *tableMeta) (*tableReader, error) {
+	fd, err := t.Open(meta.file)
+	if err != nil {
+		return nil, err
+	}
+	st, err := t.Stat(meta.file)
+	if err != nil {
+		return nil, err
+	}
+	if st.Size < footerSize {
+		return nil, fmt.Errorf("kv: table %s too short", meta.file)
+	}
+	foot := make([]byte, footerSize)
+	if _, err := t.ReadAt(fd, foot, int64(st.Size)-footerSize); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(foot[24:]) != ssMagic {
+		return nil, fmt.Errorf("kv: table %s bad magic", meta.file)
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(foot[0:]))
+	indexCount := int(binary.LittleEndian.Uint32(foot[8:]))
+	smallLen := int64(binary.LittleEndian.Uint32(foot[16:]))
+	largeLen := int64(binary.LittleEndian.Uint32(foot[20:]))
+	idxLen := int64(st.Size) - footerSize - smallLen - largeLen - indexOff
+	idxBuf := make([]byte, idxLen)
+	if _, err := t.ReadAt(fd, idxBuf, indexOff); err != nil {
+		return nil, err
+	}
+	r := &tableReader{t: t, fd: fd, meta: meta, dataSize: indexOff}
+	pos := 0
+	for i := 0; i < indexCount; i++ {
+		if pos+4 > len(idxBuf) {
+			return nil, fmt.Errorf("kv: table %s truncated index", meta.file)
+		}
+		kl := int(binary.LittleEndian.Uint32(idxBuf[pos:]))
+		pos += 4
+		key := append([]byte(nil), idxBuf[pos:pos+kl]...)
+		pos += kl
+		off := binary.LittleEndian.Uint64(idxBuf[pos:])
+		pos += 8
+		r.idxKeys = append(r.idxKeys, key)
+		r.idxOffs = append(r.idxOffs, off)
+	}
+	return r, nil
+}
+
+func (r *tableReader) close() { r.t.Close(r.fd) }
+
+// get performs a point lookup.
+func (r *tableReader) get(key []byte) (val []byte, del, found bool, err error) {
+	if len(r.idxKeys) == 0 {
+		return nil, false, false, nil
+	}
+	if bytes.Compare(key, r.meta.smallest) < 0 || bytes.Compare(key, r.meta.largest) > 0 {
+		return nil, false, false, nil
+	}
+	// Find the index block whose first key <= key.
+	i := sort.Search(len(r.idxKeys), func(i int) bool {
+		return bytes.Compare(r.idxKeys[i], key) > 0
+	}) - 1
+	if i < 0 {
+		return nil, false, false, nil
+	}
+	start := int64(r.idxOffs[i])
+	end := r.dataSize
+	if i+1 < len(r.idxOffs) {
+		end = int64(r.idxOffs[i+1])
+	}
+	blk := make([]byte, end-start)
+	if _, err := r.t.ReadAt(r.fd, blk, start); err != nil {
+		return nil, false, false, err
+	}
+	pos := 0
+	for pos+8 <= len(blk) {
+		kl := int(binary.LittleEndian.Uint32(blk[pos:]))
+		vl := binary.LittleEndian.Uint32(blk[pos+4:])
+		pos += 8
+		k := blk[pos : pos+kl]
+		pos += kl
+		tomb := vl == tombstoneLen
+		var v []byte
+		if !tomb {
+			v = blk[pos : pos+int(vl)]
+			pos += int(vl)
+		}
+		switch bytes.Compare(k, key) {
+		case 0:
+			if tomb {
+				return nil, true, true, nil
+			}
+			return append([]byte(nil), v...), false, true, nil
+		case 1:
+			return nil, false, false, nil
+		}
+	}
+	return nil, false, false, nil
+}
+
+// scan yields every entry in order.
+func (r *tableReader) scan(fn func(key, val []byte, del bool) bool) error {
+	data := make([]byte, r.dataSize)
+	if _, err := r.t.ReadAt(r.fd, data, 0); err != nil {
+		return err
+	}
+	pos := 0
+	for pos+8 <= len(data) {
+		kl := int(binary.LittleEndian.Uint32(data[pos:]))
+		vl := binary.LittleEndian.Uint32(data[pos+4:])
+		pos += 8
+		key := data[pos : pos+kl]
+		pos += kl
+		tomb := vl == tombstoneLen
+		var val []byte
+		if !tomb {
+			val = data[pos : pos+int(vl)]
+			pos += int(vl)
+		}
+		if !fn(key, val, tomb) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package kv
+
+import (
+	"encoding/binary"
+
+	"arckfs/internal/fsapi"
+)
+
+// wal is the write-ahead log: every mutation is appended and synced
+// before it enters the memtable. Record format:
+//
+//	[total u32][op u8][klen u32][vlen u32][key][value]
+type wal struct {
+	t    fsapi.Thread
+	path string
+	fd   fsapi.FD
+	off  int64
+}
+
+func openWAL(t fsapi.Thread, path string) (*wal, error) {
+	if err := t.Create(path); err != nil && err != fsapi.ErrExist {
+		return nil, err
+	}
+	fd, err := t.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := t.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{t: t, path: path, fd: fd, off: int64(st.Size)}, nil
+}
+
+func (w *wal) append(key, val []byte, del bool) error {
+	total := 4 + 1 + 4 + 4 + len(key) + len(val)
+	buf := make([]byte, total)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(total))
+	if del {
+		buf[4] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[5:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(buf[9:], uint32(len(val)))
+	copy(buf[13:], key)
+	copy(buf[13+len(key):], val)
+	if _, err := w.t.WriteAt(w.fd, buf, w.off); err != nil {
+		return err
+	}
+	if err := w.t.Fsync(w.fd); err != nil {
+		return err
+	}
+	w.off += int64(total)
+	return nil
+}
+
+// reset truncates the log after a flush made its contents durable.
+func (w *wal) reset() error {
+	if err := w.t.Truncate(w.path, 0); err != nil {
+		return err
+	}
+	w.off = 0
+	return nil
+}
+
+// replayWAL applies surviving log records into the memtable at open.
+func (db *DB) replayWAL() error {
+	st, err := db.t.Stat(db.walPath())
+	if err == fsapi.ErrNotExist {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if st.Size == 0 {
+		return nil
+	}
+	fd, err := db.t.Open(db.walPath())
+	if err != nil {
+		return err
+	}
+	defer db.t.Close(fd)
+	buf := make([]byte, st.Size)
+	if _, err := db.t.ReadAt(fd, buf, 0); err != nil {
+		return err
+	}
+	pos := 0
+	for pos+13 <= len(buf) {
+		total := int(binary.LittleEndian.Uint32(buf[pos:]))
+		if total < 13 || pos+total > len(buf) {
+			break // torn tail record: discard, as LevelDB does
+		}
+		del := buf[pos+4] == 1
+		kl := int(binary.LittleEndian.Uint32(buf[pos+5:]))
+		vl := int(binary.LittleEndian.Uint32(buf[pos+9:]))
+		if 13+kl+vl != total {
+			break
+		}
+		key := append([]byte(nil), buf[pos+13:pos+13+kl]...)
+		val := append([]byte(nil), buf[pos+13+kl:pos+total]...)
+		db.mem.put(key, val, del)
+		pos += total
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package layout
+
+import (
+	"hash/crc32"
+
+	"arckfs/internal/pmem"
+)
+
+// The shadow inode table mirrors the LibFS-visible inode table but is
+// owned exclusively by the kernel: it records, for every *verified*
+// inode, the attributes the verifier compares against, the parent pointer
+// introduced by the §4.1 patch, and the verified child count used for the
+// I3 empty-directory check. Recovery trusts the shadow table and
+// reconciles LibFS core state against it.
+
+// ShadowExtra carries the shadow-only fields beyond the mirrored inode.
+type ShadowExtra struct {
+	ChildCount   uint32
+	Committed    bool
+	Inaccessible bool
+}
+
+// Shadow record extra-field offsets (within the 128-byte record; the
+// mirrored inode fields use the same offsets as the inode table).
+const (
+	shChildCount = 64
+	shFlags      = 68
+
+	shFlagCommitted    = 1 << 0
+	shFlagInaccessible = 1 << 1
+)
+
+// ShadowOff returns the device offset of ino's shadow record.
+func ShadowOff(g Geometry, ino uint64) int64 {
+	if ino == 0 || ino >= g.InodeCap {
+		panic("layout: shadow inode out of range")
+	}
+	return int64(g.ShadowStart*PageSize) + int64(ino)*InodeSize
+}
+
+// WriteShadow encodes the shadow record for ino. Caller persists (the
+// kernel always flushes and fences its own writes — the kernel is assumed
+// correct; only LibFS ordering is under test).
+func WriteShadow(dev *pmem.Device, g Geometry, ino uint64, in *Inode, ex *ShadowExtra) {
+	off := ShadowOff(g, ino)
+	dev.Store16(off+inType, in.Type)
+	dev.Store16(off+inPerm, in.Perm)
+	dev.Store16(off+inNlink, in.Nlink)
+	dev.Store16(off+inNTails, in.NTails)
+	dev.Store32(off+inUID, in.UID)
+	dev.Store32(off+inGID, in.GID)
+	dev.Store64(off+inSize, in.Size)
+	dev.Store64(off+inRoot, in.DataRoot)
+	dev.Store64(off+inParent, in.Parent)
+	dev.Store64(off+inGen, in.Gen)
+	dev.Store64(off+inCTime, in.CTime)
+	dev.Store64(off+inMTime, in.MTime)
+	dev.Store32(off+shChildCount, ex.ChildCount)
+	var fl uint8
+	if ex.Committed {
+		fl |= shFlagCommitted
+	}
+	if ex.Inaccessible {
+		fl |= shFlagInaccessible
+	}
+	dev.Store8(off+shFlags, fl)
+	dev.Store32(off+inCsum, crc32.Checksum(dev.Slice(off, inCsum), crcTab))
+}
+
+// ReadShadow decodes ino's shadow record.
+func ReadShadow(dev *pmem.Device, g Geometry, ino uint64) (in Inode, ex ShadowExtra, ok, corrupt bool) {
+	off := ShadowOff(g, ino)
+	in = Inode{
+		Type:     dev.Load16(off + inType),
+		Perm:     dev.Load16(off + inPerm),
+		Nlink:    dev.Load16(off + inNlink),
+		NTails:   dev.Load16(off + inNTails),
+		UID:      dev.Load32(off + inUID),
+		GID:      dev.Load32(off + inGID),
+		Size:     dev.Load64(off + inSize),
+		DataRoot: dev.Load64(off + inRoot),
+		Parent:   dev.Load64(off + inParent),
+		Gen:      dev.Load64(off + inGen),
+		CTime:    dev.Load64(off + inCTime),
+		MTime:    dev.Load64(off + inMTime),
+	}
+	if in.Type == TypeFree {
+		return in, ex, false, false
+	}
+	if dev.Load32(off+inCsum) != crc32.Checksum(dev.Slice(off, inCsum), crcTab) {
+		return in, ex, false, true
+	}
+	fl := dev.Load8(off + shFlags)
+	ex = ShadowExtra{
+		ChildCount:   dev.Load32(off + shChildCount),
+		Committed:    fl&shFlagCommitted != 0,
+		Inaccessible: fl&shFlagInaccessible != 0,
+	}
+	return in, ex, true, false
+}
+
+// FreeShadow clears ino's shadow record. Caller persists.
+func FreeShadow(dev *pmem.Device, g Geometry, ino uint64) {
+	off := ShadowOff(g, ino)
+	dev.Store16(off+inType, TypeFree)
+	dev.Store32(off+inCsum, 0)
+}
+
+// PersistShadow flushes and fences ino's shadow record.
+func PersistShadow(dev *pmem.Device, g Geometry, ino uint64) {
+	dev.Persist(ShadowOff(g, ino), InodeSize)
+}

@@ -1,0 +1,153 @@
+package libfs
+
+import (
+	"testing"
+
+	"arckfs/internal/kernel"
+	"arckfs/internal/pmem"
+)
+
+// TestExhaustiveCrashEnumerationSingleCreate enumerates EVERY all-or-
+// nothing line subset of the unpersisted state left by one create (not
+// just sampled ones) and requires:
+//
+//   - ArckFS+ (fence present): no crash image contains a torn dentry.
+//   - ArckFS (fence missing): at least one crash image does — the §4.2
+//     bug is not merely possible but enumerable.
+//
+// This is bounded model checking over the persistence state space: with
+// the per-line prefix rule fixed to "all or nothing", a create touches a
+// handful of lines, so the full 2^k space is small.
+func TestExhaustiveCrashEnumerationSingleCreate(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		bugs     Bugs
+		wantTorn bool
+	}{
+		{"arckfs+-fence", BugsNone, false},
+		{"arckfs-missing-fence", BugMissingFence, true},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dev := pmem.New(64<<20, nil)
+			ctrl, err := kernel.Format(dev, kernel.Options{InodeCap: 1 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs := New(ctrl, ctrl.RegisterApp(0, 0), Options{Bugs: tc.bugs})
+			w := fs.NewThread(0).(*Thread)
+
+			// Reach steady state (pools granted, root acquired) so the
+			// create's dirty set is only the create itself.
+			if err := w.Create("/warmup"); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.ReleaseAll(); err != nil {
+				t.Fatal(err)
+			}
+			dev.EnableTracking()
+			// A name long enough to span cache lines.
+			if err := w.Create("/victim-0123456789-0123456789-0123456789-0123456789-0123456789"); err != nil {
+				t.Fatal(err)
+			}
+
+			lines := dev.DirtyLines()
+			if len(lines) == 0 {
+				// Everything already fenced durable: only the complete
+				// image exists; nothing to enumerate. (This is what the
+				// patched two-fence protocol can produce.)
+				return
+			}
+			if len(lines) > 14 {
+				t.Fatalf("dirty set unexpectedly large: %d lines", len(lines))
+			}
+			sawTorn := false
+			total := 1 << len(lines)
+			for mask := 0; mask < total; mask++ {
+				keep := map[int64]bool{}
+				for i, l := range lines {
+					if mask&(1<<i) != 0 {
+						keep[l] = true
+					}
+				}
+				img := dev.CrashImage(func(lineOff int64, versions int) int {
+					if keep[lineOff] {
+						return versions
+					}
+					return 0
+				})
+				rdev := pmem.Restore(img, nil)
+				_, rep, err := kernel.Mount(rdev, kernel.Options{}, true)
+				if err != nil {
+					t.Fatalf("mask %b: recovery failed: %v", mask, err)
+				}
+				if rep.CorruptDentries > 0 {
+					sawTorn = true
+					if !tc.wantTorn {
+						t.Fatalf("mask %b: fence-protected create produced a torn dentry: %s", mask, rep)
+					}
+				}
+			}
+			if tc.wantTorn && !sawTorn {
+				t.Fatalf("no crash subset of %d lines tore the dentry; the §4.2 bug should be enumerable", len(lines))
+			}
+		})
+	}
+}
+
+// TestExhaustiveCrashEnumerationUnlink does the same for unlink: the
+// single-marker invalidation is atomic in both modes, so no subset may
+// corrupt — the entry is either still live or cleanly gone.
+func TestExhaustiveCrashEnumerationUnlink(t *testing.T) {
+	dev := pmem.New(64<<20, nil)
+	ctrl, err := kernel.Format(dev, kernel.Options{InodeCap: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := New(ctrl, ctrl.RegisterApp(0, 0), Options{Bugs: BugsAll})
+	w := fs.NewThread(0).(*Thread)
+	if err := w.Create("/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.ReleaseAll(); err != nil {
+		t.Fatal(err)
+	}
+	dev.EnableTracking()
+	if err := w.Unlink("/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	lines := dev.DirtyLines()
+	if len(lines) > 14 {
+		t.Fatalf("unlink dirtied %d lines", len(lines))
+	}
+	for mask := 0; mask < 1<<len(lines); mask++ {
+		keep := map[int64]bool{}
+		for i, l := range lines {
+			if mask&(1<<i) != 0 {
+				keep[l] = true
+			}
+		}
+		img := dev.CrashImage(func(lineOff int64, versions int) int {
+			if keep[lineOff] {
+				return versions
+			}
+			return 0
+		})
+		rdev := pmem.Restore(img, nil)
+		ctrl2, rep, err := kernel.Mount(rdev, kernel.Options{}, true)
+		if err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		if rep.CorruptDentries != 0 {
+			t.Fatalf("mask %b: unlink tore a dentry: %s", mask, rep)
+		}
+		// The file is either fully there or fully gone.
+		fs2 := New(ctrl2, ctrl2.RegisterApp(0, 0), Options{})
+		r := fs2.NewThread(0).(*Thread)
+		if _, err := r.Stat("/doomed"); err == nil {
+			if _, err := r.Open("/doomed"); err != nil {
+				t.Fatalf("mask %b: half-alive file: %v", mask, err)
+			}
+		}
+	}
+}

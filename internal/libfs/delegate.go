@@ -1,0 +1,138 @@
+package libfs
+
+import (
+	"sync"
+
+	"arckfs/internal/layout"
+)
+
+// I/O delegation, the OdinFS-inspired optimization the Trio paper credits
+// for ArckFS's data throughput (§5.2: "ArckFS outperforms other file
+// systems by leveraging direct access and I/O delegation"): large
+// requests are split into page-sized chunks executed by a pool of
+// delegate workers, overlapping the memory copies and the per-chunk
+// persistence work across cores.
+//
+// Delegation is per-application (it lives entirely in the LibFS — another
+// example of unprivileged customization). It engages only for requests of
+// at least DelegationThreshold bytes; small requests keep the low-latency
+// synchronous path.
+
+// delegatePool is a lazily started worker pool shared by one FS.
+type delegatePool struct {
+	once sync.Once
+	work chan delegateJob
+}
+
+type delegateJob struct {
+	fn   func()
+	done *sync.WaitGroup
+}
+
+const delegateWorkers = 4
+
+// DelegationThreshold is the request size at which reads and writes are
+// fanned out to the delegate pool. Zero disables delegation.
+const DelegationThreshold = 256 << 10
+
+func (p *delegatePool) start() {
+	p.once.Do(func() {
+		p.work = make(chan delegateJob, delegateWorkers*2)
+		for i := 0; i < delegateWorkers; i++ {
+			go func() {
+				for job := range p.work {
+					job.fn()
+					job.done.Done()
+				}
+			}()
+		}
+	})
+}
+
+// run executes fns across the pool and waits for all of them.
+func (p *delegatePool) run(fns []func()) {
+	p.start()
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		p.work <- delegateJob{fn: fn, done: &wg}
+	}
+	wg.Wait()
+}
+
+// delegatedCopyOut reads the block range [firstBlock, len(chunks)) of st
+// into the chunk buffers in parallel. Caller holds the file read lock, so
+// the block index is stable.
+func (fs *FS) delegatedCopyOut(st *fileState, off int64, p []byte) {
+	const chunk = 64 * layout.PageSize
+	var fns []func()
+	for done := 0; done < len(p); done += chunk {
+		start, end := done, done+chunk
+		if end > len(p) {
+			end = len(p)
+		}
+		base := off + int64(start)
+		fns = append(fns, func() {
+			fs.copyOutRange(st, base, p[start:end])
+		})
+	}
+	fs.delegates.run(fns)
+}
+
+// copyOutRange is the synchronous read loop over one byte range.
+func (fs *FS) copyOutRange(st *fileState, off int64, p []byte) {
+	read := 0
+	for read < len(p) {
+		bi := int((off + int64(read)) / layout.PageSize)
+		bo := (off + int64(read)) % layout.PageSize
+		n := layout.PageSize - int(bo)
+		if n > len(p)-read {
+			n = len(p) - read
+		}
+		if bi < len(st.blocks) && st.blocks[bi] != 0 {
+			fs.dev.Read(int64(st.blocks[bi]*layout.PageSize)+bo, p[read:read+n])
+		} else {
+			for i := read; i < read+n; i++ {
+				p[i] = 0
+			}
+		}
+		read += n
+	}
+}
+
+// delegatedCopyIn writes p at off across the pool, flushing each chunk.
+// Caller holds the file write lock and has already ensured every target
+// block is allocated (so workers never touch shared state).
+func (fs *FS) delegatedCopyIn(st *fileState, off int64, p []byte) {
+	const chunk = 64 * layout.PageSize
+	var fns []func()
+	for done := 0; done < len(p); done += chunk {
+		start, end := done, done+chunk
+		if end > len(p) {
+			end = len(p)
+		}
+		base := off + int64(start)
+		fns = append(fns, func() {
+			fs.copyInRange(st, base, p[start:end])
+		})
+	}
+	fs.delegates.run(fns)
+}
+
+// copyInRange stores and flushes one byte range into pre-allocated
+// blocks.
+func (fs *FS) copyInRange(st *fileState, off int64, p []byte) {
+	written := 0
+	for written < len(p) {
+		bi := int((off + int64(written)) / layout.PageSize)
+		bo := (off + int64(written)) % layout.PageSize
+		n := layout.PageSize - int(bo)
+		if n > len(p)-written {
+			n = len(p) - written
+		}
+		base := int64(st.blocks[bi] * layout.PageSize)
+		fs.dev.Write(base+bo, p[written:written+n])
+		fs.dev.Flush(base+bo, int64(n))
+		written += n
+	}
+}

@@ -1,0 +1,566 @@
+package libfs
+
+import (
+	"sort"
+
+	"arckfs/internal/fsapi"
+	"arckfs/internal/htable"
+	"arckfs/internal/layout"
+	"arckfs/internal/pmem"
+)
+
+// resolve walks path to its minode.
+func (t *Thread) resolve(path string) (*minode, error) {
+	comps := fsapi.Components(path)
+	mi, err := t.fs.getMinode(layout.RootIno, false)
+	if err != nil {
+		return nil, err
+	}
+	for depth, name := range comps {
+		if depth > 512 {
+			return nil, fsapi.ErrLoop
+		}
+		if mi.typ != layout.TypeDir {
+			return nil, fsapi.ErrNotDir
+		}
+		ino, _, ok, err := t.fs.lookupInDir(t, mi, name)
+		if err != nil {
+			return nil, err
+		}
+		if !ok && mi.released.Load() {
+			// The cached aux state of a released directory can be stale
+			// (a peer may have modified the directory since): revalidate
+			// a miss by re-acquiring once. Hits stay cache-served — the
+			// §4.3 patch's fast path.
+			if err := t.fs.reacquire(mi); err == nil {
+				ino, _, ok, err = t.fs.lookupInDir(t, mi, name)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !ok {
+			return nil, fsapi.ErrNotExist
+		}
+		mi, err = t.fs.getMinode(ino, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mi, nil
+}
+
+// resolveParent walks to path's parent directory and returns it with the
+// final component. write re-acquires a released parent for mutation.
+func (t *Thread) resolveParent(path string, write bool) (*minode, string, error) {
+	dir, name := fsapi.SplitPath(path)
+	if name == "" {
+		return nil, "", fsapi.ErrInval
+	}
+	if len(name) > layout.MaxName {
+		return nil, "", fsapi.ErrNameTooLong
+	}
+	if !layout.ValidName(name) {
+		return nil, "", fsapi.ErrInval
+	}
+	mi, err := t.resolve(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if mi.typ != layout.TypeDir {
+		return nil, "", fsapi.ErrNotDir
+	}
+	if write {
+		if mi.released.Load() {
+			if err := t.fs.reacquire(mi); err != nil {
+				return nil, "", err
+			}
+		} else if mi.mapping != nil && !mi.mapping.Valid() {
+			// A trust-group peer (or an involuntary release) took the
+			// inode; the patched LibFS re-acquires, ArckFS crashes.
+			if err := t.fs.remap(mi); err != nil {
+				return nil, "", err
+			}
+		}
+	}
+	return mi, name, nil
+}
+
+// persistDentryBody is step 1 of the atomic-commit protocol: flush every
+// cache line of the record except the one holding the commit marker
+// (that line is persisted exactly once, by step 2 — the artifact's
+// flush-count optimization that footnote 3 describes).
+func (fs *FS) persistDentryBody(r layout.DentryRef, nameLen int) {
+	start := r.DevOff()
+	end := start + int64(layout.DentryRecLen(nameLen))
+	markerLine := r.MarkerOff() / pmem.LineSize * pmem.LineSize
+	for line := start / pmem.LineSize * pmem.LineSize; line < end; line += pmem.LineSize {
+		if line != markerLine {
+			fs.dev.Flush(line, pmem.LineSize)
+		}
+	}
+}
+
+// appendDentry appends a committed dentry for (childIno, name) to one of
+// mi's log tails, honoring the §4.2 and §4.3 settings. The §4.2 patch is
+// the single Fence between the body flushes and the marker update.
+//
+// extraFlush lets the caller batch additional step-1 flushes (the new
+// child's inode record) under the same fence.
+func (fs *FS) appendDentry(t *Thread, mi *minode, childIno uint64, name string, extraFlush func()) (layout.DentryRef, error) {
+	ds := mi.dir
+	ti := t.cpu % len(ds.tails)
+	tc := &ds.tails[ti]
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+
+	if err := fs.checkMapped(mi); err != nil {
+		return 0, err
+	}
+	if h := fs.opts.Hooks.DirWriteInProgress; h != nil {
+		h() // §4.3 window: the mapping may be torn down while we sit here
+	}
+
+	if err := fs.ensureTailSpace(t, ds, ti, tc, len(name)); err != nil {
+		return 0, err
+	}
+
+	if err := fs.checkMapped(mi); err != nil {
+		return 0, err
+	}
+	r := layout.MakeDentryRef(tc.page, tc.off)
+	// Step 1: persist the body with the marker still zero.
+	layout.WriteDentryBody(fs.dev, r, childIno, name)
+	fs.persistDentryBody(r, len(name))
+	if extraFlush != nil {
+		extraFlush()
+	}
+	if !fs.opts.Bugs.Has(BugMissingFence) {
+		// The §4.2 patch: order the body (and inode) write-backs before
+		// the commit marker can possibly persist.
+		fs.dev.Fence()
+	}
+	// Step 2: set and persist the commit marker.
+	layout.CommitDentry(fs.dev, r, len(name))
+	fs.dev.Flush(r.MarkerOff(), 2)
+	if h := fs.opts.Hooks.CreateBeforeMarkerFence; h != nil {
+		h() // §4.2 crash window: marker flushed, final fence not yet issued
+	}
+	fs.dev.Fence()
+
+	tc.off += layout.DentryRecLen(len(name))
+	return r, nil
+}
+
+// ensureTailSpace points the tail cursor at a slot that fits a record
+// for a name of nameLen bytes, allocating and linking log pages as
+// needed. Caller holds the tail lock.
+func (fs *FS) ensureTailSpace(t *Thread, ds *dirState, ti int, tc *tailCursor, nameLen int) error {
+	if tc.page == 0 {
+		p, err := fs.newLogPage(t)
+		if err != nil {
+			return err
+		}
+		ds.idxMu.Lock()
+		layout.SetTailHead(fs.dev, ds.tailset, ti, p)
+		fs.dev.Persist(int64(ds.tailset*layout.PageSize)+8+int64(ti)*8, 8)
+		ds.idxMu.Unlock()
+		tc.page, tc.off = p, 0
+	}
+	if !layout.DentryFits(tc.off, nameLen) {
+		p, err := fs.newLogPage(t)
+		if err != nil {
+			return err
+		}
+		ds.idxMu.Lock()
+		layout.SetNextPage(fs.dev, tc.page, p)
+		fs.dev.Persist(int64(tc.page*layout.PageSize)+layout.NextPtrOff, 8)
+		ds.idxMu.Unlock()
+		tc.page, tc.off = p, 0
+	}
+	return nil
+}
+
+// newLogPage allocates and zeroes a log page so scans terminate at its
+// frontier.
+func (fs *FS) newLogPage(t *Thread) (uint64, error) {
+	p, err := fs.allocPage(t.cpu)
+	if err != nil {
+		return 0, err
+	}
+	layout.ZeroPage(fs.dev, p)
+	fs.dev.Persist(int64(p*layout.PageSize), layout.PageSize)
+	return p, nil
+}
+
+// insertEntry links (childIno, name) into mi, placing the persistent
+// update inside (patched, §4.4) or outside (buggy) the bucket critical
+// section. It returns the new record's ref.
+func (fs *FS) insertEntry(t *Thread, mi *minode, childIno uint64, name string, extraFlush func()) (layout.DentryRef, error) {
+	if fs.opts.Bugs.Has(BugAuxCoreRace) {
+		// ArckFS as shipped: reserve log space, publish the name in
+		// auxiliary state, and only then write the core record — with no
+		// common critical section. In the window after the insert, the
+		// name is visible while its core data does not exist yet.
+		r, err := fs.reserveDentry(t, mi, len(name))
+		if err != nil {
+			return 0, err
+		}
+		if !mi.dir.ht.Insert(name, childIno, uint64(r)) {
+			// Name exists; the reserved record stays a dead slot.
+			return 0, fsapi.ErrExist
+		}
+		if h := fs.opts.Hooks.CreateBetweenAuxAndCore; h != nil {
+			h()
+		}
+		if err := fs.fillDentry(mi, r, childIno, name, extraFlush); err != nil {
+			mi.dir.ht.Delete(name)
+			return 0, err
+		}
+		return r, nil
+	}
+	// ArckFS+: the bucket lock covers both updates.
+	var r layout.DentryRef
+	var err error
+	mi.dir.ht.WithBucket(name, func(lb *htable.LockedBucket) {
+		if _, exists := lb.Get(name); exists {
+			err = fsapi.ErrExist
+			return
+		}
+		r, err = fs.appendDentry(t, mi, childIno, name, extraFlush)
+		if err != nil {
+			return
+		}
+		lb.Insert(name, childIno, uint64(r))
+	})
+	return r, err
+}
+
+// reserveDentry claims log space for a record (tail lock only): it
+// persists the record length so scans skip the slot until it is filled.
+func (fs *FS) reserveDentry(t *Thread, mi *minode, nameLen int) (layout.DentryRef, error) {
+	ds := mi.dir
+	ti := t.cpu % len(ds.tails)
+	tc := &ds.tails[ti]
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if err := fs.checkMapped(mi); err != nil {
+		return 0, err
+	}
+	if err := fs.ensureTailSpace(t, ds, ti, tc, nameLen); err != nil {
+		return 0, err
+	}
+	r := layout.MakeDentryRef(tc.page, tc.off)
+	fs.dev.Store16(r.DevOff()+8, uint16(layout.DentryRecLen(nameLen)))
+	tc.off += layout.DentryRecLen(nameLen)
+	return r, nil
+}
+
+// fillDentry writes a reserved record's contents and commits it with the
+// two-step marker protocol (§4.2 ordering per the bug flag).
+func (fs *FS) fillDentry(mi *minode, r layout.DentryRef, childIno uint64, name string, extraFlush func()) error {
+	if err := fs.checkMapped(mi); err != nil {
+		return err
+	}
+	if h := fs.opts.Hooks.DirWriteInProgress; h != nil {
+		h()
+	}
+	layout.WriteDentryBody(fs.dev, r, childIno, name)
+	fs.persistDentryBody(r, len(name))
+	if extraFlush != nil {
+		extraFlush()
+	}
+	if !fs.opts.Bugs.Has(BugMissingFence) {
+		fs.dev.Fence()
+	}
+	layout.CommitDentry(fs.dev, r, len(name))
+	fs.dev.Flush(r.MarkerOff(), 2)
+	if h := fs.opts.Hooks.CreateBeforeMarkerFence; h != nil {
+		h()
+	}
+	fs.dev.Fence()
+	return nil
+}
+
+// removeEntry unlinks name from mi and invalidates its persistent
+// record, honoring the §4.4 critical-section setting. It returns the
+// removed child's ino.
+func (fs *FS) removeEntry(mi *minode, name string) (uint64, error) {
+	if err := fs.checkMapped(mi); err != nil {
+		return 0, err
+	}
+	if fs.opts.Bugs.Has(BugAuxCoreRace) {
+		ino, ref, ok := mi.dir.ht.Delete(name)
+		if !ok {
+			return 0, fsapi.ErrNotExist
+		}
+		if err := fs.checkMapped(mi); err != nil {
+			return 0, err
+		}
+		r := layout.DentryRef(ref)
+		if ref == 0 || fs.dev.Load16(r.MarkerOff()) == 0 {
+			// The name was visible in auxiliary state but its core
+			// record does not exist yet (a creat is mid-flight):
+			// dereferencing it segfaults in the artifact.
+			return 0, fsapi.ErrSegfault
+		}
+		layout.InvalidateDentry(fs.dev, r)
+		fs.dev.Persist(r.MarkerOff(), 2)
+		return ino, nil
+	}
+	var ino uint64
+	var err error
+	mi.dir.ht.WithBucket(name, func(lb *htable.LockedBucket) {
+		e, ok := lb.Get(name)
+		if !ok {
+			err = fsapi.ErrNotExist
+			return
+		}
+		if err = fs.checkMapped(mi); err != nil {
+			return
+		}
+		layout.InvalidateDentry(fs.dev, layout.DentryRef(e.Ref))
+		fs.dev.Persist(layout.DentryRef(e.Ref).MarkerOff(), 2)
+		ino, _, _ = lb.Delete(name)
+	})
+	return ino, err
+}
+
+// Create makes an empty regular file.
+func (t *Thread) Create(path string) error {
+	fs := t.fs
+	dir, name, err := t.resolveParent(path, true)
+	if err != nil {
+		return err
+	}
+	ino, err := fs.allocIno()
+	if err != nil {
+		return err
+	}
+	in := layout.Inode{
+		Type: layout.TypeFile, Perm: layout.PermRead | layout.PermWrite,
+		Nlink: 1, Parent: dir.ino, MTime: fs.now(),
+	}
+	layout.WriteInode(fs.dev, fs.geo, ino, &in)
+	// The inode's write-back joins the dentry body under one fence
+	// (step 1 of §4.2's protocol covers "dentry and inode").
+	inodeFlush := func() {
+		fs.dev.Flush(layout.InodeOff(fs.geo, ino), layout.InodeSize)
+	}
+	if _, err := fs.insertEntry(t, dir, ino, name, inodeFlush); err != nil {
+		fs.recycleIno(ino)
+		return err
+	}
+	mi := &minode{ino: ino, typ: layout.TypeFile, file: &fileState{}}
+	mi.parent.Store(dir.ino)
+	mi.fresh.Store(true)
+	mi.cacheAttrs(0, 1, in.MTime)
+	fs.mtab.Store(ino, mi)
+	dir.cacheAttrs(uint64(dir.dir.ht.Len()), 2, in.MTime)
+	return nil
+}
+
+// Mkdir makes an empty directory.
+func (t *Thread) Mkdir(path string) error {
+	fs := t.fs
+	dir, name, err := t.resolveParent(path, true)
+	if err != nil {
+		return err
+	}
+	ino, err := fs.allocIno()
+	if err != nil {
+		return err
+	}
+	tailset, err := fs.allocPage(t.cpu)
+	if err != nil {
+		fs.recycleIno(ino)
+		return err
+	}
+	ntails := len(fs.rootTails())
+	layout.InitTailSet(fs.dev, tailset, ntails)
+	fs.dev.Persist(int64(tailset*layout.PageSize), layout.PageSize)
+	in := layout.Inode{
+		Type: layout.TypeDir, Perm: layout.PermRead | layout.PermWrite,
+		Nlink: 2, Parent: dir.ino, DataRoot: tailset, NTails: uint16(ntails),
+		MTime: fs.now(),
+	}
+	layout.WriteInode(fs.dev, fs.geo, ino, &in)
+	inodeFlush := func() {
+		fs.dev.Flush(layout.InodeOff(fs.geo, ino), layout.InodeSize)
+	}
+	if _, err := fs.insertEntry(t, dir, ino, name, inodeFlush); err != nil {
+		fs.recycleIno(ino)
+		fs.recyclePages(t.cpu, []uint64{tailset})
+		return err
+	}
+	mi := &minode{ino: ino, typ: layout.TypeDir, dir: &dirState{
+		ht:      fs.newDirTable(),
+		tailset: tailset,
+		tails:   make([]tailCursor, ntails),
+	}}
+	mi.parent.Store(dir.ino)
+	mi.fresh.Store(true)
+	mi.cacheAttrs(0, 2, in.MTime)
+	fs.mtab.Store(ino, mi)
+	dir.cacheAttrs(uint64(dir.dir.ht.Len()), 2, in.MTime)
+	return nil
+}
+
+// rootTails returns the tail cursor slice of the root directory, used
+// only for its length (the FS-wide tail count).
+func (fs *FS) rootTails() []tailCursor {
+	if v, ok := fs.mtab.Load(uint64(layout.RootIno)); ok {
+		return v.(*minode).dir.tails
+	}
+	// Root not faulted in yet: read the count from PM.
+	in, _, _ := layout.ReadInode(fs.dev, fs.geo, layout.RootIno)
+	return make([]tailCursor, in.NTails)
+}
+
+// Unlink removes a regular file.
+func (t *Thread) Unlink(path string) error {
+	fs := t.fs
+	dir, name, err := t.resolveParent(path, true)
+	if err != nil {
+		return err
+	}
+	childIno, _, ok, err := fs.lookupInDir(t, dir, name)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fsapi.ErrNotExist
+	}
+	// Type check straight from the child's inode record, as the artifact
+	// does — the child need not be separately acquired to be unlinked.
+	if in, inOk, _ := layout.ReadInode(fs.dev, fs.geo, childIno); inOk && in.Type == layout.TypeDir {
+		return fsapi.ErrIsDir
+	}
+	if _, err := fs.removeEntry(dir, name); err != nil {
+		return err
+	}
+	if v, cached := fs.mtab.Load(childIno); cached {
+		fs.destroyFile(t, v.(*minode))
+	} else {
+		// Not in our table: zero the record; the kernel reclaims pages
+		// at the directory's next verification.
+		layout.FreeInode(fs.dev, fs.geo, childIno)
+		fs.dev.Persist(layout.InodeOff(fs.geo, childIno), layout.InodeSize)
+	}
+	dir.cacheAttrs(uint64(dir.dir.ht.Len()), 2, fs.clock.Load())
+	return nil
+}
+
+// destroyFile tears down an unlinked file: zero the inode record and,
+// when the kernel never learned of the inode, recycle its resources.
+func (fs *FS) destroyFile(t *Thread, child *minode) {
+	child.lock.Lock()
+	layout.FreeInode(fs.dev, fs.geo, child.ino)
+	fs.dev.Persist(layout.InodeOff(fs.geo, child.ino), layout.InodeSize)
+	fs.mtab.Delete(child.ino)
+	if child.fresh.Load() {
+		var pages []uint64
+		if child.file != nil {
+			pages = append(pages, child.file.mapPages...)
+			for _, b := range child.file.blocks {
+				if b != 0 {
+					pages = append(pages, b)
+				}
+			}
+		}
+		fs.recyclePages(t.cpu, pages)
+		fs.recycleIno(child.ino)
+	}
+	child.lock.Unlock()
+}
+
+// Rmdir removes an empty directory.
+func (t *Thread) Rmdir(path string) error {
+	fs := t.fs
+	dir, name, err := t.resolveParent(path, true)
+	if err != nil {
+		return err
+	}
+	childIno, _, ok, err := fs.lookupInDir(t, dir, name)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fsapi.ErrNotExist
+	}
+	child, err := fs.getMinode(childIno, false)
+	if err != nil {
+		return err
+	}
+	if child.typ != layout.TypeDir {
+		return fsapi.ErrNotDir
+	}
+	if child.dir.ht.Len() != 0 {
+		return fsapi.ErrNotEmpty
+	}
+	if _, err := fs.removeEntry(dir, name); err != nil {
+		return err
+	}
+	child.lock.Lock()
+	layout.FreeInode(fs.dev, fs.geo, child.ino)
+	fs.dev.Persist(layout.InodeOff(fs.geo, child.ino), layout.InodeSize)
+	fs.mtab.Delete(child.ino)
+	if child.fresh.Load() {
+		var pages []uint64
+		pages = append(pages, child.dir.tailset)
+		for i := range child.dir.tails {
+			tc := &child.dir.tails[i]
+			for p := layout.TailHead(fs.dev, child.dir.tailset, i); p != 0; p = layout.NextPage(fs.dev, p) {
+				pages = append(pages, p)
+			}
+			_ = tc
+		}
+		fs.recyclePages(t.cpu, pages)
+		fs.recycleIno(child.ino)
+	}
+	child.lock.Unlock()
+	dir.cacheAttrs(uint64(dir.dir.ht.Len()), 2, fs.clock.Load())
+	return nil
+}
+
+// Readdir lists a directory's names in sorted order.
+func (t *Thread) Readdir(path string) ([]string, error) {
+	mi, err := t.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if mi.typ != layout.TypeDir {
+		return nil, fsapi.ErrNotDir
+	}
+	names := make([]string, 0, mi.dir.ht.Len())
+	mi.dir.ht.Range(func(name string, _, _ uint64) bool {
+		names = append(names, name)
+		return true
+	})
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stat returns path's attributes. ArckFS+ serves it from the cached
+// in-memory inode (§4.3 patch); ArckFS reads the mapped core state, which
+// crashes if the mapping was torn down concurrently.
+func (t *Thread) Stat(path string) (fsapi.Stat, error) {
+	mi, err := t.resolve(path)
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	if t.fs.opts.Bugs.Has(BugReleaseUnsync) {
+		if err := t.fs.checkMapped(mi); err != nil {
+			return fsapi.Stat{}, err
+		}
+		in, ok, corrupt := layout.ReadInode(t.fs.dev, t.fs.geo, mi.ino)
+		if !ok || corrupt {
+			return fsapi.Stat{}, fsapi.ErrStale
+		}
+		return fsapi.Stat{
+			Ino: mi.ino, Dir: in.Type == layout.TypeDir,
+			Size: in.Size, Nlink: in.Nlink, MTime: in.MTime,
+		}, nil
+	}
+	return mi.stat(), nil
+}

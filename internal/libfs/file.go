@@ -1,0 +1,262 @@
+package libfs
+
+import (
+	"arckfs/internal/fsapi"
+	"arckfs/internal/layout"
+)
+
+// Open returns a descriptor for an existing file or directory.
+func (t *Thread) Open(path string) (fsapi.FD, error) {
+	mi, err := t.resolve(path)
+	if err != nil {
+		return -1, err
+	}
+	return t.newFD(mi), nil
+}
+
+// ReadAt copies file data at off into p, transparently re-acquiring if a
+// trust-group peer took the inode.
+func (t *Thread) ReadAt(fd fsapi.FD, p []byte, off int64) (int, error) {
+	mi, err := t.lookupFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	n, err := t.readAt(mi, p, off)
+	if err == fsapi.ErrBusError {
+		if rerr := t.fs.remap(mi); rerr == nil {
+			return t.readAt(mi, p, off)
+		}
+	}
+	return n, err
+}
+
+func (t *Thread) readAt(mi *minode, p []byte, off int64) (int, error) {
+	if mi.typ != layout.TypeFile {
+		return 0, fsapi.ErrIsDir
+	}
+	if mi.released.Load() {
+		if err := t.fs.reacquire(mi); err != nil {
+			return 0, err
+		}
+	}
+	mi.lock.RLock()
+	defer mi.lock.RUnlock()
+	if err := t.fs.checkMapped(mi); err != nil {
+		return 0, err
+	}
+	st := mi.file
+	if off < 0 {
+		return 0, fsapi.ErrInval
+	}
+	if uint64(off) >= st.size {
+		return 0, nil
+	}
+	n := len(p)
+	if uint64(off)+uint64(n) > st.size {
+		n = int(st.size - uint64(off))
+	}
+	if n >= DelegationThreshold {
+		t.fs.delegatedCopyOut(st, off, p[:n])
+	} else {
+		t.fs.copyOutRange(st, off, p[:n])
+	}
+	return n, nil
+}
+
+// WriteAt stores p at off, growing the file as needed. Data and metadata
+// persist synchronously: data pages are fenced before the block map and
+// size, so a crash never exposes garbage through a valid pointer.
+//
+// If the kernel moved the inode to a trust-group peer since the last
+// operation, the patched LibFS transparently re-acquires and retries
+// once; ArckFS crashes (§4.3).
+func (t *Thread) WriteAt(fd fsapi.FD, p []byte, off int64) (int, error) {
+	mi, err := t.lookupFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	n, err := t.fs.writeAt(t, mi, p, off)
+	if err == fsapi.ErrBusError {
+		if rerr := t.fs.remap(mi); rerr == nil {
+			return t.fs.writeAt(t, mi, p, off)
+		}
+	}
+	return n, err
+}
+
+func (fs *FS) writeAt(t *Thread, mi *minode, p []byte, off int64) (int, error) {
+	if mi.typ != layout.TypeFile {
+		return 0, fsapi.ErrIsDir
+	}
+	if off < 0 {
+		return 0, fsapi.ErrInval
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if mi.released.Load() {
+		if err := fs.reacquire(mi); err != nil {
+			return 0, err
+		}
+	}
+	mi.lock.Lock()
+	defer mi.lock.Unlock()
+	if err := fs.checkMapped(mi); err != nil {
+		return 0, err
+	}
+	st := mi.file
+
+	end := uint64(off) + uint64(len(p))
+	needBlocks := layout.BlocksForSize(end)
+
+	// Pass 1: allocate every missing block the write touches, zeroing
+	// blocks the write covers only partially.
+	var dirtyMap []int
+	for len(st.blocks) < needBlocks {
+		st.blocks = append(st.blocks, 0)
+	}
+	firstBlock := int(off / layout.PageSize)
+	lastBlock := int((end - 1) / layout.PageSize)
+	for bi := firstBlock; bi <= lastBlock; bi++ {
+		if st.blocks[bi] != 0 {
+			continue
+		}
+		b, err := fs.allocPage(t.cpu)
+		if err != nil {
+			return 0, err
+		}
+		fullyCovered := int64(bi)*layout.PageSize >= off &&
+			uint64(bi+1)*layout.PageSize <= end
+		if !fullyCovered {
+			fs.dev.Zero(int64(b*layout.PageSize), layout.PageSize)
+		}
+		st.blocks[bi] = b
+		dirtyMap = append(dirtyMap, bi)
+	}
+
+	// Pass 2: copy and flush the data — delegated across the worker pool
+	// for large requests (§5.2's I/O delegation), inline otherwise.
+	if len(p) >= DelegationThreshold {
+		fs.delegatedCopyIn(st, off, p)
+	} else {
+		fs.copyInRange(st, off, p)
+	}
+	written := len(p)
+	// Order: data before metadata.
+	fs.dev.Fence()
+
+	// Extend the map chain to cover needBlocks entries.
+	if err := fs.ensureMapCapacity(t, mi, needBlocks); err != nil {
+		return written, err
+	}
+	for _, bi := range dirtyMap {
+		page := st.mapPages[bi/layout.MapEntriesPerPage]
+		layout.SetMapEntry(fs.dev, page, bi%layout.MapEntriesPerPage, st.blocks[bi])
+		fs.dev.Flush(int64(page*layout.PageSize)+int64(bi%layout.MapEntriesPerPage)*8, 8)
+	}
+	if end > st.size {
+		st.size = end
+	}
+	fs.persistFileInode(mi)
+	fs.dev.Fence()
+	mi.cacheAttrs(st.size, 1, fs.clock.Load())
+	return written, nil
+}
+
+// ensureMapCapacity grows the file's map chain to hold n entries.
+func (fs *FS) ensureMapCapacity(t *Thread, mi *minode, n int) error {
+	st := mi.file
+	needPages := (n + layout.MapEntriesPerPage - 1) / layout.MapEntriesPerPage
+	for len(st.mapPages) < needPages {
+		p, err := fs.allocPage(t.cpu)
+		if err != nil {
+			return err
+		}
+		layout.ZeroPage(fs.dev, p)
+		fs.dev.Persist(int64(p*layout.PageSize), layout.PageSize)
+		if len(st.mapPages) > 0 {
+			last := st.mapPages[len(st.mapPages)-1]
+			layout.SetNextPage(fs.dev, last, p)
+			fs.dev.Persist(int64(last*layout.PageSize)+layout.NextPtrOff, 8)
+		}
+		st.mapPages = append(st.mapPages, p)
+	}
+	return nil
+}
+
+// persistFileInode rewrites and flushes mi's inode record (size, mtime,
+// root pointer). The caller fences.
+func (fs *FS) persistFileInode(mi *minode) {
+	st := mi.file
+	var root uint64
+	if len(st.mapPages) > 0 {
+		root = st.mapPages[0]
+	}
+	in := layout.Inode{
+		Type: layout.TypeFile, Perm: layout.PermRead | layout.PermWrite,
+		Nlink: 1, Size: st.size, DataRoot: root, Parent: mi.parent.Load(),
+		MTime: fs.now(),
+	}
+	layout.WriteInode(fs.dev, fs.geo, mi.ino, &in)
+	fs.dev.Flush(layout.InodeOff(fs.geo, mi.ino), layout.InodeSize)
+}
+
+// Truncate sets path's size. Shrinking frees whole blocks beyond the new
+// size; growing leaves a hole.
+func (t *Thread) Truncate(path string, size uint64) error {
+	fs := t.fs
+	mi, err := t.resolve(path)
+	if err != nil {
+		return err
+	}
+	if mi.typ != layout.TypeFile {
+		return fsapi.ErrIsDir
+	}
+	if mi.released.Load() {
+		if err := fs.reacquire(mi); err != nil {
+			return err
+		}
+	}
+	mi.lock.Lock()
+	defer mi.lock.Unlock()
+	if err := fs.checkMapped(mi); err != nil {
+		return err
+	}
+	st := mi.file
+	if size >= st.size {
+		st.size = size
+		if err := fs.ensureMapCapacity(t, mi, layout.BlocksForSize(size)); err != nil {
+			return err
+		}
+		fs.persistFileInode(mi)
+		fs.dev.Fence()
+		mi.cacheAttrs(st.size, 1, fs.clock.Load())
+		return nil
+	}
+	keep := layout.BlocksForSize(size)
+	var freed []uint64
+	for bi := keep; bi < len(st.blocks); bi++ {
+		if st.blocks[bi] != 0 {
+			freed = append(freed, st.blocks[bi])
+			page := st.mapPages[bi/layout.MapEntriesPerPage]
+			layout.SetMapEntry(fs.dev, page, bi%layout.MapEntriesPerPage, 0)
+			fs.dev.Flush(int64(page*layout.PageSize)+int64(bi%layout.MapEntriesPerPage)*8, 8)
+		}
+	}
+	st.blocks = st.blocks[:keep]
+	st.size = size
+	fs.persistFileInode(mi)
+	fs.dev.Fence()
+	if mi.fresh.Load() {
+		fs.recyclePages(t.cpu, freed)
+	}
+	mi.cacheAttrs(st.size, 1, fs.clock.Load())
+	return nil
+}
+
+// Fsync is a no-op: every ArckFS operation persists synchronously, so
+// "fsync() returns immediately" (§2.2).
+func (t *Thread) Fsync(fd fsapi.FD) error {
+	_, err := t.lookupFD(fd)
+	return err
+}

@@ -1,0 +1,289 @@
+// Package libfs implements the ArckFS library file system: the
+// per-application userspace component of the Trio architecture. All data
+// and metadata operations run in userspace against mapped core state in
+// persistent memory, guided by auxiliary DRAM indexes; the kernel is
+// involved only for inode ownership transfers and resource grants.
+//
+// The package implements both the file system as shipped in the Trio
+// artifact (ArckFS) and the patched ArckFS+ of the paper. The six bugs of
+// Table 1 are individually toggleable through the Bugs bit-set, and the
+// Hooks structure exposes the exact race windows the paper instruments
+// with sleep() calls, so every bug is reproducible deterministically.
+package libfs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"arckfs/internal/costmodel"
+	"arckfs/internal/fsapi"
+	"arckfs/internal/hlock"
+	"arckfs/internal/kernel"
+	"arckfs/internal/layout"
+	"arckfs/internal/pmem"
+	"arckfs/internal/rcu"
+)
+
+// Bugs selects which of the paper's Table-1 bugs are present.
+type Bugs uint32
+
+const (
+	// BugRenameVerify (§4.1): the LibFS does not follow Rules (2) and
+	// (3) for directory relocation — no commits of the new parent, no
+	// global rename lock. (The matching verifier half is selected by
+	// formatting the kernel with verifier.Original.)
+	BugRenameVerify Bugs = 1 << iota
+	// BugMissingFence (§4.2): the memory fence between persisting a new
+	// dentry's body and persisting its commit marker is omitted.
+	BugMissingFence
+	// BugReleaseUnsync (§4.3): voluntary inode release does not
+	// synchronize with concurrent operations; other threads can
+	// dereference the unmapped core state.
+	BugReleaseUnsync
+	// BugAuxCoreRace (§4.4): the bucket-lock critical section covers only
+	// the auxiliary-state update; the persistent update happens outside
+	// it.
+	BugAuxCoreRace
+	// BugLocklessBucketRead (§4.5): directory readers traverse hash
+	// buckets with no lock and no RCU protection.
+	BugLocklessBucketRead
+	// BugNoCycleCheck (§4.6): no global rename lock and no
+	// descendant check on directory renames.
+	BugNoCycleCheck
+
+	// BugsAll is ArckFS exactly as the artifact shipped.
+	BugsAll = BugRenameVerify | BugMissingFence | BugReleaseUnsync |
+		BugAuxCoreRace | BugLocklessBucketRead | BugNoCycleCheck
+	// BugsNone is ArckFS+.
+	BugsNone Bugs = 0
+)
+
+// Has reports whether bug b is enabled.
+func (bs Bugs) Has(b Bugs) bool { return bs&b != 0 }
+
+// Hooks are deterministic stand-ins for the sleep() calls the paper
+// inserts to widen race windows. All are optional.
+type Hooks struct {
+	// CreateBetweenAuxAndCore runs in the §4.4 window: after the
+	// auxiliary hash-table insert, before the persistent dentry append
+	// (only reachable with BugAuxCoreRace).
+	CreateBetweenAuxAndCore func()
+	// DirWriteInProgress runs during a directory write, after the
+	// mapping check and before the persistent append — the §4.3 window.
+	DirWriteInProgress func()
+	// RenameAfterCheck runs after a rename's checks and resolution,
+	// before the persistent moves — the §4.6 window.
+	RenameAfterCheck func()
+	// BucketTraverse is forwarded to every directory hash table — the
+	// §4.5 window.
+	BucketTraverse func()
+	// CreateBeforeMarkerFence runs after the commit marker's flush has
+	// been issued but before the operation's final fence — the §4.2
+	// crash window. A test can capture a crash image here: under
+	// BugMissingFence the dentry body is still unfenced at this point,
+	// so the marker may persist without it.
+	CreateBeforeMarkerFence func()
+}
+
+// Options configures a LibFS instance.
+type Options struct {
+	Bugs  Bugs
+	Cost  *costmodel.Model
+	Hooks *Hooks
+	// GrantInoBatch and GrantPageBatch size the resource-grant syscalls.
+	GrantInoBatch  int
+	GrantPageBatch int
+	// DirBuckets is the initial bucket count of directory hash tables.
+	DirBuckets int
+	// StrictUAF makes the §4.5 buggy reader fault immediately on a
+	// recycled entry (the paper's instrumented build); off, it retries
+	// as the un-instrumented artifact effectively does.
+	StrictUAF bool
+}
+
+func (o *Options) fill() {
+	if o.GrantInoBatch == 0 {
+		o.GrantInoBatch = 256
+	}
+	if o.GrantPageBatch == 0 {
+		o.GrantPageBatch = 512
+	}
+	if o.DirBuckets == 0 {
+		o.DirBuckets = 16
+	}
+	if o.Hooks == nil {
+		o.Hooks = &Hooks{}
+	}
+}
+
+// FS is one application's library file system.
+type FS struct {
+	ctrl *kernel.Controller
+	dev  *pmem.Device
+	geo  layout.Geometry
+	app  kernel.AppID
+	opts Options
+	dom  *rcu.Domain
+
+	mtab sync.Map // ino -> *minode
+
+	inoMu   hlock.SpinLock
+	inoPool []uint64
+
+	pageMu   [8]hlock.SpinLock
+	pagePool [8][]uint64
+
+	nthreads atomic.Int64
+	clock    atomic.Uint64 // logical mtime source
+
+	// delegates is the I/O delegation pool (see delegate.go).
+	delegates delegatePool
+}
+
+// New attaches a LibFS for a registered application.
+func New(ctrl *kernel.Controller, app kernel.AppID, opts Options) *FS {
+	opts.fill()
+	return &FS{
+		ctrl: ctrl,
+		dev:  ctrl.Device(),
+		geo:  ctrl.Geometry(),
+		app:  app,
+		opts: opts,
+		dom:  rcu.NewDomain(),
+	}
+}
+
+// App returns the kernel application id.
+func (fs *FS) App() kernel.AppID { return fs.app }
+
+// Name implements fsapi.FS.
+func (fs *FS) Name() string {
+	if fs.opts.Bugs == BugsNone {
+		return "arckfs+"
+	}
+	return "arckfs"
+}
+
+// Bugs returns the configured bug set.
+func (fs *FS) Bugs() Bugs { return fs.opts.Bugs }
+
+// Domain exposes the RCU domain (tests).
+func (fs *FS) Domain() *rcu.Domain { return fs.dom }
+
+func (fs *FS) now() uint64 { return fs.clock.Add(1) }
+
+// --- Resource pools --------------------------------------------------------
+
+// allocIno takes an inode number from the granted pool, refilling via a
+// kernel grant when empty.
+func (fs *FS) allocIno() (uint64, error) {
+	fs.inoMu.Lock()
+	if len(fs.inoPool) == 0 {
+		fs.inoMu.Unlock()
+		batch, err := fs.ctrl.GrantInodes(fs.app, fs.opts.GrantInoBatch)
+		if err != nil {
+			return 0, err
+		}
+		fs.inoMu.Lock()
+		fs.inoPool = append(fs.inoPool, batch...)
+	}
+	ino := fs.inoPool[len(fs.inoPool)-1]
+	fs.inoPool = fs.inoPool[:len(fs.inoPool)-1]
+	fs.inoMu.Unlock()
+	return ino, nil
+}
+
+// recycleIno returns a never-committed inode number to the pool.
+func (fs *FS) recycleIno(ino uint64) {
+	fs.inoMu.Lock()
+	fs.inoPool = append(fs.inoPool, ino)
+	fs.inoMu.Unlock()
+}
+
+// allocPage takes a granted page, refilling from the kernel when the
+// stripe runs dry.
+func (fs *FS) allocPage(cpu int) (uint64, error) {
+	s := uint(cpu) % 8
+	fs.pageMu[s].Lock()
+	if len(fs.pagePool[s]) == 0 {
+		fs.pageMu[s].Unlock()
+		batch, err := fs.ctrl.GrantPages(fs.app, cpu, fs.opts.GrantPageBatch)
+		if err != nil {
+			return 0, err
+		}
+		fs.pageMu[s].Lock()
+		fs.pagePool[s] = append(fs.pagePool[s], batch...)
+	}
+	p := fs.pagePool[s][len(fs.pagePool[s])-1]
+	fs.pagePool[s] = fs.pagePool[s][:len(fs.pagePool[s])-1]
+	fs.pageMu[s].Unlock()
+	return p, nil
+}
+
+// recyclePages returns never-verified pages to the pool.
+func (fs *FS) recyclePages(cpu int, pages []uint64) {
+	if len(pages) == 0 {
+		return
+	}
+	s := uint(cpu) % 8
+	fs.pageMu[s].Lock()
+	fs.pagePool[s] = append(fs.pagePool[s], pages...)
+	fs.pageMu[s].Unlock()
+}
+
+// --- Threads ---------------------------------------------------------------
+
+// Thread is a per-worker handle; it carries the virtual CPU (for log-tail
+// and allocator-stripe selection), the RCU reader, and the fd table.
+type Thread struct {
+	fs  *FS
+	cpu int
+	rd  *rcu.Reader
+	fds []*fdEnt
+}
+
+type fdEnt struct {
+	mi *minode
+}
+
+// NewThread implements fsapi.FS.
+func (fs *FS) NewThread(cpu int) fsapi.Thread {
+	fs.nthreads.Add(1)
+	return &Thread{fs: fs, cpu: cpu, rd: fs.dom.Register()}
+}
+
+// Detach releases the thread's RCU registration. (Not part of
+// fsapi.Thread; benchmark drivers call it when a worker exits.)
+func (t *Thread) Detach() {
+	if t.rd != nil {
+		t.fs.dom.Unregister(t.rd)
+		t.rd = nil
+	}
+}
+
+func (t *Thread) newFD(mi *minode) fsapi.FD {
+	for i, e := range t.fds {
+		if e == nil {
+			t.fds[i] = &fdEnt{mi: mi}
+			return fsapi.FD(i)
+		}
+	}
+	t.fds = append(t.fds, &fdEnt{mi: mi})
+	return fsapi.FD(len(t.fds) - 1)
+}
+
+func (t *Thread) lookupFD(fd fsapi.FD) (*minode, error) {
+	if int(fd) < 0 || int(fd) >= len(t.fds) || t.fds[fd] == nil {
+		return nil, fsapi.ErrBadFd
+	}
+	return t.fds[fd].mi, nil
+}
+
+// Close implements fsapi.Thread.
+func (t *Thread) Close(fd fsapi.FD) error {
+	if int(fd) < 0 || int(fd) >= len(t.fds) || t.fds[fd] == nil {
+		return fsapi.ErrBadFd
+	}
+	t.fds[fd] = nil
+	return nil
+}

@@ -1,0 +1,272 @@
+package libfs
+
+import (
+	"sync/atomic"
+
+	"arckfs/internal/fsapi"
+	"arckfs/internal/hlock"
+	"arckfs/internal/htable"
+	"arckfs/internal/kernel"
+	"arckfs/internal/layout"
+)
+
+// minode is the in-memory (auxiliary, per-application) inode. Directory
+// minodes carry a hash table over the persistent dentry log; file minodes
+// carry a DRAM block index. The paper's §4.3 patch additionally caches
+// the attributes here so lock-free readers never touch the mapped core
+// state.
+type minode struct {
+	ino uint64
+	typ uint16
+
+	// parent is the inode's current parent directory as this LibFS
+	// believes it (updated locally on rename; verified by the kernel).
+	parent atomic.Uint64
+
+	// mapping is the kernel mapping handle; nil for inodes this LibFS
+	// created and has not yet committed (self-built core state needs no
+	// mapping).
+	mapping *kernel.Mapping
+
+	// lock is the per-inode readers-writer lock: files take it for
+	// read/write; directories take it for whole-inode operations
+	// (release, rename source/target pinning).
+	lock hlock.RWSpin
+
+	// attrs is the §4.3 cached state: an immutable snapshot readers use
+	// without dereferencing PM.
+	attrs atomic.Pointer[fsapi.Stat]
+
+	// fresh marks an inode created by this LibFS that the kernel has not
+	// learned about (no pending/committed shadow): its inode number and
+	// pages may be locally recycled on unlink.
+	fresh atomic.Bool
+
+	// released marks a voluntarily released inode whose aux state is
+	// retained (§4.3 patch): reads serve from cache, writes must
+	// re-acquire.
+	released atomic.Bool
+
+	dir  *dirState
+	file *fileState
+}
+
+// dirState is a directory's auxiliary state plus its log-append cursors.
+type dirState struct {
+	ht      *htable.Table
+	tailset uint64
+	tails   []tailCursor
+	// idxMu is the "index tail" lock: it serializes structural log
+	// growth (linking new pages, publishing tail heads).
+	idxMu hlock.SpinLock
+}
+
+type tailCursor struct {
+	mu   hlock.SpinLock
+	page uint64 // 0 = tail empty
+	off  int
+	_    [40]byte
+}
+
+// fileState is a file's auxiliary block index. Guarded by minode.lock.
+type fileState struct {
+	blocks   []uint64 // block k of the file; 0 = hole
+	mapPages []uint64 // the PM map-chain pages backing blocks
+	size     uint64
+}
+
+// checkMapped returns the §4.3 simulated bus error if the inode's core
+// state is no longer mapped.
+func (fs *FS) checkMapped(mi *minode) error {
+	if mi.mapping != nil && !mi.mapping.Valid() {
+		return fsapi.ErrBusError
+	}
+	return nil
+}
+
+// cacheAttrs refreshes the cached attribute snapshot from in-memory
+// knowledge.
+func (mi *minode) cacheAttrs(size uint64, nlink uint16, mtime uint64) {
+	mi.attrs.Store(&fsapi.Stat{
+		Ino:   mi.ino,
+		Dir:   mi.typ == layout.TypeDir,
+		Size:  size,
+		Nlink: nlink,
+		MTime: mtime,
+	})
+}
+
+// stat returns the cached attribute snapshot.
+func (mi *minode) stat() fsapi.Stat { return *mi.attrs.Load() }
+
+// getMinode returns the in-memory inode for ino, acquiring it from the
+// kernel and rebuilding auxiliary state on first touch.
+func (fs *FS) getMinode(ino uint64, write bool) (*minode, error) {
+	if v, ok := fs.mtab.Load(ino); ok {
+		mi := v.(*minode)
+		if mi.released.Load() && write {
+			// Re-acquire a previously released inode for writing.
+			if err := fs.reacquire(mi); err != nil {
+				return nil, err
+			}
+		}
+		return mi, nil
+	}
+	m, err := fs.ctrl.Acquire(fs.app, ino, true)
+	if err != nil {
+		return nil, err
+	}
+	mi, err := fs.buildMinode(ino, m)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := fs.mtab.LoadOrStore(ino, mi)
+	return actual.(*minode), nil
+}
+
+// remap re-acquires an inode whose mapping the kernel revoked underneath
+// us (an involuntary release or a trust-group transfer to a peer): the
+// patched LibFS rebuilds and retries instead of crashing. ArckFS as
+// shipped has no such path — the revocation is a crash (§4.3).
+func (fs *FS) remap(mi *minode) error {
+	if fs.opts.Bugs.Has(BugReleaseUnsync) {
+		return fsapi.ErrBusError
+	}
+	m, err := fs.ctrl.Acquire(fs.app, mi.ino, true)
+	if err != nil {
+		return err
+	}
+	mi.lock.Lock()
+	defer mi.lock.Unlock()
+	if mi.mapping != nil && mi.mapping.Valid() {
+		return nil // raced with another remapper
+	}
+	fresh, err := fs.buildMinode(mi.ino, m)
+	if err != nil {
+		return err
+	}
+	mi.mapping = m
+	mi.dir = fresh.dir
+	mi.file = fresh.file
+	mi.attrs.Store(fresh.attrs.Load())
+	mi.released.Store(false)
+	return nil
+}
+
+// reacquire remaps a released inode (§4.3 patch path: aux was retained).
+func (fs *FS) reacquire(mi *minode) error {
+	m, err := fs.ctrl.Acquire(fs.app, mi.ino, true)
+	if err != nil {
+		return err
+	}
+	mi.lock.Lock()
+	defer mi.lock.Unlock()
+	if !mi.released.Load() {
+		return nil // lost the race to another re-acquirer
+	}
+	// The core state may have changed while released; rebuild aux.
+	fresh, err := fs.buildMinode(mi.ino, m)
+	if err != nil {
+		return err
+	}
+	mi.mapping = m
+	mi.dir = fresh.dir
+	mi.file = fresh.file
+	mi.attrs.Store(fresh.attrs.Load())
+	mi.released.Store(false)
+	return nil
+}
+
+// buildMinode reads ino's core state and constructs auxiliary state —
+// Trio step 3: "the LibFS builds its auxiliary state from the core
+// state".
+func (fs *FS) buildMinode(ino uint64, m *kernel.Mapping) (*minode, error) {
+	in, ok, corrupt := layout.ReadInode(fs.dev, fs.geo, ino)
+	if !ok || corrupt {
+		return nil, fsapi.ErrStale
+	}
+	mi := &minode{ino: ino, typ: in.Type, mapping: m}
+	mi.parent.Store(in.Parent)
+	switch in.Type {
+	case layout.TypeDir:
+		ds := &dirState{
+			ht:      fs.newDirTable(),
+			tailset: in.DataRoot,
+			tails:   make([]tailCursor, in.NTails),
+		}
+		for t := 0; t < int(in.NTails); t++ {
+			head := layout.TailHead(fs.dev, in.DataRoot, t)
+			if head == 0 {
+				continue
+			}
+			var scanErr error
+			page, off, corrupt := layout.ScanTail(fs.dev, head, func(d layout.Dentry) bool {
+				if d.Live {
+					if !ds.ht.Insert(d.Name, d.Ino, uint64(d.Ref)) {
+						scanErr = fsapi.ErrStale
+						return false
+					}
+				}
+				return true
+			})
+			if scanErr != nil {
+				return nil, scanErr
+			}
+			if corrupt {
+				return nil, fsapi.ErrStale
+			}
+			ds.tails[t].page = page
+			ds.tails[t].off = off
+		}
+		mi.dir = ds
+		mi.cacheAttrs(uint64(ds.ht.Len()), in.Nlink, in.MTime)
+	case layout.TypeFile:
+		st := &fileState{size: in.Size}
+		need := layout.BlocksForSize(in.Size)
+		if in.DataRoot != 0 {
+			st.mapPages = layout.MapChainPages(fs.dev, in.DataRoot)
+			st.blocks = layout.WalkBlockMap(fs.dev, in.DataRoot, need)
+		}
+		mi.file = st
+		mi.cacheAttrs(in.Size, in.Nlink, in.MTime)
+	default:
+		return nil, fsapi.ErrStale
+	}
+	return mi, nil
+}
+
+// newDirTable builds a directory hash table honoring the §4.5 bug flag.
+func (fs *FS) newDirTable() *htable.Table {
+	t := htable.New(htable.Options{
+		RCUReaders:     !fs.opts.Bugs.Has(BugLocklessBucketRead),
+		Dom:            fs.dom,
+		InitialBuckets: fs.opts.DirBuckets,
+		StrictUAF:      fs.opts.StrictUAF,
+	})
+	// Indirect through the Hooks struct so tests can arm the window after
+	// tables already exist.
+	t.TraverseHook = func() {
+		if h := fs.opts.Hooks.BucketTraverse; h != nil {
+			h()
+		}
+	}
+	return t
+}
+
+// lookupInDir finds name in dir's hash table using the configured reader
+// discipline. The caller supplies its RCU reader.
+func (fs *FS) lookupInDir(t *Thread, mi *minode, name string) (uint64, uint64, bool, error) {
+	if mi.dir == nil {
+		return 0, 0, false, fsapi.ErrNotDir
+	}
+	var rd = t.rd
+	if fs.opts.Bugs.Has(BugLocklessBucketRead) {
+		rd = nil
+	}
+	ino, ref, ok, err := mi.dir.ht.Lookup(rd, name)
+	if err != nil {
+		// The simulated segfault of §4.5.
+		return 0, 0, false, fsapi.ErrSegfault
+	}
+	return ino, ref, ok, nil
+}

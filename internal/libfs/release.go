@@ -1,0 +1,139 @@
+package libfs
+
+import (
+	"sort"
+
+	"arckfs/internal/layout"
+)
+
+// ensureCommitted makes the kernel's view of mi a committed shadow inode,
+// committing the parent chain as needed (LibFS Rule 1: an inode can only
+// be committed once its parent's verification has connected it to the
+// root).
+func (fs *FS) ensureCommitted(t *Thread, mi *minode) error {
+	if mi.ino == layout.RootIno {
+		return nil
+	}
+	if mi.fresh.Load() {
+		pIno := mi.parent.Load()
+		pmi, err := fs.getMinode(pIno, false)
+		if err != nil {
+			return err
+		}
+		if err := fs.ensureCommitted(t, pmi); err != nil {
+			return err
+		}
+		// Committing the parent directory verifies its new entries and
+		// creates pending shadows for every fresh child, mi included.
+		if err := fs.ctrl.Commit(fs.app, pIno); err != nil {
+			return err
+		}
+		fs.markChildrenKnown(pIno)
+	}
+	// Pending -> committed (or a re-verification of an already committed
+	// inode, which also refreshes the kernel's baseline snapshot).
+	return fs.ctrl.Commit(fs.app, mi.ino)
+}
+
+// markChildrenKnown clears the fresh flag on every cached minode whose
+// parent is dirIno: the kernel has now seen them, so their resources are
+// no longer locally recyclable.
+func (fs *FS) markChildrenKnown(dirIno uint64) {
+	fs.mtab.Range(func(_, v any) bool {
+		mi := v.(*minode)
+		if mi.parent.Load() == dirIno {
+			mi.fresh.Store(false)
+		}
+		return true
+	})
+}
+
+// CommitInode runs the commit protocol for path's inode, making it (and
+// any fresh ancestors) verified kernel state without giving up ownership.
+func (fs *FS) CommitInode(t *Thread, path string) error {
+	mi, err := t.resolve(path)
+	if err != nil {
+		return err
+	}
+	return fs.ensureCommitted(t, mi)
+}
+
+// ReleaseInode voluntarily returns ino to the kernel.
+//
+// ArckFS+ (§4.3 patch): the releasing thread first acquires the inode's
+// write lock and every bucket lock of its hash table, so no other thread
+// can be mid-operation when the mapping is torn down; the auxiliary state
+// and the locks are retained, and readers keep using the cached in-memory
+// inode afterwards.
+//
+// ArckFS as shipped: the release happens with no synchronization at all —
+// another thread inside an operation dereferences the unmapped core
+// state and crashes (the simulated bus error).
+func (fs *FS) ReleaseInode(ino uint64) error {
+	v, ok := fs.mtab.Load(ino)
+	if !ok {
+		return fs.ctrl.Release(fs.app, ino)
+	}
+	mi := v.(*minode)
+	if mi.released.Load() {
+		return nil
+	}
+	if fs.opts.Bugs.Has(BugReleaseUnsync) {
+		// No quiescing: concurrent threads crash on the revoked mapping.
+		fs.mtab.Delete(ino)
+		err := fs.ctrl.Release(fs.app, ino)
+		fs.markChildrenKnown(ino)
+		return err
+	}
+	mi.lock.Lock()
+	var unlockAll func()
+	if mi.dir != nil {
+		unlockAll = mi.dir.ht.LockAll()
+	}
+	err := fs.ctrl.Release(fs.app, ino)
+	mi.released.Store(true)
+	if unlockAll != nil {
+		unlockAll()
+	}
+	mi.lock.Unlock()
+	if mi.typ == layout.TypeDir {
+		fs.markChildrenKnown(ino)
+	}
+	return err
+}
+
+// ReleaseAll returns every held inode to the kernel in Rule-1-compatible
+// order (parents before children, so fresh children become pending at
+// their parent's release and commit at their own). It returns the first
+// error encountered, after attempting everything.
+func (fs *FS) ReleaseAll() error {
+	type ent struct {
+		mi    *minode
+		depth int
+	}
+	var ents []ent
+	fs.mtab.Range(func(_, v any) bool {
+		mi := v.(*minode)
+		if mi.released.Load() {
+			return true
+		}
+		depth := 0
+		for cur := mi.ino; cur != layout.RootIno && depth < 1024; depth++ {
+			if pv, ok := fs.mtab.Load(cur); ok {
+				cur = pv.(*minode).parent.Load()
+			} else {
+				break
+			}
+		}
+		ents = append(ents, ent{mi, depth})
+		return true
+	})
+	sort.Slice(ents, func(i, j int) bool { return ents[i].depth < ents[j].depth })
+	var firstErr error
+	for _, e := range ents {
+		if err := fs.ReleaseInode(e.mi.ino); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,124 @@
+// Package pmalloc manages the data-page space of the simulated persistent
+// memory device. Free-space state is volatile, as in log-structured PM
+// file systems: a mount rebuilds it by walking the reachable core state,
+// so allocation never pays persistence costs.
+//
+// Allocation is striped to reduce cross-thread contention: each virtual
+// CPU draws from its own stripe and refills from the global pool in
+// batches.
+package pmalloc
+
+import (
+	"fmt"
+	"sync"
+
+	"arckfs/internal/hlock"
+	"arckfs/internal/layout"
+)
+
+const (
+	stripes     = 8
+	refillBatch = 64
+)
+
+// Allocator hands out page numbers in [DataStart, PageCount).
+type Allocator struct {
+	globalMu sync.Mutex
+	global   []uint64
+
+	stripe [stripes]struct {
+		mu   hlock.SpinLock
+		free []uint64
+		_    [40]byte
+	}
+}
+
+// New creates an allocator with every data page of g free.
+func New(g layout.Geometry) *Allocator {
+	return NewExcluding(g)
+}
+
+// NewExcluding creates an allocator with every data page of g free except
+// the listed pages (pages already in use, e.g. the root tail-set).
+func NewExcluding(g layout.Geometry, used ...uint64) *Allocator {
+	a := &Allocator{}
+	skip := make(map[uint64]bool, len(used))
+	for _, p := range used {
+		skip[p] = true
+	}
+	a.global = make([]uint64, 0, g.PageCount-g.DataStart)
+	// Push descending so allocation hands out ascending page numbers,
+	// which keeps test output stable and access patterns sequential.
+	for p := g.PageCount - 1; p >= g.DataStart; p-- {
+		if !skip[p] {
+			a.global = append(a.global, p)
+		}
+	}
+	return a
+}
+
+// NewEmpty creates an allocator with no free pages; recovery populates it
+// with Free as it discovers unreachable pages.
+func NewEmpty() *Allocator { return &Allocator{} }
+
+// Alloc returns one free page for the given virtual CPU.
+func (a *Allocator) Alloc(cpu int) (uint64, error) {
+	s := &a.stripe[uint(cpu)%stripes]
+	s.mu.Lock()
+	if len(s.free) == 0 {
+		a.globalMu.Lock()
+		n := refillBatch
+		if n > len(a.global) {
+			n = len(a.global)
+		}
+		s.free = append(s.free, a.global[len(a.global)-n:]...)
+		a.global = a.global[:len(a.global)-n]
+		a.globalMu.Unlock()
+		if len(s.free) == 0 {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("pmalloc: out of pages")
+		}
+	}
+	p := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	s.mu.Unlock()
+	return p, nil
+}
+
+// AllocBatch returns n free pages.
+func (a *Allocator) AllocBatch(cpu, n int) ([]uint64, error) {
+	pages := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := a.Alloc(cpu)
+		if err != nil {
+			a.Free(pages...)
+			return nil, err
+		}
+		pages = append(pages, p)
+	}
+	return pages, nil
+}
+
+// Free returns pages to the global pool.
+func (a *Allocator) Free(pages ...uint64) {
+	if len(pages) == 0 {
+		return
+	}
+	a.globalMu.Lock()
+	a.global = append(a.global, pages...)
+	a.globalMu.Unlock()
+}
+
+// FreeCount returns the total number of free pages (racy snapshot).
+func (a *Allocator) FreeCount() int {
+	a.globalMu.Lock()
+	n := len(a.global)
+	a.globalMu.Unlock()
+	for i := range a.stripe {
+		s := &a.stripe[i]
+		s.mu.Lock()
+		n += len(s.free)
+		s.mu.Unlock()
+	}
+	return n
+}

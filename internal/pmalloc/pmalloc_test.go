@@ -1,0 +1,104 @@
+package pmalloc
+
+import (
+	"sync"
+	"testing"
+
+	"arckfs/internal/layout"
+)
+
+func geo(pages uint64) layout.Geometry {
+	return layout.Geometry{PageCount: pages, DataStart: 4, InodeCap: 4}
+}
+
+func TestAllocAllAndExhaust(t *testing.T) {
+	a := New(geo(100))
+	if got := a.FreeCount(); got != 96 {
+		t.Fatalf("FreeCount = %d", got)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 96; i++ {
+		p, err := a.Alloc(0)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if p < 4 || p >= 100 || seen[p] {
+			t.Fatalf("bad page %d (dup=%v)", p, seen[p])
+		}
+		seen[p] = true
+	}
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("allocation past capacity succeeded")
+	}
+	a.Free(7, 9)
+	if a.FreeCount() != 2 {
+		t.Fatalf("FreeCount after free = %d", a.FreeCount())
+	}
+}
+
+func TestNewExcluding(t *testing.T) {
+	a := NewExcluding(geo(20), 5, 6)
+	if a.FreeCount() != 14 {
+		t.Fatalf("FreeCount = %d", a.FreeCount())
+	}
+	for i := 0; i < 14; i++ {
+		p, err := a.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == 5 || p == 6 {
+			t.Fatalf("excluded page %d handed out", p)
+		}
+	}
+}
+
+func TestAllocBatchRollsBackOnFailure(t *testing.T) {
+	a := New(geo(12)) // 8 free pages
+	if _, err := a.AllocBatch(0, 100); err == nil {
+		t.Fatal("oversized batch succeeded")
+	}
+	if a.FreeCount() != 8 {
+		t.Fatalf("failed batch leaked pages: %d free", a.FreeCount())
+	}
+	pages, err := a.AllocBatch(0, 8)
+	if err != nil || len(pages) != 8 {
+		t.Fatalf("batch = %v, %v", pages, err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	a := New(geo(4100))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	all := map[uint64]int{}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			var local []uint64
+			for i := 0; i < 400; i++ {
+				p, err := a.Alloc(cpu)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				local = append(local, p)
+				if i%3 == 2 {
+					a.Free(local[len(local)-1])
+					local = local[:len(local)-1]
+				}
+			}
+			mu.Lock()
+			for _, p := range local {
+				all[p]++
+			}
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	for p, n := range all {
+		if n > 1 {
+			t.Fatalf("page %d allocated %d times concurrently", p, n)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package pmem
+
+import (
+	"math/rand"
+	"sort"
+
+	"arckfs/internal/costmodel"
+)
+
+// CrashPolicy decides, for each cache line with unpersisted store history,
+// how many leading versions additionally reach the persistence domain at a
+// simulated power failure. It receives the line's byte offset and the
+// number of unpersisted versions, and returns a value in [0, versions].
+//
+// The per-line prefix rule encodes that stores to a single cache line are
+// ordered (a later store can never persist without the earlier ones),
+// while different lines are entirely unordered absent a fence.
+type CrashPolicy func(lineOff int64, versions int) int
+
+// CrashDropAll persists nothing beyond what was fenced — the most
+// destructive crash.
+func CrashDropAll(int64, int) int { return 0 }
+
+// CrashPersistAll persists every outstanding store — the most permissive
+// crash (equivalent to a clean shutdown of the volatile image).
+func CrashPersistAll(_ int64, versions int) int { return versions }
+
+// CrashRandom returns a policy choosing a uniformly random prefix per
+// line, deterministically from seed.
+func CrashRandom(seed int64) CrashPolicy {
+	rng := rand.New(rand.NewSource(seed))
+	return func(_ int64, versions int) int {
+		return rng.Intn(versions + 1)
+	}
+}
+
+// CrashKeepLines returns a policy that fully persists exactly the lines
+// whose offsets are listed and drops all others — the adversarial policy
+// used to manifest ordering bugs deterministically.
+func CrashKeepLines(lineOffs ...int64) CrashPolicy {
+	keep := make(map[int64]bool, len(lineOffs))
+	for _, o := range lineOffs {
+		keep[o/LineSize*LineSize] = true
+	}
+	return func(lineOff int64, versions int) int {
+		if keep[lineOff] {
+			return versions
+		}
+		return 0
+	}
+}
+
+// CrashImage materializes the post-crash durable image under policy.
+// Tracking must be enabled. The device itself is not modified, so a test
+// can derive many crash states from one execution.
+func (d *Device) CrashImage(policy CrashPolicy) []byte {
+	if !d.tracking.Load() {
+		panic("pmem: CrashImage requires tracking")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	img := make([]byte, len(d.persistent))
+	copy(img, d.persistent)
+	// Visit lines in address order so stateful policies (CrashRandom) are
+	// deterministic across runs.
+	order := make([]int64, 0, len(d.lines))
+	for l := range d.lines {
+		order = append(order, l)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, l := range order {
+		lt := d.lines[l]
+		k := policy(l*LineSize, len(lt.versions))
+		if k < 0 {
+			k = 0
+		}
+		if k > len(lt.versions) {
+			k = len(lt.versions)
+		}
+		if k > 0 {
+			copy(img[l*LineSize:], lt.versions[k-1])
+		}
+	}
+	return img
+}
+
+// DirtyLines returns the offsets of all cache lines with unpersisted
+// store history, in unspecified order. Useful for exhaustive small-scope
+// crash enumeration in tests.
+func (d *Device) DirtyLines() []int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	offs := make([]int64, 0, len(d.lines))
+	for l := range d.lines {
+		offs = append(offs, l*LineSize)
+	}
+	return offs
+}
+
+// Restore creates a fresh untracked device whose volatile image is img —
+// the "reboot" following a crash. The new device shares the cost model.
+func Restore(img []byte, cost *costmodel.Model) *Device {
+	d := New(int64(len(img)), cost)
+	copy(d.buf, img)
+	return d
+}

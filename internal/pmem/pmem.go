@@ -1,0 +1,308 @@
+// Package pmem simulates byte-addressable persistent memory with an
+// x86-like persistency model (clwb + sfence), including crash simulation.
+//
+// The device keeps a volatile image (what CPUs see through the cache
+// hierarchy) and, when tracking is enabled, enough per-cache-line history
+// to materialize every crash state the hardware model admits:
+//
+//   - Stores become visible in the volatile image immediately and are
+//     recorded as per-line versions (stores to one line are ordered, so a
+//     crash persists a *prefix* of a line's store history).
+//   - Flush (clwb) initiates write-back of a line's current content but
+//     guarantees nothing by itself.
+//   - Fence (sfence) guarantees that all previously flushed content has
+//     reached the persistence domain.
+//   - At a crash, everything fenced is durable; any dirty or
+//     flushed-but-not-fenced line may additionally have persisted any
+//     prefix of its store history (cache eviction and in-flight
+//     write-backs are not ordered across lines).
+//
+// This is the model under which the §4.2 bug of the ArckFS+ paper — a
+// missing fence allowing a directory entry with a valid commit marker to
+// be only partially persisted — is expressible and testable.
+//
+// Tracking is off by default; in that mode stores and flushes only update
+// the volatile image and cost/statistics counters, which is what the
+// benchmarks use.
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"arckfs/internal/costmodel"
+)
+
+// LineSize is the cache line size of the simulated machine.
+const LineSize = 64
+
+// PageSize is the allocation granularity used by the file systems above.
+const PageSize = 4096
+
+// Stats counts persistence-relevant events on a device.
+type Stats struct {
+	Stores  atomic.Int64 // individual store operations
+	Bytes   atomic.Int64 // bytes stored
+	Flushes atomic.Int64 // cache lines flushed
+	Fences  atomic.Int64 // persist barriers issued
+}
+
+// lineTrack records the unpersisted store history of one cache line.
+type lineTrack struct {
+	// versions[i] is the line's content after the (i+1)-th tracked store
+	// batch since the last fence that persisted it.
+	versions [][]byte
+	// flushedVer is the number of leading versions covered by an issued
+	// clwb (persisted at the next fence); 0 if none.
+	flushedVer int
+}
+
+// Device is a simulated persistent-memory module.
+type Device struct {
+	buf  []byte
+	cost *costmodel.Model
+
+	tracking atomic.Bool
+	mu       sync.Mutex // guards persistent and lines when tracking
+	// persistent is the fenced (guaranteed durable) image; valid only
+	// while tracking.
+	persistent []byte
+	lines      map[int64]*lineTrack
+
+	Stats Stats
+}
+
+// New creates a device of the given size in bytes (rounded up to a page).
+// cost may be nil for zero simulated latency.
+func New(size int64, cost *costmodel.Model) *Device {
+	if size <= 0 {
+		panic("pmem: non-positive device size")
+	}
+	size = (size + PageSize - 1) / PageSize * PageSize
+	return &Device{
+		buf:  make([]byte, size),
+		cost: cost,
+	}
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return int64(len(d.buf)) }
+
+// Cost returns the device's cost model (possibly nil).
+func (d *Device) Cost() *costmodel.Model { return d.cost }
+
+// EnableTracking snapshots the current volatile image as the durable
+// baseline and begins recording store/flush/fence history for crash
+// simulation. The device must be quiescent (no concurrent operations).
+func (d *Device) EnableTracking() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.persistent = make([]byte, len(d.buf))
+	copy(d.persistent, d.buf)
+	d.lines = make(map[int64]*lineTrack)
+	d.tracking.Store(true)
+}
+
+// DisableTracking stops recording history and releases it.
+func (d *Device) DisableTracking() {
+	d.tracking.Store(false)
+	d.mu.Lock()
+	d.persistent = nil
+	d.lines = nil
+	d.mu.Unlock()
+}
+
+// Tracking reports whether crash tracking is enabled.
+func (d *Device) Tracking() bool { return d.tracking.Load() }
+
+func (d *Device) check(off, n int64) {
+	if off < 0 || n < 0 || off+n > int64(len(d.buf)) {
+		panic(fmt.Sprintf("pmem: access [%d,%d) outside device of %d bytes", off, off+n, len(d.buf)))
+	}
+}
+
+// recordStore appends post-store snapshots for every line overlapping
+// [off, off+n).
+func (d *Device) recordStore(off, n int64) {
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	d.mu.Lock()
+	for l := first; l <= last; l++ {
+		lt := d.lines[l]
+		if lt == nil {
+			lt = &lineTrack{}
+			d.lines[l] = lt
+		}
+		snap := make([]byte, LineSize)
+		copy(snap, d.buf[l*LineSize:(l+1)*LineSize])
+		lt.versions = append(lt.versions, snap)
+	}
+	d.mu.Unlock()
+}
+
+// Write stores p at off.
+func (d *Device) Write(off int64, p []byte) {
+	d.check(off, int64(len(p)))
+	copy(d.buf[off:], p)
+	d.Stats.Stores.Add(1)
+	d.Stats.Bytes.Add(int64(len(p)))
+	d.cost.PMWrite(len(p))
+	if d.tracking.Load() {
+		d.recordStore(off, int64(len(p)))
+	}
+}
+
+// Zero stores n zero bytes at off.
+func (d *Device) Zero(off, n int64) {
+	d.check(off, n)
+	b := d.buf[off : off+n]
+	for i := range b {
+		b[i] = 0
+	}
+	d.Stats.Stores.Add(1)
+	d.Stats.Bytes.Add(n)
+	d.cost.PMWrite(int(n))
+	if d.tracking.Load() {
+		d.recordStore(off, n)
+	}
+}
+
+// Store8 stores one byte.
+func (d *Device) Store8(off int64, v uint8) {
+	d.check(off, 1)
+	d.buf[off] = v
+	d.Stats.Stores.Add(1)
+	d.Stats.Bytes.Add(1)
+	if d.tracking.Load() {
+		d.recordStore(off, 1)
+	}
+}
+
+// Store16 stores a little-endian uint16.
+func (d *Device) Store16(off int64, v uint16) {
+	d.check(off, 2)
+	binary.LittleEndian.PutUint16(d.buf[off:], v)
+	d.Stats.Stores.Add(1)
+	d.Stats.Bytes.Add(2)
+	if d.tracking.Load() {
+		d.recordStore(off, 2)
+	}
+}
+
+// Store32 stores a little-endian uint32.
+func (d *Device) Store32(off int64, v uint32) {
+	d.check(off, 4)
+	binary.LittleEndian.PutUint32(d.buf[off:], v)
+	d.Stats.Stores.Add(1)
+	d.Stats.Bytes.Add(4)
+	if d.tracking.Load() {
+		d.recordStore(off, 4)
+	}
+}
+
+// Store64 stores a little-endian uint64.
+func (d *Device) Store64(off int64, v uint64) {
+	d.check(off, 8)
+	binary.LittleEndian.PutUint64(d.buf[off:], v)
+	d.Stats.Stores.Add(1)
+	d.Stats.Bytes.Add(8)
+	if d.tracking.Load() {
+		d.recordStore(off, 8)
+	}
+}
+
+// Read copies n bytes at off into p.
+func (d *Device) Read(off int64, p []byte) {
+	d.check(off, int64(len(p)))
+	copy(p, d.buf[off:])
+	d.cost.PMRead(len(p))
+}
+
+// Load8 loads one byte.
+func (d *Device) Load8(off int64) uint8 {
+	d.check(off, 1)
+	return d.buf[off]
+}
+
+// Load16 loads a little-endian uint16.
+func (d *Device) Load16(off int64) uint16 {
+	d.check(off, 2)
+	return binary.LittleEndian.Uint16(d.buf[off:])
+}
+
+// Load32 loads a little-endian uint32.
+func (d *Device) Load32(off int64) uint32 {
+	d.check(off, 4)
+	return binary.LittleEndian.Uint32(d.buf[off:])
+}
+
+// Load64 loads a little-endian uint64.
+func (d *Device) Load64(off int64) uint64 {
+	d.check(off, 8)
+	return binary.LittleEndian.Uint64(d.buf[off:])
+}
+
+// Slice returns a read-only view of [off, off+n). Callers must not write
+// through it (writes would bypass tracking and statistics); it exists so
+// hot read paths avoid copies.
+func (d *Device) Slice(off, n int64) []byte {
+	d.check(off, n)
+	d.cost.PMRead(int(n))
+	return d.buf[off : off+n : off+n]
+}
+
+// Flush issues clwb for every cache line overlapping [off, off+n). The
+// flushed content is guaranteed durable only after a subsequent Fence.
+func (d *Device) Flush(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	d.check(off, n)
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	nl := last - first + 1
+	d.Stats.Flushes.Add(nl)
+	d.cost.Flush(int(nl))
+	if !d.tracking.Load() {
+		return
+	}
+	d.mu.Lock()
+	for l := first; l <= last; l++ {
+		if lt := d.lines[l]; lt != nil {
+			lt.flushedVer = len(lt.versions)
+		}
+	}
+	d.mu.Unlock()
+}
+
+// Fence issues a persist barrier: all previously flushed line content
+// becomes durable.
+func (d *Device) Fence() {
+	d.Stats.Fences.Add(1)
+	d.cost.Fence()
+	if !d.tracking.Load() {
+		return
+	}
+	d.mu.Lock()
+	for l, lt := range d.lines {
+		if lt.flushedVer == 0 {
+			continue
+		}
+		copy(d.persistent[l*LineSize:], lt.versions[lt.flushedVer-1])
+		if lt.flushedVer == len(lt.versions) {
+			delete(d.lines, l)
+		} else {
+			lt.versions = lt.versions[lt.flushedVer:]
+			lt.flushedVer = 0
+		}
+	}
+	d.mu.Unlock()
+}
+
+// Persist is the common flush-then-fence sequence.
+func (d *Device) Persist(off, n int64) {
+	d.Flush(off, n)
+	d.Fence()
+}

@@ -1,0 +1,186 @@
+// Package rcu implements epoch-based read-copy-update, the mechanism the
+// §4.5 patch of the ArckFS+ paper introduces to protect directory hash
+// buckets: readers traverse without locks, and memory unlinked by writers
+// is reclaimed only after every reader that could hold a reference has
+// left its critical section.
+//
+// The implementation is a classic three-epoch scheme. Each reader pins
+// the global epoch on entry; Synchronize advances the epoch and waits for
+// all pinned readers to observe it; callbacks registered with Defer run
+// once two epoch advances have completed after registration.
+package rcu
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Domain is an independent RCU context. A file system instance owns one.
+type Domain struct {
+	epoch atomic.Uint64 // global epoch, starts at 1
+
+	mu      sync.Mutex // guards readers list and callback queues
+	readers []*Reader
+
+	cbMu      sync.Mutex
+	callbacks []deferred
+
+	// AutoReclaimThreshold triggers an asynchronous grace period once
+	// this many callbacks are queued, bounding deferred memory the way
+	// userspace-RCU's batched reclamation does. Zero disables it.
+	AutoReclaimThreshold int
+	reclaiming           atomic.Bool
+}
+
+type deferred struct {
+	epoch uint64 // registration epoch
+	fn    func()
+}
+
+// NewDomain creates an RCU domain with auto-reclamation enabled.
+func NewDomain() *Domain {
+	d := &Domain{AutoReclaimThreshold: 4096}
+	d.epoch.Store(1)
+	return d
+}
+
+// Reader is a per-thread handle for entering read-side critical sections.
+// A Reader must not be used concurrently from multiple goroutines.
+type Reader struct {
+	dom *Domain
+	// pinned is 0 when quiescent, otherwise the epoch observed at
+	// ReadLock.
+	pinned atomic.Uint64
+	depth  int
+	_      [40]byte
+}
+
+// Register creates a Reader attached to the domain.
+func (d *Domain) Register() *Reader {
+	r := &Reader{dom: d}
+	d.mu.Lock()
+	d.readers = append(d.readers, r)
+	d.mu.Unlock()
+	return r
+}
+
+// Unregister detaches the reader; it must be quiescent.
+func (d *Domain) Unregister(r *Reader) {
+	if r.pinned.Load() != 0 {
+		panic("rcu: unregistering an active reader")
+	}
+	d.mu.Lock()
+	for i, x := range d.readers {
+		if x == r {
+			d.readers = append(d.readers[:i], d.readers[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+}
+
+// ReadLock enters a read-side critical section. Nesting is allowed.
+func (r *Reader) ReadLock() {
+	if r.depth == 0 {
+		r.pinned.Store(r.dom.epoch.Load())
+	}
+	r.depth++
+}
+
+// ReadUnlock leaves the innermost read-side critical section.
+func (r *Reader) ReadUnlock() {
+	if r.depth <= 0 {
+		panic("rcu: ReadUnlock without ReadLock")
+	}
+	r.depth--
+	if r.depth == 0 {
+		r.pinned.Store(0)
+	}
+}
+
+// Active reports whether the reader is inside a critical section.
+func (r *Reader) Active() bool { return r.depth > 0 }
+
+// Synchronize waits until every read-side critical section that was
+// active when it was called has ended, then runs any ripe deferred
+// callbacks.
+func (d *Domain) Synchronize() {
+	target := d.epoch.Add(1)
+	d.mu.Lock()
+	readers := make([]*Reader, len(d.readers))
+	copy(readers, d.readers)
+	d.mu.Unlock()
+	for _, r := range readers {
+		attempts := 0
+		for {
+			p := r.pinned.Load()
+			if p == 0 || p >= target {
+				break
+			}
+			attempts++
+			if attempts%8 == 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+	d.reap(target)
+}
+
+// Defer schedules fn to run after a grace period. It may be called from
+// writers holding locks; fn runs on a later Synchronize (or Barrier).
+// When the queue exceeds AutoReclaimThreshold, a background grace period
+// drains it.
+func (d *Domain) Defer(fn func()) {
+	e := d.epoch.Load()
+	d.cbMu.Lock()
+	d.callbacks = append(d.callbacks, deferred{epoch: e, fn: fn})
+	n := len(d.callbacks)
+	d.cbMu.Unlock()
+	if d.AutoReclaimThreshold > 0 && n >= d.AutoReclaimThreshold &&
+		d.reclaiming.CompareAndSwap(false, true) {
+		go func() {
+			d.Synchronize()
+			d.reclaiming.Store(false)
+		}()
+	}
+}
+
+// reap runs callbacks registered at least one full epoch before now.
+func (d *Domain) reap(now uint64) {
+	d.cbMu.Lock()
+	var ripe, rest []deferred
+	for _, cb := range d.callbacks {
+		if cb.epoch < now {
+			ripe = append(ripe, cb)
+		} else {
+			rest = append(rest, cb)
+		}
+	}
+	d.callbacks = rest
+	d.cbMu.Unlock()
+	for _, cb := range ripe {
+		cb.fn()
+	}
+}
+
+// Barrier runs grace periods until every callback registered before the
+// call has executed.
+func (d *Domain) Barrier() {
+	for {
+		d.cbMu.Lock()
+		n := len(d.callbacks)
+		d.cbMu.Unlock()
+		if n == 0 {
+			return
+		}
+		d.Synchronize()
+	}
+}
+
+// Pending returns the number of queued callbacks (for tests and metrics).
+func (d *Domain) Pending() int {
+	d.cbMu.Lock()
+	defer d.cbMu.Unlock()
+	return len(d.callbacks)
+}
