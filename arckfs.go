@@ -30,6 +30,7 @@ import (
 	"arckfs/internal/kernel"
 	"arckfs/internal/libfs"
 	"arckfs/internal/pmem"
+	"arckfs/internal/telemetry"
 )
 
 // Mode selects the system preset.
@@ -162,6 +163,7 @@ var (
 // CrashImage materializes the durable state a power failure at this
 // instant could leave, under policy. Requires CrashTracking.
 func (s *System) CrashImage(policy CrashPolicy) []byte {
+	s.sys.Ctrl.Trace().Record(telemetry.EvCrashSnapshot, 0, 0, 0, 0)
 	return s.sys.Dev.CrashImage(policy)
 }
 
@@ -178,10 +180,18 @@ func (s *System) Image() []byte {
 func (s *System) Mode() Mode { return s.sys.Mode() }
 
 // KernelStats is a snapshot of controller counters.
-type KernelStats = kernel.Stats
+type KernelStats = kernel.Snapshot
 
 // Stats snapshots the kernel's event counters.
-func (s *System) Stats() KernelStats { return s.sys.Ctrl.Stats }
+func (s *System) Stats() KernelStats { return s.sys.Ctrl.Stats.Snapshot() }
+
+// Telemetry returns the system-wide counter set: pmem persistence
+// events, kernel crossings, verifier work units, and LibFS recovery
+// paths, all by name (see internal/telemetry).
+func (s *System) Telemetry() *telemetry.Set { return s.sys.Telemetry() }
+
+// Trace returns the bounded ring of kernel-crossing events.
+func (s *System) Trace() *telemetry.Ring { return s.sys.Ctrl.Trace() }
 
 // DeviceStats returns persistence-event counters (stores, flushes,
 // fences) of the simulated device.

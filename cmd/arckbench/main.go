@@ -5,7 +5,12 @@
 //
 //	arckbench -exp figure3|figure4|table2|dataScale|filebench|leveldb|table4|all \
 //	          [-threads 1,2,4,8,16,32,48] [-ops 20000] [-dev 512] [-fast] \
-//	          [-systems arckfs,arckfs+,nova,pmfs,kucofs]
+//	          [-systems arckfs,arckfs+,nova,pmfs,kucofs] [-json out.json]
+//
+// -json writes a machine-readable run record alongside the rendered
+// tables: configuration, then one cell per measurement with ops/sec,
+// sampled latency percentiles (p50/p90/p99/max), and telemetry counter
+// deltas (flushes, fences, syscalls — absolute and per-op).
 //
 // Table 1 (the six bugs and their fixes) is reproduced by the test
 // suite: go test ./internal/libfs -run TestBug -v
@@ -32,7 +37,13 @@ func main() {
 	smallMB := flag.Uint64("share-small", 2, "Table 4 small shared-file size (MiB)")
 	bigMB := flag.Uint64("share-big", 256, "Table 4 big shared-file size (MiB; paper uses 1024)")
 	trials := flag.Int("trials", 3, "best-of-N trials for single-thread cells")
+	jsonOut := flag.String("json", "", "write a machine-readable run record to this path")
 	flag.Parse()
+
+	if *exp != "all" && !isKnown(*exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure3, figure4, table2, dataScale, filebench, leveldb, table4, or all)\n", *exp)
+		os.Exit(2)
+	}
 
 	// GC pauses are the dominant noise source on a small host; the
 	// working sets here are bounded, so trade memory for stable numbers.
@@ -55,6 +66,9 @@ func main() {
 		Realistic: !*fast,
 		Trials:    *trials,
 		Out:       os.Stdout,
+	}
+	if *jsonOut != "" {
+		cfg.Rec = experiments.NewRecorder(cfg)
 	}
 
 	run := func(name string, fn func() error) {
@@ -94,9 +108,12 @@ func main() {
 			return experiments.Table4(cfg, *smallMB<<20, *bigMB<<20, 400, 20)
 		})
 	}
-	if *exp != "all" && !isKnown(*exp) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+	if cfg.Rec != nil {
+		if err := cfg.Rec.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 }
 

@@ -17,7 +17,8 @@
 //	release                   release everything to the kernel (verify)
 //	fsck                      check the current image
 //	crash                     simulate a power failure and remount
-//	stats                     kernel + device counters
+//	stats                     live telemetry snapshot (JSON, all counters)
+//	trace [n]                 last n kernel-crossing events (default 16)
 //	help, quit
 package main
 
@@ -61,7 +62,7 @@ func main() {
 		var err error
 		switch cmd {
 		case "help":
-			fmt.Println("mkdir create write cat ls stat rm rmdir mv trunc release fsck crash stats quit")
+			fmt.Println("mkdir create write cat ls stat rm rmdir mv trunc release fsck crash stats trace quit")
 		case "quit", "exit":
 			return
 		case "mkdir":
@@ -146,11 +147,22 @@ func main() {
 			w = app.NewThread(0)
 			fmt.Println("  power failed and remounted:", rep)
 		case "stats":
-			st := sys.Stats()
-			stores, bytes, flushes, fences := sys.DeviceStats()
-			fmt.Printf("  kernel: acquires=%d releases=%d commits=%d verifications=%d failures=%d rollbacks=%d trust=%d\n",
-				st.Acquires, st.Releases, st.Commits, st.Verifications, st.VerifyFailures, st.Rollbacks, st.TrustTransfers)
-			fmt.Printf("  device: stores=%d bytes=%d flushes=%d fences=%d\n", stores, bytes, flushes, fences)
+			err = sys.Telemetry().WriteJSON(os.Stdout)
+		case "trace":
+			n := 16
+			if v, convErr := strconv.Atoi(arg(0)); convErr == nil && v > 0 {
+				n = v
+			}
+			evs := sys.Trace().Snapshot()
+			if len(evs) > n {
+				evs = evs[len(evs)-n:]
+			}
+			if len(evs) == 0 {
+				fmt.Println("  (no kernel crossings yet)")
+			}
+			for _, ev := range evs {
+				fmt.Println(" ", ev.String())
+			}
 		default:
 			fmt.Println("  unknown command; try 'help'")
 		}

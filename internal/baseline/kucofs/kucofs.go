@@ -16,6 +16,7 @@ import (
 	"arckfs/internal/layout"
 	"arckfs/internal/pmalloc"
 	"arckfs/internal/pmem"
+	"arckfs/internal/telemetry"
 )
 
 // FS is the mounted KucoFS-like file system.
@@ -23,6 +24,9 @@ type FS struct {
 	dev   *pmem.Device
 	cost  *costmodel.Model
 	alloc *pmalloc.Allocator
+
+	tel      *telemetry.Set
+	syscalls *telemetry.Counter
 
 	// kmu models the single trusted kernel thread: every metadata
 	// operation serializes through it and pays a verification charge.
@@ -62,6 +66,9 @@ func New(size int64, cost *costmodel.Model) (*FS, error) {
 		inodes:  make(map[uint64]*inode),
 		nextIno: 1,
 	}
+	fs.tel = telemetry.NewSet()
+	dev.RegisterTelemetry(fs.tel)
+	fs.syscalls = fs.tel.Counter("syscalls")
 	fs.root = fs.newInode(true)
 	return fs, nil
 }
@@ -94,7 +101,7 @@ func (fs *FS) inode(ino uint64) *inode {
 // message crossing, full serialization, a per-operation integrity check
 // of the touched entries, and a persisted metadata log record.
 func (fs *FS) trustedOp(entriesChecked int, fn func() error) error {
-	fs.cost.Syscall() // message to the trusted thread
+	fs.syscall() // message to the trusted thread
 	fs.kmu.Lock()
 	defer fs.kmu.Unlock()
 	fs.cost.VerifyDentries(entriesChecked)
@@ -295,7 +302,7 @@ func (t *Thread) WriteAt(fd fsapi.FD, p []byte, off int64) (int, error) {
 		}
 		if in.blocks[bi] == 0 {
 			// Block grants go through the kernel.
-			fs.cost.Syscall()
+			fs.syscall()
 			b, err := fs.alloc.Alloc(t.cpu)
 			if err != nil {
 				return written, fsapi.ErrNoSpace
@@ -490,3 +497,13 @@ func (t *Thread) Truncate(path string, size uint64) error {
 	t.fs.alloc.Free(freed...)
 	return nil
 }
+
+// syscall charges and counts one kernel crossing.
+func (fs *FS) syscall() {
+	fs.syscalls.Add(1)
+	fs.cost.Syscall()
+}
+
+// Telemetry returns the instance's counter set (syscalls plus the
+// device's persistence counters).
+func (fs *FS) Telemetry() *telemetry.Set { return fs.tel }

@@ -22,6 +22,7 @@ import (
 	"arckfs/internal/layout"
 	"arckfs/internal/pmalloc"
 	"arckfs/internal/pmem"
+	"arckfs/internal/telemetry"
 )
 
 // log entry types
@@ -51,6 +52,9 @@ type FS struct {
 	dev   *pmem.Device
 	cost  *costmodel.Model
 	alloc *pmalloc.Allocator
+
+	tel      *telemetry.Set
+	syscalls *telemetry.Counter
 
 	imu     sync.Mutex
 	inodes  map[uint64]*inode
@@ -91,6 +95,9 @@ func New(size int64, cost *costmodel.Model) (*FS, error) {
 		inodes:  make(map[uint64]*inode),
 		nextIno: 1,
 	}
+	fs.tel = telemetry.NewSet()
+	dev.RegisterTelemetry(fs.tel)
+	fs.syscalls = fs.tel.Counter("syscalls")
 	root := fs.newInode(true)
 	fs.root = root
 	return fs, nil
@@ -198,7 +205,7 @@ func (fs *FS) NewThread(cpu int) fsapi.Thread {
 
 // resolve walks path to its inode (read-locking each directory briefly).
 func (t *Thread) resolve(path string) (*inode, error) {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	return t.fs.resolveNoSyscall(path)
 }
 
@@ -242,7 +249,7 @@ func (fs *FS) resolveParent(path string) (*inode, string, error) {
 }
 
 func (t *Thread) createNode(path string, dir bool) error {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	d, name, err := t.fs.resolveParent(path)
 	if err != nil {
 		return err
@@ -307,7 +314,7 @@ func (t *Thread) fdInode(fd fsapi.FD) (*inode, error) {
 
 // ReadAt implements fsapi.Thread.
 func (t *Thread) ReadAt(fd fsapi.FD, p []byte, off int64) (int, error) {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	in, err := t.fdInode(fd)
 	if err != nil {
 		return 0, err
@@ -351,7 +358,7 @@ func (t *Thread) ReadAt(fd fsapi.FD, p []byte, off int64) (int, error) {
 // pages are allocated and persisted, then a write log entry commits them
 // and the DRAM block index swaps in the new pages.
 func (t *Thread) WriteAt(fd fsapi.FD, p []byte, off int64) (int, error) {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	in, err := t.fdInode(fd)
 	if err != nil {
 		return 0, err
@@ -423,14 +430,14 @@ func (t *Thread) WriteAt(fd fsapi.FD, p []byte, off int64) (int, error) {
 
 // Fsync implements fsapi.Thread (NOVA persists synchronously too).
 func (t *Thread) Fsync(fd fsapi.FD) error {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	_, err := t.fdInode(fd)
 	return err
 }
 
 // Unlink implements fsapi.Thread.
 func (t *Thread) Unlink(path string) error {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	d, name, err := t.fs.resolveParent(path)
 	if err != nil {
 		return err
@@ -457,7 +464,7 @@ func (t *Thread) Unlink(path string) error {
 
 // Rmdir implements fsapi.Thread.
 func (t *Thread) Rmdir(path string) error {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	d, name, err := t.fs.resolveParent(path)
 	if err != nil {
 		return err
@@ -489,7 +496,7 @@ func (t *Thread) Rmdir(path string) error {
 // Rename implements fsapi.Thread. NOVA journals cross-directory renames;
 // here both directory logs get entries under ordered locks.
 func (t *Thread) Rename(oldPath, newPath string) error {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	od, oldName, err := t.fs.resolveParent(oldPath)
 	if err != nil {
 		return err
@@ -566,7 +573,7 @@ func (t *Thread) Readdir(path string) ([]string, error) {
 
 // Truncate implements fsapi.Thread.
 func (t *Thread) Truncate(path string, size uint64) error {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	in, err := t.fs.resolveNoSyscall(path)
 	if err != nil {
 		return err
@@ -593,3 +600,13 @@ func (t *Thread) Truncate(path string, size uint64) error {
 	t.fs.alloc.Free(freed...)
 	return nil
 }
+
+// syscall charges and counts one kernel crossing.
+func (fs *FS) syscall() {
+	fs.syscalls.Add(1)
+	fs.cost.Syscall()
+}
+
+// Telemetry returns the instance's counter set (syscalls plus the
+// device's persistence counters).
+func (fs *FS) Telemetry() *telemetry.Set { return fs.tel }

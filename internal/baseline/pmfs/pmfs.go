@@ -15,6 +15,7 @@ import (
 	"arckfs/internal/layout"
 	"arckfs/internal/pmalloc"
 	"arckfs/internal/pmem"
+	"arckfs/internal/telemetry"
 )
 
 // Journal geometry: a ring of 64-byte undo records in page 0..jPages.
@@ -28,6 +29,9 @@ type FS struct {
 	dev   *pmem.Device
 	cost  *costmodel.Model
 	alloc *pmalloc.Allocator
+
+	tel      *telemetry.Set
+	syscalls *telemetry.Counter
 
 	// jmu is the global journal lock serializing all metadata updates.
 	jmu  sync.Mutex
@@ -67,6 +71,9 @@ func New(size int64, cost *costmodel.Model) (*FS, error) {
 		inodes:  make(map[uint64]*inode),
 		nextIno: 1,
 	}
+	fs.tel = telemetry.NewSet()
+	dev.RegisterTelemetry(fs.tel)
+	fs.syscalls = fs.tel.Counter("syscalls")
 	fs.root = fs.newInode(true)
 	return fs, nil
 }
@@ -203,7 +210,7 @@ func (fs *FS) resolveParent(path string) (*inode, string, error) {
 }
 
 func (t *Thread) createNode(path string, dir bool) error {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	d, name, err := t.fs.resolveParent(path)
 	if err != nil {
 		return err
@@ -232,7 +239,7 @@ func (t *Thread) Mkdir(path string) error { return t.createNode(path, true) }
 
 // Open implements fsapi.Thread.
 func (t *Thread) Open(path string) (fsapi.FD, error) {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	in, err := t.fs.resolve(path)
 	if err != nil {
 		return -1, err
@@ -265,7 +272,7 @@ func (t *Thread) fdInode(fd fsapi.FD) (*inode, error) {
 
 // ReadAt implements fsapi.Thread.
 func (t *Thread) ReadAt(fd fsapi.FD, p []byte, off int64) (int, error) {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	in, err := t.fdInode(fd)
 	if err != nil {
 		return 0, err
@@ -308,7 +315,7 @@ func (t *Thread) ReadAt(fd fsapi.FD, p []byte, off int64) (int, error) {
 // WriteAt implements fsapi.Thread. PMFS writes data in place, journaling
 // only the metadata (size) update.
 func (t *Thread) WriteAt(fd fsapi.FD, p []byte, off int64) (int, error) {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	in, err := t.fdInode(fd)
 	if err != nil {
 		return 0, err
@@ -362,14 +369,14 @@ func (t *Thread) WriteAt(fd fsapi.FD, p []byte, off int64) (int, error) {
 
 // Fsync implements fsapi.Thread.
 func (t *Thread) Fsync(fd fsapi.FD) error {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	_, err := t.fdInode(fd)
 	return err
 }
 
 // Unlink implements fsapi.Thread.
 func (t *Thread) Unlink(path string) error {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	d, name, err := t.fs.resolveParent(path)
 	if err != nil {
 		return err
@@ -405,7 +412,7 @@ func (t *Thread) Unlink(path string) error {
 
 // Rmdir implements fsapi.Thread.
 func (t *Thread) Rmdir(path string) error {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	d, name, err := t.fs.resolveParent(path)
 	if err != nil {
 		return err
@@ -439,7 +446,7 @@ func (t *Thread) Rmdir(path string) error {
 
 // Rename implements fsapi.Thread.
 func (t *Thread) Rename(oldPath, newPath string) error {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	od, oldName, err := t.fs.resolveParent(oldPath)
 	if err != nil {
 		return err
@@ -481,7 +488,7 @@ func (t *Thread) Rename(oldPath, newPath string) error {
 
 // Stat implements fsapi.Thread.
 func (t *Thread) Stat(path string) (fsapi.Stat, error) {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	in, err := t.fs.resolve(path)
 	if err != nil {
 		return fsapi.Stat{}, err
@@ -497,7 +504,7 @@ func (t *Thread) Stat(path string) (fsapi.Stat, error) {
 
 // Readdir implements fsapi.Thread.
 func (t *Thread) Readdir(path string) ([]string, error) {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	in, err := t.fs.resolve(path)
 	if err != nil {
 		return nil, err
@@ -517,7 +524,7 @@ func (t *Thread) Readdir(path string) ([]string, error) {
 
 // Truncate implements fsapi.Thread.
 func (t *Thread) Truncate(path string, size uint64) error {
-	t.fs.cost.Syscall()
+	t.fs.syscall()
 	in, err := t.fs.resolve(path)
 	if err != nil {
 		return err
@@ -544,3 +551,13 @@ func (t *Thread) Truncate(path string, size uint64) error {
 	t.fs.alloc.Free(freed...)
 	return nil
 }
+
+// syscall charges and counts one kernel crossing.
+func (fs *FS) syscall() {
+	fs.syscalls.Add(1)
+	fs.cost.Syscall()
+}
+
+// Telemetry returns the instance's counter set (syscalls plus the
+// device's persistence counters).
+func (fs *FS) Telemetry() *telemetry.Set { return fs.tel }

@@ -44,6 +44,9 @@ type Config struct {
 	Trials int
 	// Out receives rendered tables.
 	Out io.Writer
+	// Rec, when non-nil, accumulates machine-readable cells for the
+	// -json output.
+	Rec *Recorder
 }
 
 func (c *Config) fill() {
@@ -131,6 +134,7 @@ func Figure3(cfg Config) error {
 		cells := []string{row.label}
 		for _, sysName := range cfg.Systems {
 			best := 0.0
+			var bestRes harness.Result
 			for trial := 0; trial < cfg.Trials; trial++ {
 				fs, err := MakeFS(sysName, cfg.DevSize, cfg.cost())
 				if err != nil {
@@ -142,8 +146,10 @@ func Figure3(cfg Config) error {
 				}
 				if res.OpsPerSec() > best {
 					best = res.OpsPerSec()
+					bestRes = res
 				}
 			}
+			cfg.Rec.Add("figure3", bestRes)
 			cells = append(cells, fmt.Sprintf("%.0f", best))
 			v := rel[row.label]
 			if sysName == "arckfs" {
@@ -185,6 +191,7 @@ func Figure4(cfg Config) (map[string]*harness.Series, error) {
 		for _, sysName := range cfg.Systems {
 			for _, th := range cfg.Threads {
 				best := 0.0
+				var bestRes harness.Result
 				for trial := 0; trial < trials; trial++ {
 					fs, err := MakeFS(sysName, cfg.DevSize, cfg.cost())
 					if err != nil {
@@ -196,8 +203,10 @@ func Figure4(cfg Config) (map[string]*harness.Series, error) {
 					}
 					if res.OpsPerSec() > best {
 						best = res.OpsPerSec()
+						bestRes = res
 					}
 				}
+				cfg.Rec.Add("figure4", bestRes)
 				series.Add(sysName, th, best)
 			}
 		}
@@ -250,6 +259,7 @@ func DataScale(cfg Config) error {
 				if err != nil {
 					return fmt.Errorf("%s/%s@%d: %w", sysName, w.Name, th, err)
 				}
+				cfg.Rec.Add("dataScale", res)
 				series.Add(sysName, th, res.GiBPerSec()*1000) // milli-GiB/s for readable ints
 			}
 		}
@@ -273,6 +283,7 @@ func DataScale(cfg Config) error {
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", sysName, job.Name, err)
 			}
+			cfg.Rec.Add("dataScale", res)
 			cells = append(cells, fmt.Sprintf("%.0f", res.GiBPerSec()*1000))
 		}
 		tbl.Add(cells...)
@@ -304,6 +315,7 @@ func Filebench(cfg Config) error {
 				if err != nil {
 					return fmt.Errorf("%s/%s@%d: %w", sysName, p, th, err)
 				}
+				cfg.Rec.Add("filebench", res)
 				cells = append(cells, fmt.Sprintf("%.0f", res.OpsPerSec()))
 				v := ratios[th]
 				if sysName == "arckfs" {
@@ -357,7 +369,7 @@ func LevelDB(cfg Config) error {
 		}
 		key := func(i int) []byte { return []byte(fmt.Sprintf("%016d", i)) }
 		for _, b := range benches {
-			res := harness.Run(sysName, b, 1, n, func(_, i int) error {
+			res := harness.RunCounted(harness.SourceOf(fs), sysName, b, 1, n, func(_, i int) error {
 				switch b {
 				case "fillseq":
 					return db.Put(key(i), val)
@@ -387,6 +399,7 @@ func LevelDB(cfg Config) error {
 			if res.Err != nil {
 				return fmt.Errorf("%s/%s: %w", sysName, b, res.Err)
 			}
+			cfg.Rec.Add("leveldb", res)
 			rows[b] = append(rows[b], fmt.Sprintf("%.0f", res.OpsPerSec()))
 		}
 	}

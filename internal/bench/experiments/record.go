@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+
+	"arckfs/internal/harness"
+	"arckfs/internal/telemetry"
+)
+
+// Cell is one measurement in machine-readable form: the throughput the
+// rendered tables show, plus the latency percentiles and counter deltas
+// the tables omit.
+type Cell struct {
+	Experiment string  `json:"experiment"`
+	Workload   string  `json:"workload"`
+	FS         string  `json:"fs"`
+	Threads    int     `json:"threads"`
+	Ops        int64   `json:"ops"`
+	ElapsedNS  int64   `json:"elapsed_ns"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	GiBPerSec  float64 `json:"gib_per_sec,omitempty"`
+
+	// Latency is the sampled per-op latency summary (nil when the
+	// harness ran with sampling disabled).
+	Latency *telemetry.LatencySummary `json:"latency,omitempty"`
+
+	// Counters is the raw counter delta across the measured region.
+	Counters map[string]int64 `json:"counters,omitempty"`
+
+	// PerOp normalizes selected counters by completed operations:
+	// flushes, fences, and syscalls per op.
+	PerOp map[string]float64 `json:"per_op,omitempty"`
+}
+
+// RunConfig echoes the configuration a record was produced under.
+type RunConfig struct {
+	Systems   []string `json:"systems"`
+	Threads   []int    `json:"threads"`
+	TotalOps  int      `json:"total_ops"`
+	DevSizeMB int64    `json:"dev_size_mb"`
+	Realistic bool     `json:"realistic"`
+	Trials    int      `json:"trials"`
+}
+
+// RunRecord is the top-level JSON document arckbench -json emits.
+type RunRecord struct {
+	Tool   string    `json:"tool"`
+	Time   time.Time `json:"time"`
+	Config RunConfig `json:"config"`
+	Cells  []Cell    `json:"cells"`
+}
+
+// Recorder accumulates Cells across experiments. A nil *Recorder is
+// valid and records nothing, so experiments call it unconditionally.
+type Recorder struct {
+	mu  sync.Mutex
+	rec RunRecord
+}
+
+// NewRecorder starts a record for one arckbench invocation.
+func NewRecorder(cfg Config) *Recorder {
+	cfg.fill()
+	return &Recorder{rec: RunRecord{
+		Tool: "arckbench",
+		Time: time.Now().UTC(),
+		Config: RunConfig{
+			Systems:   cfg.Systems,
+			Threads:   cfg.Threads,
+			TotalOps:  cfg.TotalOps,
+			DevSizeMB: cfg.DevSize >> 20,
+			Realistic: cfg.Realistic,
+			Trials:    cfg.Trials,
+		},
+	}}
+}
+
+// perOpKeys maps counter names to their per-op JSON keys.
+var perOpKeys = map[string]string{
+	"pmem.flushes": "flushes",
+	"pmem.fences":  "fences",
+	"syscalls":     "syscalls",
+}
+
+// Add records one harness result under the given experiment name.
+func (r *Recorder) Add(experiment string, res harness.Result) {
+	if r == nil {
+		return
+	}
+	c := Cell{
+		Experiment: experiment,
+		Workload:   res.Workload,
+		FS:         res.FS,
+		Threads:    res.Threads,
+		Ops:        res.Ops,
+		ElapsedNS:  res.Elapsed.Nanoseconds(),
+		OpsPerSec:  res.OpsPerSec(),
+		GiBPerSec:  res.GiBPerSec(),
+		Latency:    res.Lat,
+		Counters:   res.Counters,
+	}
+	if res.Ops > 0 && len(res.Counters) > 0 {
+		c.PerOp = map[string]float64{}
+		for counter, key := range perOpKeys {
+			if v, ok := res.Counters[counter]; ok {
+				c.PerOp[key] = float64(v) / float64(res.Ops)
+			}
+		}
+	}
+	r.mu.Lock()
+	r.rec.Cells = append(r.rec.Cells, c)
+	r.mu.Unlock()
+}
+
+// Record returns a copy of the accumulated record.
+func (r *Recorder) Record() RunRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec := r.rec
+	rec.Cells = append([]Cell(nil), r.rec.Cells...)
+	return rec
+}
+
+// WriteFile writes the record as indented JSON.
+func (r *Recorder) WriteFile(path string) error {
+	rec := r.Record()
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

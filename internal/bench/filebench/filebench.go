@@ -270,7 +270,7 @@ func Run(fs fsapi.FS, cfg Config, threads, opsPerThread int) (harness.Result, er
 	if !cfg.SharedDir {
 		name += "-privdirs"
 	}
-	res := harness.Run(fs.Name(), name, threads, opsPerThread, func(tid, i int) error {
+	res := harness.RunCounted(harness.SourceOf(fs), fs.Name(), name, threads, opsPerThread, func(tid, i int) error {
 		return workers[tid](i)
 	})
 	return res, res.Err

@@ -78,7 +78,7 @@ func Run(fs fsapi.FS, job Job, threads, opsPerThread int) (harness.Result, error
 			return err
 		}
 	}
-	res := harness.Run(fs.Name(), "fio/"+job.Name, threads, opsPerThread, func(tid, i int) error {
+	res := harness.RunCounted(harness.SourceOf(fs), fs.Name(), "fio/"+job.Name, threads, opsPerThread, func(tid, i int) error {
 		return workers[tid](i)
 	})
 	res.Bytes = res.Ops * int64(job.BlockSize)

@@ -5,6 +5,7 @@ import (
 
 	"arckfs/internal/baseline/pmfs"
 	"arckfs/internal/core"
+	"arckfs/internal/harness"
 )
 
 func TestStandardJobsRun(t *testing.T) {
@@ -34,3 +35,28 @@ func TestFioOnPmfs(t *testing.T) {
 		t.Fatalf("%+v, %v", res, err)
 	}
 }
+
+// benchRead drives the 4K sequential read job under the given latency
+// sampling setting; compare the two benchmarks to bound the telemetry
+// overhead (the PR's acceptance bar is <=5% on this workload).
+func benchRead(b *testing.B, sample int) {
+	old := harness.LatencySample
+	harness.LatencySample = sample
+	defer func() { harness.LatencySample = old }()
+	sys, err := core.NewSystem(core.Config{DevSize: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs := sys.NewApp(0, 0)
+	job := Job{Name: "seq-read-4k", BlockSize: 4096, FileSize: 4 << 20}
+	b.ResetTimer()
+	res, err := Run(fs, job, 1, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(job.BlockSize))
+	_ = res
+}
+
+func BenchmarkReadNoTelemetry(b *testing.B)      { benchRead(b, 0) }
+func BenchmarkReadSampledTelemetry(b *testing.B) { benchRead(b, 8) }

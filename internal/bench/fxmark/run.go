@@ -24,7 +24,7 @@ func RunWorkload(fs fsapi.FS, w Workload, threads, opsPerThread int, cfg Config)
 		}
 		workers[tid] = op
 	}
-	res := harness.Run(fs.Name(), w.Name, threads, opsPerThread, func(tid, i int) error {
+	res := harness.RunCounted(harness.SourceOf(fs), fs.Name(), w.Name, threads, opsPerThread, func(tid, i int) error {
 		return workers[tid](i)
 	})
 	if w.Data {

@@ -6,12 +6,14 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"arckfs/internal/costmodel"
 	"arckfs/internal/kernel"
 	"arckfs/internal/libfs"
 	"arckfs/internal/pmem"
+	"arckfs/internal/telemetry"
 	"arckfs/internal/verifier"
 )
 
@@ -88,7 +90,47 @@ type System struct {
 	cfg  Config
 	Dev  *pmem.Device
 	Ctrl *kernel.Controller
+
+	tel    *telemetry.Set
+	appsMu sync.Mutex
+	apps   []*libfs.FS
 }
+
+// initTelemetry assembles the system-wide counter set: device
+// persistence events, kernel crossings, verifier work, and LibFS
+// recovery paths (summed over every attached application).
+func (s *System) initTelemetry() {
+	s.tel = telemetry.NewSet()
+	s.Dev.RegisterTelemetry(s.tel)
+	s.Ctrl.RegisterTelemetry(s.tel)
+	s.tel.Gauge("libfs.remaps", func() int64 {
+		s.appsMu.Lock()
+		defer s.appsMu.Unlock()
+		var n int64
+		for _, fs := range s.apps {
+			n += fs.Stats.Remaps.Load()
+		}
+		return n
+	})
+	s.tel.Gauge("libfs.reacquires", func() int64 {
+		s.appsMu.Lock()
+		defer s.appsMu.Unlock()
+		var n int64
+		for _, fs := range s.apps {
+			n += fs.Stats.Reacquires.Load()
+		}
+		return n
+	})
+	s.tel.Gauge("trace.events", func() int64 {
+		return int64(s.Ctrl.Trace().Total())
+	})
+	// "syscalls" is the cross-system comparable name: the baselines
+	// expose theirs under the same key.
+	s.tel.Gauge("syscalls", s.Ctrl.Stats.Syscalls.Load)
+}
+
+// Telemetry returns the system-wide counter set.
+func (s *System) Telemetry() *telemetry.Set { return s.tel }
 
 // NewSystem formats a fresh device and boots the kernel side.
 func NewSystem(cfg Config) (*System, error) {
@@ -109,7 +151,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Tracking {
 		dev.EnableTracking()
 	}
-	return &System{cfg: cfg, Dev: dev, Ctrl: ctrl}, nil
+	s := &System{cfg: cfg, Dev: dev, Ctrl: ctrl}
+	s.initTelemetry()
+	return s, nil
 }
 
 // Recover mounts an existing device image (e.g. a crash image produced by
@@ -130,18 +174,25 @@ func Recover(img []byte, cfg Config) (*System, *kernel.Report, error) {
 	if cfg.Tracking {
 		dev.EnableTracking()
 	}
-	return &System{cfg: cfg, Dev: dev, Ctrl: ctrl}, rep, nil
+	s := &System{cfg: cfg, Dev: dev, Ctrl: ctrl}
+	s.initTelemetry()
+	return s, rep, nil
 }
 
 // NewApp registers an application and attaches a LibFS for it.
 func (s *System) NewApp(uid, gid uint32) *libfs.FS {
 	app := s.Ctrl.RegisterApp(uid, gid)
-	return libfs.New(s.Ctrl, app, libfs.Options{
+	fs := libfs.New(s.Ctrl, app, libfs.Options{
 		Bugs:       s.cfg.bugs(),
 		Cost:       s.cfg.Cost,
 		Hooks:      s.cfg.Hooks,
 		DirBuckets: s.cfg.DirBuckets,
 	})
+	fs.SetTelemetry(s.tel)
+	s.appsMu.Lock()
+	s.apps = append(s.apps, fs)
+	s.appsMu.Unlock()
+	return fs
 }
 
 // Mode returns the configured preset.

@@ -64,7 +64,7 @@ func TestMultiAppHandoffStress(t *testing.T) {
 			t.Fatalf("round %d consumer release: %v", round, err)
 		}
 	}
-	st := sys.Ctrl.Stats
+	st := sys.Ctrl.Stats.Snapshot()
 	if st.Verifications == 0 || st.VerifyFailures != 0 {
 		t.Fatalf("stats: %+v", st)
 	}
@@ -108,7 +108,7 @@ func TestInvoluntaryReleaseUnderLeaseExpiry(t *testing.T) {
 	if _, err := w1.WriteAt(fd1, []byte("first-again"), 0); err != nil {
 		t.Fatalf("holder could not continue after revocation: %v", err)
 	}
-	if sys.Ctrl.Stats.Involuntary == 0 {
+	if sys.Ctrl.Stats.Involuntary.Load() == 0 {
 		t.Fatal("no involuntary release recorded")
 	}
 }
@@ -202,7 +202,7 @@ func TestParallelAppsPrivateTrees(t *testing.T) {
 			t.Fatalf("app %d: %v", a, err)
 		}
 	}
-	if sys.Ctrl.Stats.VerifyFailures != 0 {
-		t.Fatalf("verification failures: %+v", sys.Ctrl.Stats)
+	if sys.Ctrl.Stats.VerifyFailures.Load() != 0 {
+		t.Fatalf("verification failures: %+v", sys.Ctrl.Stats.Snapshot())
 	}
 }

@@ -12,7 +12,35 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"arckfs/internal/telemetry"
 )
+
+// LatencySample is the per-op latency sampling interval: every Nth
+// operation of each worker is timed into a histogram (rounded up to a
+// power of two so the per-op check is a mask, not a division). 0
+// disables latency collection entirely. Sampling (rather than timing
+// every op) keeps the harness overhead on sub-microsecond simulated
+// operations within noise; percentiles over a 1-in-8 systematic sample
+// of a steady-state workload match the full distribution.
+var LatencySample = 8
+
+// Source is anything that can snapshot a named-counter state; a
+// *telemetry.Set satisfies it.
+type Source interface {
+	Snapshot() map[string]int64
+}
+
+// SourceOf returns the telemetry source a file system under test
+// exposes via a Telemetry() method, or nil if it has none.
+func SourceOf(v any) Source {
+	if p, ok := v.(interface{ Telemetry() *telemetry.Set }); ok {
+		if s := p.Telemetry(); s != nil {
+			return s
+		}
+	}
+	return nil
+}
 
 // Result is one measurement cell.
 type Result struct {
@@ -23,6 +51,14 @@ type Result struct {
 	Bytes    int64
 	Elapsed  time.Duration
 	Err      error
+
+	// Lat summarizes sampled per-op latency; nil when sampling is
+	// disabled or no op completed.
+	Lat *telemetry.LatencySummary
+
+	// Counters is the delta of the telemetry source across the measured
+	// region; nil when the run had no source.
+	Counters map[string]int64
 }
 
 // OpsPerSec returns aggregate operation throughput.
@@ -45,25 +81,87 @@ func (r Result) GiBPerSec() float64 {
 // and aggregates. The first error aborts that worker but other workers
 // complete, so partially failed runs are visible rather than hung.
 func Run(fsName, workload string, threads, opsPerThread int, op func(tid, i int) error) Result {
+	return RunCounted(nil, fsName, workload, threads, opsPerThread, op)
+}
+
+// RunCounted is Run with a telemetry source: the source is snapshotted
+// around the measured region (workload setup stays outside) and the
+// delta lands in Result.Counters. Each worker samples per-op latency
+// into its own histogram (see LatencySample); the merged summary lands
+// in Result.Lat. Ops counts operations that actually completed, so a
+// worker that aborts early does not inflate throughput.
+func RunCounted(src Source, fsName, workload string, threads, opsPerThread int, op func(tid, i int) error) Result {
 	var wg sync.WaitGroup
 	errs := make([]error, threads)
+	done := make([]int64, threads)
+	mask := -1 // negative: sampling off
+	if s := LatencySample; s > 0 {
+		pow := 1
+		for pow < s {
+			pow <<= 1
+		}
+		mask = pow - 1
+	}
+	var hists []*telemetry.Histogram
+	if mask >= 0 {
+		hists = make([]*telemetry.Histogram, threads)
+		for i := range hists {
+			hists[i] = telemetry.NewHistogram()
+		}
+	}
+	var before map[string]int64
+	if src != nil {
+		before = src.Snapshot()
+	}
 	start := time.Now()
 	for tid := 0; tid < threads; tid++ {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
+			var h *telemetry.Histogram
+			if mask >= 0 {
+				h = hists[tid]
+			}
+			n := int64(0)
 			for i := 0; i < opsPerThread; i++ {
-				if err := op(tid, i); err != nil {
+				var err error
+				if h != nil && i&mask == 0 {
+					t0 := time.Now()
+					err = op(tid, i)
+					h.Record(time.Since(t0).Nanoseconds())
+				} else {
+					err = op(tid, i)
+				}
+				if err != nil {
 					errs[tid] = fmt.Errorf("thread %d op %d: %w", tid, i, err)
+					done[tid] = n
 					return
 				}
+				n++
 			}
+			done[tid] = n
 		}(tid)
 	}
 	wg.Wait()
 	res := Result{
 		FS: fsName, Workload: workload, Threads: threads,
-		Ops: int64(threads) * int64(opsPerThread), Elapsed: time.Since(start),
+		Elapsed: time.Since(start),
+	}
+	for _, n := range done {
+		res.Ops += n
+	}
+	if src != nil {
+		res.Counters = telemetry.Delta(before, src.Snapshot())
+	}
+	if mask >= 0 {
+		merged := telemetry.NewHistogram()
+		for _, h := range hists {
+			merged.Merge(h)
+		}
+		if merged.Count() > 0 {
+			s := merged.Summary()
+			res.Lat = &s
+		}
 	}
 	for _, err := range errs {
 		if err != nil {

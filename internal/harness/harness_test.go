@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"arckfs/internal/telemetry"
 )
 
 func TestRunCountsOps(t *testing.T) {
@@ -32,6 +34,63 @@ func TestRunSurfacesErrors(t *testing.T) {
 	})
 	if !errors.Is(res.Err, boom) {
 		t.Fatalf("err = %v", res.Err)
+	}
+}
+
+// TestRunCountsCompletedOps checks that a worker aborting early only
+// contributes the operations it actually finished — a partially failed
+// run must not report the full nominal op count as throughput.
+func TestRunCountsCompletedOps(t *testing.T) {
+	boom := errors.New("boom")
+	res := Run("fs", "w", 2, 100, func(tid, i int) error {
+		if tid == 1 && i == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(res.Err, boom) {
+		t.Fatalf("err = %v", res.Err)
+	}
+	// Worker 0 completed 100 ops, worker 1 completed 10 before failing.
+	if res.Ops != 110 {
+		t.Fatalf("Ops = %d, want 110", res.Ops)
+	}
+}
+
+func TestRunSampledLatency(t *testing.T) {
+	res := Run("fs", "w", 3, 64, func(tid, i int) error { return nil })
+	if res.Lat == nil {
+		t.Fatal("no latency summary")
+	}
+	// Every worker samples ceil(64/8) = 8 ops.
+	if res.Lat.Count != 3*8 {
+		t.Fatalf("sampled %d ops, want %d", res.Lat.Count, 3*8)
+	}
+	if res.Lat.P50NS < 0 || res.Lat.MaxNS < res.Lat.P50NS {
+		t.Fatalf("implausible summary %+v", res.Lat)
+	}
+
+	old := LatencySample
+	LatencySample = 0
+	defer func() { LatencySample = old }()
+	if res := Run("fs", "w", 1, 16, func(tid, i int) error { return nil }); res.Lat != nil {
+		t.Fatal("latency sampling disabled but summary present")
+	}
+}
+
+func TestRunCountedDeltas(t *testing.T) {
+	set := telemetry.NewSet()
+	c := set.Counter("side.effects")
+	c.Add(100) // setup-phase counts must not leak into the delta
+	res := RunCounted(set, "fs", "w", 2, 10, func(tid, i int) error {
+		c.Add(1)
+		return nil
+	})
+	if res.Err != nil || res.Ops != 20 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Counters["side.effects"] != 20 {
+		t.Fatalf("delta = %v", res.Counters)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"arckfs/internal/fsapi"
 	"arckfs/internal/layout"
+	"arckfs/internal/telemetry"
 	"arckfs/internal/verifier"
 )
 
@@ -75,10 +76,15 @@ func (c *Controller) isDescendantLocked(node, anc uint64) bool {
 // requests write intent. A second acquire by the current owner is
 // idempotent and returns the existing mapping.
 func (c *Controller) Acquire(appID AppID, ino uint64, write bool) (*Mapping, error) {
-	c.cost.Syscall()
+	c.syscall()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.Stats.Acquires++
+	c.Stats.Acquires.Add(1)
+	var wr int64
+	if write {
+		wr = 1
+	}
+	c.trace.Record(telemetry.EvAcquire, appID, ino, wr, 0)
 	a, ok := c.apps[appID]
 	if !ok {
 		return nil, fmt.Errorf("kernel: unknown app %d", appID)
@@ -110,7 +116,8 @@ func (c *Controller) Acquire(appID AppID, ino uint64, write bool) (*Mapping, err
 			// Trust group (§5.4): the peer's mapping stays established —
 			// no verification, no unmap, no rebuild. Both applications
 			// access the inode concurrently within the group.
-			c.Stats.TrustTransfers++
+			c.Stats.TrustTransfers.Add(1)
+			c.trace.Record(telemetry.EvTrustTransfer, appID, ino, se.owner, 0)
 			for _, m := range se.groupMappings {
 				if m.app == appID && m.Valid() {
 					se.lease = c.clock().Add(c.opts.LeaseTTL)
@@ -133,7 +140,8 @@ func (c *Controller) Acquire(appID AppID, ino uint64, write bool) (*Mapping, err
 		}
 		// Lease expired: involuntary release. The holder may be mid-
 		// operation; that is its problem (§4.3 discussion).
-		c.Stats.Involuntary++
+		c.Stats.Involuntary.Add(1)
+		c.trace.Record(telemetry.EvLeaseExpire, se.owner, ino, int64(appID), 0)
 		if err := c.releaseLocked(se, se.owner); err != nil && !IsVerificationError(err) {
 			return nil, err
 		}
@@ -157,6 +165,7 @@ func (c *Controller) mapLocked(se *shadowEnt, appID AppID) error {
 	se.mapping = &Mapping{ino: se.info.Ino, app: appID, ok: true}
 	se.lease = c.clock().Add(c.opts.LeaseTTL)
 	c.cost.Map()
+	c.trace.Record(telemetry.EvMap, appID, se.info.Ino, 0, 0)
 	return nil
 }
 
@@ -214,10 +223,11 @@ func (c *Controller) buildSnapshotLocked(se *shadowEnt) (*snapshot, error) {
 
 // Release returns ino to the kernel: unmap, verify, apply or roll back.
 func (c *Controller) Release(appID AppID, ino uint64) error {
-	c.cost.Syscall()
+	c.syscall()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.Stats.Releases++
+	c.Stats.Releases.Add(1)
+	c.trace.Record(telemetry.EvRelease, appID, ino, 0, 0)
 	se, ok := c.shadows[ino]
 	if !ok {
 		if a := c.apps[appID]; a != nil && a.grantedInos[ino] {
@@ -241,6 +251,7 @@ func (c *Controller) releaseLocked(se *shadowEnt, appID AppID) error {
 	}
 	se.groupMappings = nil
 	c.cost.Unmap()
+	c.trace.Record(telemetry.EvUnmap, appID, se.info.Ino, 0, 0)
 	err := c.verifyAndApplyLocked(se, appID, false)
 	se.owner = 0
 	se.mapping = nil
@@ -253,10 +264,11 @@ func (c *Controller) releaseLocked(se *shadowEnt, appID AppID) error {
 // a held committed inode it applies the verified delta and refreshes the
 // baseline snapshot. The mapping stays valid on success.
 func (c *Controller) Commit(appID AppID, ino uint64) error {
-	c.cost.Syscall()
+	c.syscall()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.Stats.Commits++
+	c.Stats.Commits.Add(1)
+	c.trace.Record(telemetry.EvCommit, appID, ino, 0, 0)
 	se, ok := c.shadows[ino]
 	if !ok {
 		if a := c.apps[appID]; a != nil && a.grantedInos[ino] {
@@ -274,31 +286,33 @@ func (c *Controller) Commit(appID AppID, ino uint64) error {
 // the involuntary-release path, also used by tests to simulate an
 // application crash.
 func (c *Controller) ForceRelease(ino uint64) error {
-	c.cost.Syscall()
+	c.syscall()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	se, ok := c.shadows[ino]
 	if !ok || se.owner == 0 {
 		return fsapi.ErrNotExist
 	}
-	c.Stats.Involuntary++
+	c.Stats.Involuntary.Add(1)
 	return c.releaseLocked(se, se.owner)
 }
 
 // verifyAndApplyLocked runs the verifier on se's current core state and
 // applies the verdict. keepHeld distinguishes Commit from Release.
 func (c *Controller) verifyAndApplyLocked(se *shadowEnt, appID AppID, keepHeld bool) error {
-	c.Stats.Verifications++
+	c.Stats.Verifications.Add(1)
 	ino := se.info.Ino
 
 	if !se.info.Committed {
 		// Rule-1 commit of a newly created inode.
 		res, err := c.ver.VerifyNewInode(appID, ino, se.info.Parent, lockedView{c})
 		if err != nil {
-			c.Stats.VerifyFailures++
+			c.Stats.VerifyFailures.Add(1)
+			c.trace.Record(telemetry.EvVerifyFail, appID, ino, 0, 0)
 			c.applyPolicyLocked(se)
 			return err
 		}
+		c.trace.Record(telemetry.EvVerifyOK, appID, ino, int64(res.ChildCount), int64(len(res.Pages)))
 		c.applyNewInodeLocked(se, appID, res)
 		if keepHeld {
 			return c.refreshSnapshotLocked(se, appID)
@@ -310,18 +324,22 @@ func (c *Controller) verifyAndApplyLocked(se *shadowEnt, appID AppID, keepHeld b
 	case layout.TypeDir:
 		res, err := c.ver.VerifyDir(appID, ino, se.snap.dirOld, lockedView{c})
 		if err != nil {
-			c.Stats.VerifyFailures++
+			c.Stats.VerifyFailures.Add(1)
+			c.trace.Record(telemetry.EvVerifyFail, appID, ino, 0, 0)
 			c.applyPolicyLocked(se)
 			return err
 		}
+		c.trace.Record(telemetry.EvVerifyOK, appID, ino, int64(res.View.Records), int64(len(res.View.Pages)))
 		c.applyDirLocked(se, appID, res)
 	case layout.TypeFile:
 		res, err := c.ver.VerifyFile(appID, ino, se.snap.fileOld, lockedView{c})
 		if err != nil {
-			c.Stats.VerifyFailures++
+			c.Stats.VerifyFailures.Add(1)
+			c.trace.Record(telemetry.EvVerifyFail, appID, ino, 0, 0)
 			c.applyPolicyLocked(se)
 			return err
 		}
+		c.trace.Record(telemetry.EvVerifyOK, appID, ino, 0, int64(len(res.View.MapPages)))
 		c.applyFileLocked(se, res)
 	default:
 		return fmt.Errorf("inode %d: unknown shadow type %d", ino, se.info.Type)
@@ -346,7 +364,7 @@ func (c *Controller) refreshSnapshotLocked(se *shadowEnt, appID AppID) error {
 func (c *Controller) applyPolicyLocked(se *shadowEnt) {
 	switch c.opts.Policy {
 	case PolicyRollback:
-		c.Stats.Rollbacks++
+		c.Stats.Rollbacks.Add(1)
 		if se.snap != nil {
 			c.dev.Write(layout.InodeOff(c.geo, se.info.Ino), se.snap.inodeRec)
 			c.dev.Persist(layout.InodeOff(c.geo, se.info.Ino), layout.InodeSize)

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"arckfs/internal/costmodel"
@@ -22,6 +23,7 @@ import (
 	"arckfs/internal/layout"
 	"arckfs/internal/pmalloc"
 	"arckfs/internal/pmem"
+	"arckfs/internal/telemetry"
 	"arckfs/internal/verifier"
 )
 
@@ -59,6 +61,8 @@ type Options struct {
 	LeaseTTL time.Duration
 	// RenameLeaseTTL bounds the global rename lock lease.
 	RenameLeaseTTL time.Duration
+	// TraceCap sizes the kernel-crossing trace ring (0 = 1024 events).
+	TraceCap int
 }
 
 func (o *Options) fill() {
@@ -74,10 +78,29 @@ func (o *Options) fill() {
 	if o.RenameLeaseTTL == 0 {
 		o.RenameLeaseTTL = time.Second
 	}
+	if o.TraceCap == 0 {
+		o.TraceCap = 1024
+	}
 }
 
-// Stats counts kernel events, exported for the benchmarks.
+// Stats counts kernel events. The fields are atomic so telemetry gauges
+// can read them while operations are in flight; use Snapshot for a
+// consistent copy.
 type Stats struct {
+	Syscalls       atomic.Int64 // every modeled kernel crossing
+	Acquires       atomic.Int64
+	Releases       atomic.Int64
+	Commits        atomic.Int64
+	Verifications  atomic.Int64
+	VerifyFailures atomic.Int64
+	Rollbacks      atomic.Int64
+	Involuntary    atomic.Int64
+	TrustTransfers atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of Stats.
+type Snapshot struct {
+	Syscalls       int64
 	Acquires       int64
 	Releases       int64
 	Commits        int64
@@ -86,6 +109,21 @@ type Stats struct {
 	Rollbacks      int64
 	Involuntary    int64
 	TrustTransfers int64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Syscalls:       s.Syscalls.Load(),
+		Acquires:       s.Acquires.Load(),
+		Releases:       s.Releases.Load(),
+		Commits:        s.Commits.Load(),
+		Verifications:  s.Verifications.Load(),
+		VerifyFailures: s.VerifyFailures.Load(),
+		Rollbacks:      s.Rollbacks.Load(),
+		Involuntary:    s.Involuntary.Load(),
+		TrustTransfers: s.TrustTransfers.Load(),
+	}
 }
 
 // page ownership encoding.
@@ -194,6 +232,10 @@ type Controller struct {
 	// clock is a test hook for lease expiry.
 	clock func() time.Time
 
+	// trace records kernel crossings and verifier runs; bounded, always
+	// on (the per-event cost is one atomic increment and one store).
+	trace *telemetry.Ring
+
 	Stats Stats
 }
 
@@ -235,9 +277,38 @@ func newController(dev *pmem.Device, g layout.Geometry, opts Options) *Controlle
 		apps:    make(map[AppID]*app),
 		acls:    make(map[aclKey]uint16),
 		clock:   time.Now,
+		trace:   telemetry.NewRing(opts.TraceCap),
 	}
 	c.ver = &verifier.V{Mode: opts.Mode, Dev: dev, Geo: g, Cost: opts.Cost}
 	return c
+}
+
+// syscall charges and counts one kernel crossing.
+func (c *Controller) syscall() {
+	c.Stats.Syscalls.Add(1)
+	c.cost.Syscall()
+}
+
+// Trace returns the kernel-crossing trace ring.
+func (c *Controller) Trace() *telemetry.Ring { return c.trace }
+
+// VerifierStats exposes the verifier's work counters.
+func (c *Controller) VerifierStats() *verifier.Stats { return &c.ver.Stats }
+
+// RegisterTelemetry exposes the controller's and verifier's counters in
+// set under the "kernel." and "verifier." namespaces.
+func (c *Controller) RegisterTelemetry(set *telemetry.Set) {
+	set.Gauge("kernel.syscalls", c.Stats.Syscalls.Load)
+	set.Gauge("kernel.acquires", c.Stats.Acquires.Load)
+	set.Gauge("kernel.releases", c.Stats.Releases.Load)
+	set.Gauge("kernel.commits", c.Stats.Commits.Load)
+	set.Gauge("kernel.verifications", c.Stats.Verifications.Load)
+	set.Gauge("kernel.verify_failures", c.Stats.VerifyFailures.Load)
+	set.Gauge("kernel.rollbacks", c.Stats.Rollbacks.Load)
+	set.Gauge("kernel.involuntary_releases", c.Stats.Involuntary.Load)
+	set.Gauge("kernel.trust_transfers", c.Stats.TrustTransfers.Load)
+	set.Gauge("verifier.dentries", c.ver.Stats.Dentries.Load)
+	set.Gauge("verifier.pages", c.ver.Stats.Pages.Load)
 }
 
 func shadowInfoOf(ino uint64, in *layout.Inode, childCount uint32, committed bool) verifier.ShadowInfo {
@@ -273,7 +344,7 @@ func (c *Controller) SetClock(now func() time.Time) {
 
 // RegisterApp creates an application identity.
 func (c *Controller) RegisterApp(uid, gid uint32) AppID {
-	c.cost.Syscall()
+	c.syscall()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextApp++
@@ -285,7 +356,7 @@ func (c *Controller) RegisterApp(uid, gid uint32) AppID {
 // NewTrustGroup places the given applications in a fresh trust group:
 // inode ownership moves among them without verification (§5.4).
 func (c *Controller) NewTrustGroup(ids ...AppID) (int, error) {
-	c.cost.Syscall()
+	c.syscall()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextGroup++
@@ -302,7 +373,7 @@ func (c *Controller) NewTrustGroup(ids ...AppID) (int, error) {
 // GrantInodes hands n fresh inode numbers to app; the LibFS builds new
 // files and directories in them without further system calls.
 func (c *Controller) GrantInodes(appID AppID, n int) ([]uint64, error) {
-	c.cost.Syscall()
+	c.syscall()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	a, ok := c.apps[appID]
@@ -324,7 +395,7 @@ func (c *Controller) GrantInodes(appID AppID, n int) ([]uint64, error) {
 
 // GrantPages hands n free pages to app.
 func (c *Controller) GrantPages(appID AppID, cpu, n int) ([]uint64, error) {
-	c.cost.Syscall()
+	c.syscall()
 	pages, err := c.alloc.AllocBatch(cpu, n)
 	if err != nil {
 		return nil, fsapi.ErrNoSpace
@@ -344,7 +415,7 @@ func (c *Controller) GrantPages(appID AppID, cpu, n int) ([]uint64, error) {
 
 // ReturnPages gives unused granted pages back (LibFS teardown).
 func (c *Controller) ReturnPages(appID AppID, pages []uint64) {
-	c.cost.Syscall()
+	c.syscall()
 	c.mu.Lock()
 	var back []uint64
 	for _, p := range pages {
@@ -359,14 +430,16 @@ func (c *Controller) ReturnPages(appID AppID, pages []uint64) {
 
 // RenameLockAcquire takes the global rename lease for app (§4.6 patch).
 func (c *Controller) RenameLockAcquire(appID AppID) {
-	c.cost.Syscall()
+	c.syscall()
+	c.trace.Record(telemetry.EvRenameLockAcquire, appID, 0, 0, 0)
 	c.renameLock.Acquire(appID, c.opts.RenameLeaseTTL)
 }
 
 // RenameLockRelease returns the lease; false means it had expired and
 // been stolen.
 func (c *Controller) RenameLockRelease(appID AppID) bool {
-	c.cost.Syscall()
+	c.syscall()
+	c.trace.Record(telemetry.EvRenameLockRelease, appID, 0, 0, 0)
 	return c.renameLock.Release(appID)
 }
 

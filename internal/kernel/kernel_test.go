@@ -317,8 +317,8 @@ func TestI3RejectsNonEmptyDirRemoval(t *testing.T) {
 	if _, ok := h.findDentry(layout.RootIno, "d"); !ok {
 		t.Fatal("rollback did not restore the dentry")
 	}
-	if h.c.Stats.Rollbacks != 1 {
-		t.Fatalf("Rollbacks = %d", h.c.Stats.Rollbacks)
+	if h.c.Stats.Rollbacks.Load() != 1 {
+		t.Fatalf("Rollbacks = %d", h.c.Stats.Rollbacks.Load())
 	}
 }
 
@@ -394,8 +394,8 @@ func TestBusyAndLeaseExpiry(t *testing.T) {
 	if !m2.Valid() {
 		t.Fatal("mapping invalid")
 	}
-	if h.c.Stats.Involuntary != 1 {
-		t.Fatalf("Involuntary = %d", h.c.Stats.Involuntary)
+	if h.c.Stats.Involuntary.Load() != 1 {
+		t.Fatalf("Involuntary = %d", h.c.Stats.Involuntary.Load())
 	}
 	if h.c.OwnerOf(layout.RootIno) != app2 {
 		t.Fatal("ownership did not move")
@@ -410,16 +410,16 @@ func TestTrustGroupTransferSkipsVerification(t *testing.T) {
 		t.Fatal(err)
 	}
 	m1, _ := h.c.Acquire(app1, layout.RootIno, true)
-	before := h.c.Stats.Verifications
+	before := h.c.Stats.Verifications.Load()
 	m2, err := h.c.Acquire(app2, layout.RootIno, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.c.Stats.Verifications != before {
+	if h.c.Stats.Verifications.Load() != before {
 		t.Fatal("trust transfer ran the verifier")
 	}
-	if h.c.Stats.TrustTransfers != 1 {
-		t.Fatalf("TrustTransfers = %d", h.c.Stats.TrustTransfers)
+	if h.c.Stats.TrustTransfers.Load() != 1 {
+		t.Fatalf("TrustTransfers = %d", h.c.Stats.TrustTransfers.Load())
 	}
 	// Within a trust group both mappings stay established: the point of
 	// the group is sharing without unmap/verify cycles.

@@ -1,0 +1,41 @@
+package libfs
+
+import (
+	"testing"
+
+	"arckfs/internal/kernel"
+	"arckfs/internal/pmem"
+)
+
+// TestCreateFenceCountPatchedVsBuggy pins the §4.2 patch down at the
+// counter level: the patched create path issues exactly one more
+// persist barrier than the buggy path — the fence between persisting
+// the dentry body and writing its commit marker. More would mean the
+// patch over-fences (a real throughput cost, Figure 3); fewer would
+// mean the fence regressed away.
+func TestCreateFenceCountPatchedVsBuggy(t *testing.T) {
+	fencesPerCreate := func(bugs Bugs) int64 {
+		dev := pmem.New(64<<20, nil)
+		ctrl, err := kernel.Format(dev, kernel.Options{InodeCap: 1 << 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := New(ctrl, ctrl.RegisterApp(0, 0), Options{Bugs: bugs})
+		w := fs.NewThread(0).(*Thread)
+		if err := w.Mkdir("/d"); err != nil {
+			t.Fatal(err)
+		}
+		before := dev.Stats.Fences.Load()
+		if err := w.Create("/d/f"); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Stats.Fences.Load() - before
+	}
+
+	buggy := fencesPerCreate(BugMissingFence)
+	patched := fencesPerCreate(BugsNone)
+	if patched != buggy+1 {
+		t.Fatalf("patched create issued %d fences, buggy %d; want exactly one more",
+			patched, buggy)
+	}
+}

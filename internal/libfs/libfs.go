@@ -22,6 +22,7 @@ import (
 	"arckfs/internal/layout"
 	"arckfs/internal/pmem"
 	"arckfs/internal/rcu"
+	"arckfs/internal/telemetry"
 )
 
 // Bugs selects which of the paper's Table-1 bugs are present.
@@ -136,9 +137,31 @@ type FS struct {
 	nthreads atomic.Int64
 	clock    atomic.Uint64 // logical mtime source
 
+	// Stats counts the LibFS's recovery-path events (telemetry only).
+	Stats Stats
+
+	// tel is the owning system's counter set (set by core.NewApp).
+	tel *telemetry.Set
+
 	// delegates is the I/O delegation pool (see delegate.go).
 	delegates delegatePool
 }
+
+// Stats counts LibFS events of interest to telemetry: remaps after an
+// involuntary revocation (§4.3 patched path) and re-acquisitions of
+// voluntarily released inodes.
+type Stats struct {
+	Remaps     atomic.Int64
+	Reacquires atomic.Int64
+}
+
+// SetTelemetry attaches the owning system's counter set (core.NewApp
+// wires this); Telemetry returns it, nil if the FS was built without a
+// system.
+func (fs *FS) SetTelemetry(tel *telemetry.Set) { fs.tel = tel }
+
+// Telemetry returns the owning system's counter set, or nil.
+func (fs *FS) Telemetry() *telemetry.Set { return fs.tel }
 
 // New attaches a LibFS for a registered application.
 func New(ctrl *kernel.Controller, app kernel.AppID, opts Options) *FS {

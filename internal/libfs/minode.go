@@ -132,6 +132,7 @@ func (fs *FS) remap(mi *minode) error {
 	if fs.opts.Bugs.Has(BugReleaseUnsync) {
 		return fsapi.ErrBusError
 	}
+	fs.Stats.Remaps.Add(1)
 	m, err := fs.ctrl.Acquire(fs.app, mi.ino, true)
 	if err != nil {
 		return err
@@ -155,6 +156,7 @@ func (fs *FS) remap(mi *minode) error {
 
 // reacquire remaps a released inode (§4.3 patch path: aux was retained).
 func (fs *FS) reacquire(mi *minode) error {
+	fs.Stats.Reacquires.Add(1)
 	m, err := fs.ctrl.Acquire(fs.app, mi.ino, true)
 	if err != nil {
 		return err

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"arckfs/internal/costmodel"
+	"arckfs/internal/telemetry"
 )
 
 // LineSize is the cache line size of the simulated machine.
@@ -47,6 +48,15 @@ type Stats struct {
 	Bytes   atomic.Int64 // bytes stored
 	Flushes atomic.Int64 // cache lines flushed
 	Fences  atomic.Int64 // persist barriers issued
+}
+
+// RegisterTelemetry exposes the device's persistence counters in set
+// under the "pmem." namespace.
+func (d *Device) RegisterTelemetry(set *telemetry.Set) {
+	set.Gauge("pmem.stores", d.Stats.Stores.Load)
+	set.Gauge("pmem.bytes", d.Stats.Bytes.Load)
+	set.Gauge("pmem.flushes", d.Stats.Flushes.Load)
+	set.Gauge("pmem.fences", d.Stats.Fences.Load)
 }
 
 // lineTrack records the unpersisted store history of one cache line.

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries checks that every bucket's bounds invert
+// bucketIndex: each value maps into the bucket whose range contains it,
+// bucket ranges tile the value space with no gaps or overlaps, and the
+// relative bucket width never exceeds 1/histSubCount.
+func TestBucketBoundaries(t *testing.T) {
+	prevHigh := int64(-1)
+	for i := 0; i < histBucketCount; i++ {
+		low, high := BucketBounds(i)
+		if low != prevHigh+1 {
+			t.Fatalf("bucket %d starts at %d, want %d (gap or overlap)", i, low, prevHigh+1)
+		}
+		if bucketIndex(low) != i || bucketIndex(high) != i {
+			t.Fatalf("bucket %d [%d,%d]: index(low)=%d index(high)=%d",
+				i, low, high, bucketIndex(low), bucketIndex(high))
+		}
+		if low >= histSubCount {
+			if width := high - low + 1; float64(width)/float64(low) > 1.0/histSubCount+1e-12 {
+				t.Fatalf("bucket %d [%d,%d]: relative width %g too coarse",
+					i, low, high, float64(width)/float64(low))
+			}
+		}
+		prevHigh = high
+		if high >= math.MaxInt64/2 {
+			break
+		}
+	}
+	// Spot values across the whole range, including extremes.
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 1023, 4096, 1 << 20, 1 << 40, math.MaxInt64} {
+		i := bucketIndex(v)
+		low, high := BucketBounds(i)
+		if v < low || v > high {
+			t.Fatalf("value %d mapped to bucket %d [%d,%d]", v, i, low, high)
+		}
+	}
+}
+
+// TestQuantilesAgainstReference records random samples in both the
+// histogram and a plain sorted slice and checks that every histogram
+// quantile is within one bucket's relative error of the exact order
+// statistic.
+func TestQuantilesAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	const n = 20000
+	ref := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		// Log-uniform latencies between ~30ns and ~30ms, the realistic
+		// range for the simulated operations.
+		v := int64(math.Exp(rng.Float64()*13.8)) + 30
+		h.Record(v)
+		ref = append(ref, v)
+	}
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	exact := func(q float64) int64 {
+		r := int(math.Ceil(q * float64(n)))
+		if r < 1 {
+			r = 1
+		}
+		return ref[r-1]
+	}
+	for _, q := range []float64{0.01, 0.10, 0.50, 0.90, 0.99, 0.999, 1.0} {
+		got, want := h.Quantile(q), exact(q)
+		// The histogram answer is an upper bound of the exact order
+		// statistic's bucket: allow one bucket width of slack.
+		lo := float64(want)
+		hi := float64(want) * (1 + 1.0/histSubCount)
+		if float64(got) < lo-1 || float64(got) > hi+1 {
+			t.Errorf("q=%v: histogram=%d exact=%d (allowed [%v,%v])", q, got, want, lo, hi)
+		}
+	}
+	if h.Count() != n {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	if h.Max() != ref[n-1] || h.Min() != ref[0] {
+		t.Fatalf("Max/Min = %d/%d, want %d/%d", h.Max(), h.Min(), ref[n-1], ref[0])
+	}
+	mean := 0.0
+	for _, v := range ref {
+		mean += float64(v)
+	}
+	mean /= n
+	if math.Abs(h.Mean()-mean) > 1e-6 {
+		t.Fatalf("Mean = %v, want %v", h.Mean(), mean)
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must read as zeros")
+	}
+	h.Record(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative clamp: count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+}
+
+// TestConcurrentRecording hammers one histogram from many goroutines
+// (run under -race) and checks the aggregate is exact.
+func TestConcurrentRecording(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Record(rng.Int63n(1 << 30))
+			}
+		}(w)
+	}
+	// A concurrent reader, as the benchmark snapshot path does.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			h.Quantile(0.99)
+			h.Summary()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+// TestMergeMatchesSingle merges per-thread histograms and compares with
+// one histogram fed every sample, the way the harness aggregates
+// workers.
+func TestMergeMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	whole := NewHistogram()
+	merged := NewHistogram()
+	parts := []*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+	for i := 0; i < 9000; i++ {
+		v := rng.Int63n(1 << 40)
+		whole.Record(v)
+		parts[i%3].Record(v)
+	}
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	merged.Merge(nil)
+	merged.Merge(NewHistogram()) // empty merge is a no-op
+	if merged.Count() != whole.Count() || merged.Sum() != whole.Sum() ||
+		merged.Max() != whole.Max() || merged.Min() != whole.Min() {
+		t.Fatalf("merge mismatch: %+v vs %+v", merged.Summary(), whole.Summary())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q=%v: merged=%d whole=%d", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}

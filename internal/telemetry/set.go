@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a registered atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Set is an expvar-style counter registry: named int64 sources that a
+// snapshot reads atomically enough for monitoring. It unifies counters
+// owned by the Set itself with gauges reading external state (device
+// statistics, kernel counters), so one snapshot covers the whole system.
+type Set struct {
+	mu       sync.Mutex
+	sources  map[string]func() int64
+	counters map[string]*Counter
+}
+
+// NewSet creates an empty registry.
+func NewSet() *Set {
+	return &Set{
+		sources:  make(map[string]func() int64),
+		counters: make(map[string]*Counter),
+	}
+}
+
+// Gauge registers a named read-out. fn must be safe to call from any
+// goroutine. Registering an existing name replaces it.
+func (s *Set) Gauge(name string, fn func() int64) {
+	s.mu.Lock()
+	s.sources[name] = fn
+	s.mu.Unlock()
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (s *Set) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	s.counters[name] = c
+	s.sources[name] = c.Load
+	return c
+}
+
+// Snapshot reads every source. The result is a point-in-time view; with
+// concurrent writers individual values are atomic but the set as a whole
+// is not.
+func (s *Set) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	fns := make(map[string]func() int64, len(s.sources))
+	for name, fn := range s.sources {
+		fns[name] = fn
+	}
+	s.mu.Unlock()
+	out := make(map[string]int64, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as pretty-printed JSON (encoding/json
+// sorts map keys, so the output is stable).
+func (s *Set) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// Delta returns after-before per key, keeping keys that exist in either
+// snapshot (a key missing from one side counts as zero).
+func Delta(before, after map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(after))
+	for k, v := range after {
+		out[k] = v - before[k]
+	}
+	for k, v := range before {
+		if _, ok := after[k]; !ok {
+			out[k] = -v
+		}
+	}
+	return out
+}

@@ -21,6 +21,7 @@ package verifier
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"arckfs/internal/costmodel"
 	"arckfs/internal/layout"
@@ -74,12 +75,21 @@ type KernelView interface {
 	IsDescendant(node, anc uint64) bool
 }
 
+// Stats counts the verifier's work units: dentry records and pages
+// scanned during core-state parsing. Telemetry-only; the simulated
+// verification latency is charged through Cost.
+type Stats struct {
+	Dentries atomic.Int64
+	Pages    atomic.Int64
+}
+
 // V is a verifier instance.
 type V struct {
-	Mode Mode
-	Dev  *pmem.Device
-	Geo  layout.Geometry
-	Cost *costmodel.Model
+	Mode  Mode
+	Dev   *pmem.Device
+	Geo   layout.Geometry
+	Cost  *costmodel.Model
+	Stats Stats
 }
 
 // --- Core-state parsing ----------------------------------------------------
@@ -169,6 +179,8 @@ func (v *V) ParseDir(ino uint64) (*DirView, error) {
 	}
 	v.Cost.VerifyDentries(dv.Records)
 	v.Cost.VerifyPages(len(dv.Pages) + 1)
+	v.Stats.Dentries.Add(int64(dv.Records))
+	v.Stats.Pages.Add(int64(len(dv.Pages) + 1))
 	return dv, nil
 }
 
@@ -219,5 +231,6 @@ func (v *V) ParseFile(ino uint64) (*FileView, error) {
 		return nil, fmt.Errorf("inode %d: map chain too short for size %d", ino, in.Size)
 	}
 	v.Cost.VerifyPages(len(fv.MapPages))
+	v.Stats.Pages.Add(int64(len(fv.MapPages)))
 	return fv, nil
 }
