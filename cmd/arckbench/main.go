@@ -3,14 +3,19 @@
 //
 // Usage:
 //
-//	arckbench -exp figure3|figure4|table2|dataScale|filebench|leveldb|table4|all \
+//	arckbench -exp figure3|figure4|table2|dataScale|fxmark|filebench|leveldb|table4|all \
 //	          [-threads 1,2,4,8,16,32,48] [-ops 20000] [-dev 512] [-fast] \
-//	          [-systems arckfs,arckfs+,nova,pmfs,kucofs] [-json out.json]
+//	          [-systems arckfs,arckfs+,nova,pmfs,kucofs] [-persist batched|eager] \
+//	          [-json out.json]
 //
 // -json writes a machine-readable run record alongside the rendered
 // tables: configuration, then one cell per measurement with ops/sec,
 // sampled latency percentiles (p50/p90/p99/max), and telemetry counter
-// deltas (flushes, fences, syscalls — absolute and per-op).
+// deltas (flushes, fences, ntstores, syscalls — absolute and per-op).
+//
+// -persist eager disables the LibFS write-combining persist batcher;
+// pairing a batched and an eager run of the same experiment quantifies
+// the batching optimization (see EXPERIMENTS.md).
 //
 // Table 1 (the six bugs and their fixes) is reproduced by the test
 // suite: go test ./internal/libfs -run TestBug -v
@@ -28,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure3, figure4, table2, dataScale, filebench, leveldb, table4, all")
+	exp := flag.String("exp", "all", "experiment: figure3, figure4, table2, dataScale, fxmark, filebench, leveldb, table4, all")
 	threads := flag.String("threads", "1,2,4,8,16,32,48", "comma-separated thread sweep")
 	ops := flag.Int("ops", 20000, "total operations per measurement cell")
 	dev := flag.Int64("dev", 512, "device size in MiB per instance")
@@ -38,10 +43,15 @@ func main() {
 	bigMB := flag.Uint64("share-big", 256, "Table 4 big shared-file size (MiB; paper uses 1024)")
 	trials := flag.Int("trials", 3, "best-of-N trials for single-thread cells")
 	jsonOut := flag.String("json", "", "write a machine-readable run record to this path")
+	persist := flag.String("persist", "batched", "ArckFS persist schedule: batched or eager")
 	flag.Parse()
 
+	if *persist != "batched" && *persist != "eager" {
+		fmt.Fprintf(os.Stderr, "bad -persist %q (want batched or eager)\n", *persist)
+		os.Exit(2)
+	}
 	if *exp != "all" && !isKnown(*exp) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure3, figure4, table2, dataScale, filebench, leveldb, table4, or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure3, figure4, table2, dataScale, fxmark, filebench, leveldb, table4, or all)\n", *exp)
 		os.Exit(2)
 	}
 
@@ -65,6 +75,7 @@ func main() {
 		DevSize:   *dev << 20,
 		Realistic: !*fast,
 		Trials:    *trials,
+		Eager:     *persist == "eager",
 		Out:       os.Stdout,
 	}
 	if *jsonOut != "" {
@@ -94,6 +105,11 @@ func main() {
 			return experiments.Table2(cfg, series)
 		})
 	}
+	// fxmark is not part of "all": it re-covers figure4 and dataScale
+	// cells and exists for targeted persistence-cost comparisons.
+	if *exp == "fxmark" {
+		run("fxmark", func() error { return experiments.Fxmark(cfg) })
+	}
 	if want("dataScale") {
 		run("dataScale", func() error { return experiments.DataScale(cfg) })
 	}
@@ -119,7 +135,7 @@ func main() {
 
 func isKnown(e string) bool {
 	switch e {
-	case "figure3", "figure4", "table2", "dataScale", "filebench", "leveldb", "table4":
+	case "figure3", "figure4", "table2", "dataScale", "fxmark", "filebench", "leveldb", "table4":
 		return true
 	}
 	return false

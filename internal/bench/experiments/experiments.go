@@ -42,6 +42,11 @@ type Config struct {
 	// Trials repeats each single-thread cell and keeps the best run,
 	// suppressing scheduler noise (default 3 for Figure 3, 1 elsewhere).
 	Trials int
+	// Eager disables the ArckFS write-combining persist batcher, running
+	// the pre-batching persist schedule (baselines are unaffected). Used
+	// to A/B the batching optimization; recorded in the -json output as
+	// config.persist.
+	Eager bool
 	// Out receives rendered tables.
 	Out io.Writer
 	// Rec, when non-nil, accumulates machine-readable cells for the
@@ -79,15 +84,21 @@ func (c *Config) cost() *costmodel.Model {
 
 // MakeFS constructs a fresh instance of the named file system.
 func MakeFS(name string, devSize int64, cost *costmodel.Model) (fsapi.FS, error) {
+	return MakeFSPersist(name, devSize, cost, false)
+}
+
+// MakeFSPersist is MakeFS with an explicit persist mode: eager disables
+// the ArckFS write-combining batcher (baselines ignore the flag).
+func MakeFSPersist(name string, devSize int64, cost *costmodel.Model, eager bool) (fsapi.FS, error) {
 	switch name {
 	case "arckfs+":
-		sys, err := core.NewSystem(core.Config{Mode: core.ArckFSPlus, DevSize: devSize, Cost: cost})
+		sys, err := core.NewSystem(core.Config{Mode: core.ArckFSPlus, DevSize: devSize, Cost: cost, EagerPersist: eager})
 		if err != nil {
 			return nil, err
 		}
 		return sys.NewApp(0, 0), nil
 	case "arckfs":
-		sys, err := core.NewSystem(core.Config{Mode: core.ArckFS, DevSize: devSize, Cost: cost})
+		sys, err := core.NewSystem(core.Config{Mode: core.ArckFS, DevSize: devSize, Cost: cost, EagerPersist: eager})
 		if err != nil {
 			return nil, err
 		}
@@ -100,6 +111,11 @@ func MakeFS(name string, devSize int64, cost *costmodel.Model) (fsapi.FS, error)
 		return kucofs.New(devSize, cost)
 	}
 	return nil, fmt.Errorf("unknown file system %q", name)
+}
+
+// makeFS builds the named system under this run's configuration.
+func (c *Config) makeFS(name string) (fsapi.FS, error) {
+	return MakeFSPersist(name, c.DevSize, c.cost(), c.Eager)
 }
 
 func opsFor(total, threads int) int {
@@ -136,7 +152,7 @@ func Figure3(cfg Config) error {
 			best := 0.0
 			var bestRes harness.Result
 			for trial := 0; trial < cfg.Trials; trial++ {
-				fs, err := MakeFS(sysName, cfg.DevSize, cfg.cost())
+				fs, err := cfg.makeFS(sysName)
 				if err != nil {
 					return err
 				}
@@ -193,7 +209,7 @@ func Figure4(cfg Config) (map[string]*harness.Series, error) {
 				best := 0.0
 				var bestRes harness.Result
 				for trial := 0; trial < trials; trial++ {
-					fs, err := MakeFS(sysName, cfg.DevSize, cfg.cost())
+					fs, err := cfg.makeFS(sysName)
 					if err != nil {
 						return nil, err
 					}
@@ -214,6 +230,37 @@ func Figure4(cfg Config) (map[string]*harness.Series, error) {
 		fmt.Fprint(cfg.Out, series.Render())
 	}
 	return out, nil
+}
+
+// Fxmark runs the full FxMark suite — the metadata workloads plus the
+// data-operation sweep — once per (system, thread-count) cell. It is the
+// persistence-cost experiment: every cell lands in the -json record under
+// "fxmark" with per-op pmem.flushes / pmem.fences / pmem.ntstores, so an
+// eager-vs-batched pair of runs quantifies the write-combining batcher
+// (see EXPERIMENTS.md).
+func Fxmark(cfg Config) error {
+	cfg.fill()
+	for _, group := range [][]fxmark.Workload{fxmark.Metadata, fxmark.DataOps} {
+		for _, w := range group {
+			series := harness.NewSeries("FxMark — " + w.Name + ": " + w.Desc + " (ops/sec)")
+			for _, sysName := range cfg.Systems {
+				for _, th := range cfg.Threads {
+					fs, err := cfg.makeFS(sysName)
+					if err != nil {
+						return err
+					}
+					res, err := fxmark.RunWorkload(fs, w, th, opsFor(cfg.TotalOps, th), fxmark.Defaults())
+					if err != nil {
+						return fmt.Errorf("%s/%s@%d: %w", sysName, w.Name, th, err)
+					}
+					cfg.Rec.Add("fxmark", res)
+					series.Add(sysName, th, res.OpsPerSec())
+				}
+			}
+			fmt.Fprint(cfg.Out, series.Render())
+		}
+	}
+	return nil
 }
 
 // Table2 renders ArckFS+'s relative throughput versus ArckFS at the
@@ -251,7 +298,7 @@ func DataScale(cfg Config) error {
 		series := harness.NewSeries("Data — " + w.Name + ": " + w.Desc + " (GiB/s aggregate)")
 		for _, sysName := range cfg.Systems {
 			for _, th := range cfg.Threads {
-				fs, err := MakeFS(sysName, cfg.DevSize, cfg.cost())
+				fs, err := cfg.makeFS(sysName)
 				if err != nil {
 					return err
 				}
@@ -275,7 +322,7 @@ func DataScale(cfg Config) error {
 	for _, job := range fiolike.StandardJobs(4 << 20) {
 		cells := []string{job.Name}
 		for _, sysName := range cfg.Systems {
-			fs, err := MakeFS(sysName, cfg.DevSize, cfg.cost())
+			fs, err := cfg.makeFS(sysName)
 			if err != nil {
 				return err
 			}
@@ -306,7 +353,7 @@ func Filebench(cfg Config) error {
 		for _, th := range threadPoints {
 			cells := []string{fmt.Sprintf("%d", th)}
 			for _, sysName := range cfg.Systems {
-				fs, err := MakeFS(sysName, cfg.DevSize, cfg.cost())
+				fs, err := cfg.makeFS(sysName)
 				if err != nil {
 					return err
 				}
@@ -359,7 +406,7 @@ func LevelDB(cfg Config) error {
 		rows[b] = []string{b}
 	}
 	for _, sysName := range cfg.Systems {
-		fs, err := MakeFS(sysName, cfg.DevSize, cfg.cost())
+		fs, err := cfg.makeFS(sysName)
 		if err != nil {
 			return err
 		}

@@ -43,6 +43,10 @@ type RunConfig struct {
 	DevSizeMB int64    `json:"dev_size_mb"`
 	Realistic bool     `json:"realistic"`
 	Trials    int      `json:"trials"`
+	// Persist is the ArckFS persist schedule the run used: "batched"
+	// (write-combining batcher, the default) or "eager" (one clwb per
+	// call site, the pre-batching behavior).
+	Persist string `json:"persist"`
 }
 
 // RunRecord is the top-level JSON document arckbench -json emits.
@@ -63,6 +67,10 @@ type Recorder struct {
 // NewRecorder starts a record for one arckbench invocation.
 func NewRecorder(cfg Config) *Recorder {
 	cfg.fill()
+	persist := "batched"
+	if cfg.Eager {
+		persist = "eager"
+	}
 	return &Recorder{rec: RunRecord{
 		Tool: "arckbench",
 		Time: time.Now().UTC(),
@@ -73,15 +81,17 @@ func NewRecorder(cfg Config) *Recorder {
 			DevSizeMB: cfg.DevSize >> 20,
 			Realistic: cfg.Realistic,
 			Trials:    cfg.Trials,
+			Persist:   persist,
 		},
 	}}
 }
 
 // perOpKeys maps counter names to their per-op JSON keys.
 var perOpKeys = map[string]string{
-	"pmem.flushes": "flushes",
-	"pmem.fences":  "fences",
-	"syscalls":     "syscalls",
+	"pmem.flushes":  "flushes",
+	"pmem.fences":   "fences",
+	"pmem.ntstores": "ntstores",
+	"syscalls":      "syscalls",
 }
 
 // Add records one harness result under the given experiment name.

@@ -54,6 +54,10 @@ type Config struct {
 	Hooks *libfs.Hooks
 	// DirBuckets sizes directory hash tables.
 	DirBuckets int
+	// EagerPersist disables the LibFS write-combining persist batcher
+	// (see libfs.Options.EagerPersist); benchmarks use it to A/B the
+	// batching optimization.
+	EagerPersist bool
 	// Tracking enables pmem crash tracking from the moment after format.
 	Tracking bool
 	// LeaseTTL bounds inode ownership; RenameLeaseTTL bounds the global
@@ -183,10 +187,11 @@ func Recover(img []byte, cfg Config) (*System, *kernel.Report, error) {
 func (s *System) NewApp(uid, gid uint32) *libfs.FS {
 	app := s.Ctrl.RegisterApp(uid, gid)
 	fs := libfs.New(s.Ctrl, app, libfs.Options{
-		Bugs:       s.cfg.bugs(),
-		Cost:       s.cfg.Cost,
-		Hooks:      s.cfg.Hooks,
-		DirBuckets: s.cfg.DirBuckets,
+		Bugs:         s.cfg.bugs(),
+		Cost:         s.cfg.Cost,
+		Hooks:        s.cfg.Hooks,
+		DirBuckets:   s.cfg.DirBuckets,
+		EagerPersist: s.cfg.EagerPersist,
 	})
 	fs.SetTelemetry(s.tel)
 	s.appsMu.Lock()

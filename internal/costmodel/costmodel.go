@@ -34,6 +34,11 @@ type Model struct {
 	// PMReadNS is charged per cache line loaded from persistent memory.
 	// Optane reads are closer to DRAM, so this is typically small or zero.
 	PMReadNS int64
+	// NTStoreNS is charged per cache line written with non-temporal
+	// (movnt-style) streaming stores. A streaming store replaces a
+	// store + clwb pair, so it is priced above a plain store but below
+	// PMWriteNS+FlushNS.
+	NTStoreNS int64
 	// VerifyDentryNS is charged by the integrity verifier per directory
 	// entry inspected.
 	VerifyDentryNS int64
@@ -61,6 +66,7 @@ func Default() *Model {
 		FenceNS:        30,
 		PMWriteNS:      60,
 		PMReadNS:       0,
+		NTStoreNS:      80,
 		VerifyDentryNS: 40,
 		VerifyPageNS:   120,
 		MapNS:          400,
@@ -140,6 +146,13 @@ func (m *Model) Fence() {
 func (m *Model) PMWrite(n int) {
 	if m != nil && m.PMWriteNS > 0 && n > 0 {
 		Spin(m.PMWriteNS * int64((n+63)/64))
+	}
+}
+
+// NTStore charges n cache lines of non-temporal stores.
+func (m *Model) NTStore(n int) {
+	if m != nil && m.NTStoreNS > 0 && n > 0 {
+		Spin(m.NTStoreNS * int64(n))
 	}
 }
 

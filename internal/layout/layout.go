@@ -15,6 +15,7 @@
 package layout
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 
@@ -251,6 +252,34 @@ func WriteInode(dev *pmem.Device, g Geometry, ino uint64, in *Inode) {
 	dev.Store32(off+inCsum, crc32.Checksum(dev.Slice(off, inCsum), crcTab))
 }
 
+// EncodeInode renders in as a complete InodeSize-byte record — all
+// fields, zero padding, checksum — for callers that store the whole
+// record at once with streaming (non-temporal) stores instead of
+// field-by-field with a trailing flush. The record is two full cache
+// lines, so a pmem.Batch can WriteStream it with no clwb at all.
+//
+// The checksum is computed over the rendered buffer, so unlike WriteInode
+// (which checksums whatever the padding bytes on the device happen to
+// hold) an encoded record always has zeroed padding; both forms verify
+// under ReadInode.
+func EncodeInode(in *Inode) [InodeSize]byte {
+	var rec [InodeSize]byte
+	binary.LittleEndian.PutUint16(rec[inType:], in.Type)
+	binary.LittleEndian.PutUint16(rec[inPerm:], in.Perm)
+	binary.LittleEndian.PutUint16(rec[inNlink:], in.Nlink)
+	binary.LittleEndian.PutUint16(rec[inNTails:], in.NTails)
+	binary.LittleEndian.PutUint32(rec[inUID:], in.UID)
+	binary.LittleEndian.PutUint32(rec[inGID:], in.GID)
+	binary.LittleEndian.PutUint64(rec[inSize:], in.Size)
+	binary.LittleEndian.PutUint64(rec[inRoot:], in.DataRoot)
+	binary.LittleEndian.PutUint64(rec[inParent:], in.Parent)
+	binary.LittleEndian.PutUint64(rec[inGen:], in.Gen)
+	binary.LittleEndian.PutUint64(rec[inCTime:], in.CTime)
+	binary.LittleEndian.PutUint64(rec[inMTime:], in.MTime)
+	binary.LittleEndian.PutUint32(rec[inCsum:], crc32.Checksum(rec[:inCsum], crcTab))
+	return rec
+}
+
 // ReadInode decodes ino's record. ok is false for a free slot; corrupt is
 // true when the record fails its checksum (e.g. a partially persisted
 // inode after a crash, §4.2).
@@ -295,6 +324,14 @@ func InitTailSet(dev *pmem.Device, page uint64, n int) {
 	off := int64(page * PageSize)
 	dev.Zero(off, PageSize)
 	dev.Store16(off, uint16(n))
+}
+
+// SetTailCount writes the tail count of an (already zeroed) tail-set
+// page. Caller persists; callers that stream-zero the page with
+// non-temporal stores use this instead of InitTailSet to avoid re-zeroing
+// through the cache.
+func SetTailCount(dev *pmem.Device, page uint64, n int) {
+	dev.Store16(int64(page*PageSize), uint16(n))
 }
 
 // TailCount reads the tail count of a tail-set page.

@@ -151,3 +151,92 @@ func TestExhaustiveCrashEnumerationUnlink(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchedCreateCrashEnumerationAtMarkerWindow enumerates crash
+// states in the narrowest §4.2 window — the commit marker's flush is
+// queued in the write-combining batch but the final fence has not been
+// issued — and proves the batcher preserves the ordering-epoch rule:
+//
+//   - ArckFS+ : the body epoch's Barrier ran before the marker was
+//     queued, so no all-or-nothing subset of the remaining dirty lines
+//     yields a valid commit marker over a garbage dentry body.
+//   - ArckFS (BugMissingFence): under batching the body lines and the
+//     marker share one ordering epoch, so the enumeration must still
+//     find the torn state — batching does not accidentally fix the bug,
+//     it expresses it the same way.
+func TestBatchedCreateCrashEnumerationAtMarkerWindow(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		bugs     Bugs
+		wantTorn bool
+	}{
+		{"arckfs+-fence", BugsNone, false},
+		{"arckfs-missing-fence", BugMissingFence, true},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dev := pmem.New(8<<20, nil)
+			ctrl, err := kernel.Format(dev, kernel.Options{InodeCap: 1 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var imgs [][]byte
+			hooks := &Hooks{CreateBeforeMarkerFence: func() {
+				if !dev.Tracking() {
+					return // warmup create, before the measured window
+				}
+				lines := dev.DirtyLines()
+				if len(lines) > 14 {
+					t.Errorf("dirty set at marker window unexpectedly large: %d lines", len(lines))
+					return
+				}
+				for mask := 0; mask < 1<<len(lines); mask++ {
+					keep := map[int64]bool{}
+					for i, l := range lines {
+						if mask&(1<<i) != 0 {
+							keep[l] = true
+						}
+					}
+					imgs = append(imgs, dev.CrashImage(func(lineOff int64, versions int) int {
+						if keep[lineOff] {
+							return versions
+						}
+						return 0
+					}))
+				}
+			}}
+			fs := New(ctrl, ctrl.RegisterApp(0, 0), Options{Bugs: tc.bugs, Hooks: hooks})
+			w := fs.NewThread(0).(*Thread)
+			if err := w.Create("/warmup"); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.ReleaseAll(); err != nil {
+				t.Fatal(err)
+			}
+			dev.EnableTracking()
+			if err := w.Create("/victim-0123456789-0123456789-0123456789-0123456789-0123456789"); err != nil {
+				t.Fatal(err)
+			}
+			if len(imgs) == 0 {
+				t.Fatal("marker-window hook never fired")
+			}
+			sawTorn := false
+			for i, img := range imgs {
+				rdev := pmem.Restore(img, nil)
+				_, rep, err := kernel.Mount(rdev, kernel.Options{}, true)
+				if err != nil {
+					t.Fatalf("image %d: recovery failed: %v", i, err)
+				}
+				if rep.CorruptDentries > 0 {
+					sawTorn = true
+					if !tc.wantTorn {
+						t.Fatalf("image %d: batched fence-protected create produced a torn dentry: %s", i, rep)
+					}
+				}
+			}
+			if tc.wantTorn && !sawTorn {
+				t.Fatal("no crash subset tore the dentry under batching; the §4.2 bug should still be enumerable")
+			}
+		})
+	}
+}

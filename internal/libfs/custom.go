@@ -59,8 +59,8 @@ func (t *Thread) CreateBatch(dir string, names []string) (int, error) {
 			Type: layout.TypeFile, Perm: layout.PermRead | layout.PermWrite,
 			Nlink: 1, Parent: dmi.ino, MTime: fs.now(),
 		}
-		layout.WriteInode(fs.dev, fs.geo, ino, &in)
-		fs.dev.Flush(layout.InodeOff(fs.geo, ino), layout.InodeSize)
+		rec := layout.EncodeInode(&in)
+		t.pb.WriteStream(layout.InodeOff(fs.geo, ino), rec[:])
 
 		var ref layout.DentryRef
 		var insErr error
@@ -74,25 +74,25 @@ func (t *Thread) CreateBatch(dir string, names []string) (int, error) {
 				return
 			}
 			layout.WriteDentryBody(fs.dev, ref, ino, name)
-			fs.persistDentryBody(ref, len(name))
+			fs.persistDentryBody(t.pb, ref, len(name))
 			lb.Insert(name, ino, uint64(ref))
 		})
 		if insErr != nil {
 			fs.recycleIno(ino)
 			// Commit and register what we already wrote before reporting.
-			fs.finishBatch(dmi, pending)
+			fs.finishBatch(t, dmi, pending)
 			return len(pending), insErr
 		}
 		pending = append(pending, pendingCreate{name, ino, ref})
 	}
-	fs.finishBatch(dmi, pending)
+	fs.finishBatch(t, dmi, pending)
 	return len(pending), nil
 }
 
 // finishBatch commits the batch durably and registers the new files in
 // the auxiliary tables.
-func (fs *FS) finishBatch(dmi *minode, pending []pendingCreate) {
-	fs.commitBatch(dmi, pending)
+func (fs *FS) finishBatch(t *Thread, dmi *minode, pending []pendingCreate) {
+	fs.commitBatch(t, pending)
 	for _, pc := range pending {
 		mi := &minode{ino: pc.ino, typ: layout.TypeFile, file: &fileState{}}
 		mi.parent.Store(dmi.ino)
@@ -109,18 +109,21 @@ type pendingCreate struct {
 	ref  layout.DentryRef
 }
 
-// commitBatch fences the batch's bodies, then sets and persists every
-// commit marker under a single final fence.
-func (fs *FS) commitBatch(_ *minode, pending []pendingCreate) {
+// commitBatch ends the batch's body epoch, then sets and persists every
+// commit marker under a single final barrier.
+func (fs *FS) commitBatch(t *Thread, pending []pendingCreate) {
 	if len(pending) == 0 {
+		// Nothing committed, but pass 1 may have queued body lines for an
+		// entry that then failed aux insertion; write them back.
+		t.pb.Drain()
 		return
 	}
 	// Order every body and inode write-back before any marker can
 	// persist (the §4.2 fence, shared by the whole batch).
-	fs.dev.Fence()
+	t.pb.Barrier()
 	for _, pc := range pending {
 		layout.CommitDentry(fs.dev, pc.ref, len(pc.name))
-		fs.dev.Flush(pc.ref.MarkerOff(), 2)
+		t.pb.Flush(pc.ref.MarkerOff(), 2)
 	}
-	fs.dev.Fence()
+	t.pb.Barrier()
 }

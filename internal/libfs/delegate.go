@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"arckfs/internal/layout"
+	"arckfs/internal/pmem"
 )
 
 // I/O delegation, the OdinFS-inspired optimization the Trio paper credits
@@ -102,7 +103,9 @@ func (fs *FS) copyOutRange(st *fileState, off int64, p []byte) {
 
 // delegatedCopyIn writes p at off across the pool, flushing each chunk.
 // Caller holds the file write lock and has already ensured every target
-// block is allocated (so workers never touch shared state).
+// block is allocated (so workers never touch shared state). Workers run
+// with no batch (nil): a Batch is single-threaded, so they flush at the
+// call site; the coordinator's barrier after the join orders the lot.
 func (fs *FS) delegatedCopyIn(st *fileState, off int64, p []byte) {
 	const chunk = 64 * layout.PageSize
 	var fns []func()
@@ -113,15 +116,18 @@ func (fs *FS) delegatedCopyIn(st *fileState, off int64, p []byte) {
 		}
 		base := off + int64(start)
 		fns = append(fns, func() {
-			fs.copyInRange(st, base, p[start:end])
+			fs.copyInRange(nil, st, base, p[start:end])
 		})
 	}
 	fs.delegates.run(fns)
 }
 
-// copyInRange stores and flushes one byte range into pre-allocated
-// blocks.
-func (fs *FS) copyInRange(st *fileState, off int64, p []byte) {
+// copyInRange stores one byte range into pre-allocated blocks. Line-
+// aligned whole-line spans are streamed through the batch (non-temporal:
+// no write-back at all, durable at the next barrier); ragged edges fall
+// back to store+flush. With b nil (delegate workers) every span flushes
+// eagerly on the device.
+func (fs *FS) copyInRange(b *pmem.Batch, st *fileState, off int64, p []byte) {
 	written := 0
 	for written < len(p) {
 		bi := int((off + int64(written)) / layout.PageSize)
@@ -130,9 +136,17 @@ func (fs *FS) copyInRange(st *fileState, off int64, p []byte) {
 		if n > len(p)-written {
 			n = len(p) - written
 		}
-		base := int64(st.blocks[bi] * layout.PageSize)
-		fs.dev.Write(base+bo, p[written:written+n])
-		fs.dev.Flush(base+bo, int64(n))
+		dst := int64(st.blocks[bi]*layout.PageSize) + bo
+		switch {
+		case b != nil && dst%pmem.LineSize == 0 && n%pmem.LineSize == 0:
+			b.WriteStream(dst, p[written:written+n])
+		case b != nil:
+			fs.dev.Write(dst, p[written:written+n])
+			b.Flush(dst, int64(n))
+		default:
+			fs.dev.Write(dst, p[written:written+n])
+			fs.dev.Flush(dst, int64(n))
+		}
 		written += n
 	}
 }

@@ -86,28 +86,30 @@ func (t *Thread) resolveParent(path string, write bool) (*minode, string, error)
 	return mi, name, nil
 }
 
-// persistDentryBody is step 1 of the atomic-commit protocol: flush every
-// cache line of the record except the one holding the commit marker
-// (that line is persisted exactly once, by step 2 — the artifact's
-// flush-count optimization that footnote 3 describes).
-func (fs *FS) persistDentryBody(r layout.DentryRef, nameLen int) {
+// persistDentryBody is step 1 of the atomic-commit protocol: queue a
+// flush for every cache line of the record except the one holding the
+// commit marker (that line is persisted exactly once, by step 2 — the
+// artifact's flush-count optimization that footnote 3 describes). The
+// queued lines are written back at the caller's next Barrier.
+func (fs *FS) persistDentryBody(b *pmem.Batch, r layout.DentryRef, nameLen int) {
 	start := r.DevOff()
 	end := start + int64(layout.DentryRecLen(nameLen))
 	markerLine := r.MarkerOff() / pmem.LineSize * pmem.LineSize
 	for line := start / pmem.LineSize * pmem.LineSize; line < end; line += pmem.LineSize {
 		if line != markerLine {
-			fs.dev.Flush(line, pmem.LineSize)
+			b.Flush(line, pmem.LineSize)
 		}
 	}
 }
 
 // appendDentry appends a committed dentry for (childIno, name) to one of
 // mi's log tails, honoring the §4.2 and §4.3 settings. The §4.2 patch is
-// the single Fence between the body flushes and the marker update.
-//
-// extraFlush lets the caller batch additional step-1 flushes (the new
-// child's inode record) under the same fence.
-func (fs *FS) appendDentry(t *Thread, mi *minode, childIno uint64, name string, extraFlush func()) (layout.DentryRef, error) {
+// the single Barrier between the body epoch and the marker update: the
+// new child's inode record (streamed by the caller before this call) and
+// the dentry body all become durable before the commit marker can
+// possibly persist. The marker line is queued only after that Barrier —
+// it must never merge into the body epoch.
+func (fs *FS) appendDentry(t *Thread, mi *minode, childIno uint64, name string) (layout.DentryRef, error) {
 	ds := mi.dir
 	ti := t.cpu % len(ds.tails)
 	tc := &ds.tails[ti]
@@ -131,22 +133,21 @@ func (fs *FS) appendDentry(t *Thread, mi *minode, childIno uint64, name string, 
 	r := layout.MakeDentryRef(tc.page, tc.off)
 	// Step 1: persist the body with the marker still zero.
 	layout.WriteDentryBody(fs.dev, r, childIno, name)
-	fs.persistDentryBody(r, len(name))
-	if extraFlush != nil {
-		extraFlush()
-	}
+	fs.persistDentryBody(t.pb, r, len(name))
 	if !fs.opts.Bugs.Has(BugMissingFence) {
-		// The §4.2 patch: order the body (and inode) write-backs before
-		// the commit marker can possibly persist.
-		fs.dev.Fence()
+		// The §4.2 patch: end the body epoch — the dentry body (and the
+		// streamed inode record) are durable before the commit marker can
+		// possibly persist.
+		t.pb.Barrier()
 	}
-	// Step 2: set and persist the commit marker.
+	// Step 2: set and persist the commit marker. Its line enters the
+	// queue only here, after the body-epoch Barrier.
 	layout.CommitDentry(fs.dev, r, len(name))
-	fs.dev.Flush(r.MarkerOff(), 2)
+	t.pb.Flush(r.MarkerOff(), 2)
 	if h := fs.opts.Hooks.CreateBeforeMarkerFence; h != nil {
-		h() // §4.2 crash window: marker flushed, final fence not yet issued
+		h() // §4.2 crash window: marker flush queued, final fence not yet issued
 	}
-	fs.dev.Fence()
+	t.pb.Barrier()
 
 	tc.off += layout.DentryRecLen(len(name))
 	return r, nil
@@ -182,21 +183,22 @@ func (fs *FS) ensureTailSpace(t *Thread, ds *dirState, ti int, tc *tailCursor, n
 }
 
 // newLogPage allocates and zeroes a log page so scans terminate at its
-// frontier.
+// frontier. The zeroes are streamed (no per-line write-backs) and fenced
+// before the caller links the page.
 func (fs *FS) newLogPage(t *Thread) (uint64, error) {
 	p, err := fs.allocPage(t.cpu)
 	if err != nil {
 		return 0, err
 	}
-	layout.ZeroPage(fs.dev, p)
-	fs.dev.Persist(int64(p*layout.PageSize), layout.PageSize)
+	t.pb.ZeroStream(int64(p*layout.PageSize), layout.PageSize)
+	t.pb.Barrier()
 	return p, nil
 }
 
 // insertEntry links (childIno, name) into mi, placing the persistent
 // update inside (patched, §4.4) or outside (buggy) the bucket critical
 // section. It returns the new record's ref.
-func (fs *FS) insertEntry(t *Thread, mi *minode, childIno uint64, name string, extraFlush func()) (layout.DentryRef, error) {
+func (fs *FS) insertEntry(t *Thread, mi *minode, childIno uint64, name string) (layout.DentryRef, error) {
 	if fs.opts.Bugs.Has(BugAuxCoreRace) {
 		// ArckFS as shipped: reserve log space, publish the name in
 		// auxiliary state, and only then write the core record — with no
@@ -213,7 +215,7 @@ func (fs *FS) insertEntry(t *Thread, mi *minode, childIno uint64, name string, e
 		if h := fs.opts.Hooks.CreateBetweenAuxAndCore; h != nil {
 			h()
 		}
-		if err := fs.fillDentry(mi, r, childIno, name, extraFlush); err != nil {
+		if err := fs.fillDentry(t, mi, r, childIno, name); err != nil {
 			mi.dir.ht.Delete(name)
 			return 0, err
 		}
@@ -227,7 +229,7 @@ func (fs *FS) insertEntry(t *Thread, mi *minode, childIno uint64, name string, e
 			err = fsapi.ErrExist
 			return
 		}
-		r, err = fs.appendDentry(t, mi, childIno, name, extraFlush)
+		r, err = fs.appendDentry(t, mi, childIno, name)
 		if err != nil {
 			return
 		}
@@ -258,7 +260,7 @@ func (fs *FS) reserveDentry(t *Thread, mi *minode, nameLen int) (layout.DentryRe
 
 // fillDentry writes a reserved record's contents and commits it with the
 // two-step marker protocol (§4.2 ordering per the bug flag).
-func (fs *FS) fillDentry(mi *minode, r layout.DentryRef, childIno uint64, name string, extraFlush func()) error {
+func (fs *FS) fillDentry(t *Thread, mi *minode, r layout.DentryRef, childIno uint64, name string) error {
 	if err := fs.checkMapped(mi); err != nil {
 		return err
 	}
@@ -266,19 +268,16 @@ func (fs *FS) fillDentry(mi *minode, r layout.DentryRef, childIno uint64, name s
 		h()
 	}
 	layout.WriteDentryBody(fs.dev, r, childIno, name)
-	fs.persistDentryBody(r, len(name))
-	if extraFlush != nil {
-		extraFlush()
-	}
+	fs.persistDentryBody(t.pb, r, len(name))
 	if !fs.opts.Bugs.Has(BugMissingFence) {
-		fs.dev.Fence()
+		t.pb.Barrier()
 	}
 	layout.CommitDentry(fs.dev, r, len(name))
-	fs.dev.Flush(r.MarkerOff(), 2)
+	t.pb.Flush(r.MarkerOff(), 2)
 	if h := fs.opts.Hooks.CreateBeforeMarkerFence; h != nil {
 		h()
 	}
-	fs.dev.Fence()
+	t.pb.Barrier()
 	return nil
 }
 
@@ -341,13 +340,12 @@ func (t *Thread) Create(path string) error {
 		Type: layout.TypeFile, Perm: layout.PermRead | layout.PermWrite,
 		Nlink: 1, Parent: dir.ino, MTime: fs.now(),
 	}
-	layout.WriteInode(fs.dev, fs.geo, ino, &in)
-	// The inode's write-back joins the dentry body under one fence
-	// (step 1 of §4.2's protocol covers "dentry and inode").
-	inodeFlush := func() {
-		fs.dev.Flush(layout.InodeOff(fs.geo, ino), layout.InodeSize)
-	}
-	if _, err := fs.insertEntry(t, dir, ino, name, inodeFlush); err != nil {
+	// Stream the whole inode record: its durability joins the dentry body
+	// under the §4.2 body-epoch Barrier (step 1 of the protocol covers
+	// "dentry and inode") without per-line write-backs.
+	rec := layout.EncodeInode(&in)
+	t.pb.WriteStream(layout.InodeOff(fs.geo, ino), rec[:])
+	if _, err := fs.insertEntry(t, dir, ino, name); err != nil {
 		fs.recycleIno(ino)
 		return err
 	}
@@ -377,18 +375,22 @@ func (t *Thread) Mkdir(path string) error {
 		return err
 	}
 	ntails := len(fs.rootTails())
-	layout.InitTailSet(fs.dev, tailset, ntails)
-	fs.dev.Persist(int64(tailset*layout.PageSize), layout.PageSize)
+	// Stream-zero the tail-set page, patch in the tail count, and fence —
+	// the same ordering point as the unbatched code (the page must be
+	// durable before any dentry can commit into it), at one line flush
+	// instead of a whole page of them.
+	t.pb.ZeroStream(int64(tailset*layout.PageSize), layout.PageSize)
+	layout.SetTailCount(fs.dev, tailset, ntails)
+	t.pb.Flush(int64(tailset*layout.PageSize), 2)
+	t.pb.Barrier()
 	in := layout.Inode{
 		Type: layout.TypeDir, Perm: layout.PermRead | layout.PermWrite,
 		Nlink: 2, Parent: dir.ino, DataRoot: tailset, NTails: uint16(ntails),
 		MTime: fs.now(),
 	}
-	layout.WriteInode(fs.dev, fs.geo, ino, &in)
-	inodeFlush := func() {
-		fs.dev.Flush(layout.InodeOff(fs.geo, ino), layout.InodeSize)
-	}
-	if _, err := fs.insertEntry(t, dir, ino, name, inodeFlush); err != nil {
+	rec := layout.EncodeInode(&in)
+	t.pb.WriteStream(layout.InodeOff(fs.geo, ino), rec[:])
+	if _, err := fs.insertEntry(t, dir, ino, name); err != nil {
 		fs.recycleIno(ino)
 		fs.recyclePages(t.cpu, []uint64{tailset})
 		return err

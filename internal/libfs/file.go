@@ -3,6 +3,7 @@ package libfs
 import (
 	"arckfs/internal/fsapi"
 	"arckfs/internal/layout"
+	"arckfs/internal/pmem"
 )
 
 // Open returns a descriptor for an existing file or directory.
@@ -110,7 +111,9 @@ func (fs *FS) writeAt(t *Thread, mi *minode, p []byte, off int64) (int, error) {
 	needBlocks := layout.BlocksForSize(end)
 
 	// Pass 1: allocate every missing block the write touches, zeroing
-	// blocks the write covers only partially.
+	// blocks the write covers only partially. The zeroes are streamed so
+	// they are durable at the data barrier (the old code never flushed
+	// them, so a crash could expose garbage through a fenced pointer).
 	var dirtyMap []int
 	for len(st.blocks) < needBlocks {
 		st.blocks = append(st.blocks, 0)
@@ -128,7 +131,7 @@ func (fs *FS) writeAt(t *Thread, mi *minode, p []byte, off int64) (int, error) {
 		fullyCovered := int64(bi)*layout.PageSize >= off &&
 			uint64(bi+1)*layout.PageSize <= end
 		if !fullyCovered {
-			fs.dev.Zero(int64(b*layout.PageSize), layout.PageSize)
+			t.pb.ZeroStream(int64(b*layout.PageSize), layout.PageSize)
 		}
 		st.blocks[bi] = b
 		dirtyMap = append(dirtyMap, bi)
@@ -139,31 +142,43 @@ func (fs *FS) writeAt(t *Thread, mi *minode, p []byte, off int64) (int, error) {
 	if len(p) >= DelegationThreshold {
 		fs.delegatedCopyIn(st, off, p)
 	} else {
-		fs.copyInRange(st, off, p)
+		fs.copyInRange(t.pb, st, off, p)
 	}
 	written := len(p)
-	// Order: data before metadata.
-	fs.dev.Fence()
+	// Order: data before metadata. When the write installs no new block
+	// pointer and grows no size — an in-place overwrite — a reordered
+	// inode update can expose nothing but a stale mtime, so the batched
+	// mode merges data and inode into one ordering epoch (one fence per
+	// op instead of two). Eager mode keeps the unconditional fence of the
+	// pre-batching schedule.
+	if len(dirtyMap) > 0 || end > st.size || t.pb.Eager() {
+		t.pb.Barrier()
+	}
 
 	// Extend the map chain to cover needBlocks entries.
 	if err := fs.ensureMapCapacity(t, mi, needBlocks); err != nil {
+		t.pb.Drain()
 		return written, err
 	}
 	for _, bi := range dirtyMap {
 		page := st.mapPages[bi/layout.MapEntriesPerPage]
 		layout.SetMapEntry(fs.dev, page, bi%layout.MapEntriesPerPage, st.blocks[bi])
-		fs.dev.Flush(int64(page*layout.PageSize)+int64(bi%layout.MapEntriesPerPage)*8, 8)
+		// Adjacent 8-byte entries coalesce into single-line flushes in
+		// the batch.
+		t.pb.Flush(int64(page*layout.PageSize)+int64(bi%layout.MapEntriesPerPage)*8, 8)
 	}
 	if end > st.size {
 		st.size = end
 	}
-	fs.persistFileInode(mi)
-	fs.dev.Fence()
+	fs.persistFileInode(t.pb, mi)
+	t.pb.Barrier()
 	mi.cacheAttrs(st.size, 1, fs.clock.Load())
 	return written, nil
 }
 
-// ensureMapCapacity grows the file's map chain to hold n entries.
+// ensureMapCapacity grows the file's map chain to hold n entries. New map
+// pages are stream-zeroed and fenced before being linked, as the old code
+// did with a full-page flush loop.
 func (fs *FS) ensureMapCapacity(t *Thread, mi *minode, n int) error {
 	st := mi.file
 	needPages := (n + layout.MapEntriesPerPage - 1) / layout.MapEntriesPerPage
@@ -172,8 +187,8 @@ func (fs *FS) ensureMapCapacity(t *Thread, mi *minode, n int) error {
 		if err != nil {
 			return err
 		}
-		layout.ZeroPage(fs.dev, p)
-		fs.dev.Persist(int64(p*layout.PageSize), layout.PageSize)
+		t.pb.ZeroStream(int64(p*layout.PageSize), layout.PageSize)
+		t.pb.Barrier()
 		if len(st.mapPages) > 0 {
 			last := st.mapPages[len(st.mapPages)-1]
 			layout.SetNextPage(fs.dev, last, p)
@@ -184,9 +199,9 @@ func (fs *FS) ensureMapCapacity(t *Thread, mi *minode, n int) error {
 	return nil
 }
 
-// persistFileInode rewrites and flushes mi's inode record (size, mtime,
-// root pointer). The caller fences.
-func (fs *FS) persistFileInode(mi *minode) {
+// persistFileInode streams mi's rewritten inode record (size, mtime, root
+// pointer) into the batch. The caller issues the Barrier.
+func (fs *FS) persistFileInode(b *pmem.Batch, mi *minode) {
 	st := mi.file
 	var root uint64
 	if len(st.mapPages) > 0 {
@@ -197,8 +212,8 @@ func (fs *FS) persistFileInode(mi *minode) {
 		Nlink: 1, Size: st.size, DataRoot: root, Parent: mi.parent.Load(),
 		MTime: fs.now(),
 	}
-	layout.WriteInode(fs.dev, fs.geo, mi.ino, &in)
-	fs.dev.Flush(layout.InodeOff(fs.geo, mi.ino), layout.InodeSize)
+	rec := layout.EncodeInode(&in)
+	b.WriteStream(layout.InodeOff(fs.geo, mi.ino), rec[:])
 }
 
 // Truncate sets path's size. Shrinking frees whole blocks beyond the new
@@ -228,8 +243,8 @@ func (t *Thread) Truncate(path string, size uint64) error {
 		if err := fs.ensureMapCapacity(t, mi, layout.BlocksForSize(size)); err != nil {
 			return err
 		}
-		fs.persistFileInode(mi)
-		fs.dev.Fence()
+		fs.persistFileInode(t.pb, mi)
+		t.pb.Barrier()
 		mi.cacheAttrs(st.size, 1, fs.clock.Load())
 		return nil
 	}
@@ -240,13 +255,15 @@ func (t *Thread) Truncate(path string, size uint64) error {
 			freed = append(freed, st.blocks[bi])
 			page := st.mapPages[bi/layout.MapEntriesPerPage]
 			layout.SetMapEntry(fs.dev, page, bi%layout.MapEntriesPerPage, 0)
-			fs.dev.Flush(int64(page*layout.PageSize)+int64(bi%layout.MapEntriesPerPage)*8, 8)
+			// Eight adjacent cleared entries share a line; the batch
+			// dedupes them to one write-back.
+			t.pb.Flush(int64(page*layout.PageSize)+int64(bi%layout.MapEntriesPerPage)*8, 8)
 		}
 	}
 	st.blocks = st.blocks[:keep]
 	st.size = size
-	fs.persistFileInode(mi)
-	fs.dev.Fence()
+	fs.persistFileInode(t.pb, mi)
+	t.pb.Barrier()
 	if mi.fresh.Load() {
 		fs.recyclePages(t.cpu, freed)
 	}

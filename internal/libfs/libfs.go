@@ -100,6 +100,12 @@ type Options struct {
 	// recycled entry (the paper's instrumented build); off, it retries
 	// as the un-instrumented artifact effectively does.
 	StrictUAF bool
+	// EagerPersist disables the per-thread write-combining persist
+	// batcher: every flush issues its clwb at the call site and no
+	// streaming stores are used, reproducing the pre-batching persist
+	// schedule. Benchmarks use it to A/B the batcher; fence placement
+	// (and so crash semantics) is identical in both modes.
+	EagerPersist bool
 }
 
 func (o *Options) fill() {
@@ -257,12 +263,17 @@ func (fs *FS) recyclePages(cpu int, pages []uint64) {
 // --- Threads ---------------------------------------------------------------
 
 // Thread is a per-worker handle; it carries the virtual CPU (for log-tail
-// and allocator-stripe selection), the RCU reader, and the fd table.
+// and allocator-stripe selection), the RCU reader, the fd table, and the
+// thread's write-combining persist queue.
 type Thread struct {
 	fs  *FS
 	cpu int
 	rd  *rcu.Reader
 	fds []*fdEnt
+	// pb is the thread's persist batcher. Operations enqueue
+	// line-granular flushes into it and end on a Barrier, so the queue is
+	// empty between operations.
+	pb *pmem.Batch
 }
 
 type fdEnt struct {
@@ -272,12 +283,18 @@ type fdEnt struct {
 // NewThread implements fsapi.FS.
 func (fs *FS) NewThread(cpu int) fsapi.Thread {
 	fs.nthreads.Add(1)
-	return &Thread{fs: fs, cpu: cpu, rd: fs.dom.Register()}
+	pb := fs.dev.NewBatch()
+	if fs.opts.EagerPersist {
+		pb = fs.dev.NewEagerBatch()
+	}
+	return &Thread{fs: fs, cpu: cpu, rd: fs.dom.Register(), pb: pb}
 }
 
-// Detach releases the thread's RCU registration. (Not part of
-// fsapi.Thread; benchmark drivers call it when a worker exits.)
+// Detach releases the thread's RCU registration and drains any queued
+// persists. (Not part of fsapi.Thread; benchmark drivers call it when a
+// worker exits.)
 func (t *Thread) Detach() {
+	t.pb.Drain()
 	if t.rd != nil {
 		t.fs.dom.Unregister(t.rd)
 		t.rd = nil

@@ -11,6 +11,10 @@ import (
 // be committed once its parent's verification has connected it to the
 // root).
 func (fs *FS) ensureCommitted(t *Thread, mi *minode) error {
+	// Ownership transfer: nothing of this thread's may still sit in the
+	// write-combining queue when the kernel snapshots core state.
+	// Operations end on an epoch boundary, so this is normally a no-op.
+	t.pb.Drain()
 	if mi.ino == layout.RootIno {
 		return nil
 	}

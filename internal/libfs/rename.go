@@ -73,7 +73,7 @@ func (t *Thread) Rename(oldPath, newPath string) error {
 	}
 
 	// The persistent and auxiliary moves.
-	if _, err := fs.insertEntry(t, newDir, childIno, newName, nil); err != nil {
+	if _, err := fs.insertEntry(t, newDir, childIno, newName); err != nil {
 		return err
 	}
 	if _, err := fs.removeEntry(oldDir, oldName); err != nil {
@@ -82,7 +82,7 @@ func (t *Thread) Rename(oldPath, newPath string) error {
 		return err
 	}
 	if crossDir {
-		fs.rewriteParent(child, newDir.ino)
+		fs.rewriteParent(t, child, newDir.ino)
 	}
 
 	if verifiedReloc {
@@ -97,15 +97,16 @@ func (t *Thread) Rename(oldPath, newPath string) error {
 }
 
 // rewriteParent updates child's inode-record parent pointer and persists
-// it.
-func (fs *FS) rewriteParent(child *minode, newParent uint64) {
+// it (streamed: the whole record rewrites in one epoch).
+func (fs *FS) rewriteParent(t *Thread, child *minode, newParent uint64) {
 	in, ok, _ := layout.ReadInode(fs.dev, fs.geo, child.ino)
 	if !ok {
 		return
 	}
 	in.Parent = newParent
-	layout.WriteInode(fs.dev, fs.geo, child.ino, &in)
-	fs.dev.Persist(layout.InodeOff(fs.geo, child.ino), layout.InodeSize)
+	rec := layout.EncodeInode(&in)
+	t.pb.WriteStream(layout.InodeOff(fs.geo, child.ino), rec[:])
+	t.pb.Barrier()
 	child.parent.Store(newParent)
 }
 

@@ -61,9 +61,13 @@ func NewExcluding(g layout.Geometry, used ...uint64) *Allocator {
 // with Free as it discovers unreachable pages.
 func NewEmpty() *Allocator { return &Allocator{} }
 
-// Alloc returns one free page for the given virtual CPU.
+// Alloc returns one free page for the given virtual CPU. When both the
+// CPU's stripe and the global pool are dry it steals from a sibling
+// stripe before reporting the device full: pages freed locally on one
+// CPU (FreeLocal) stay allocatable from every other.
 func (a *Allocator) Alloc(cpu int) (uint64, error) {
-	s := &a.stripe[uint(cpu)%stripes]
+	si := int(uint(cpu) % stripes)
+	s := &a.stripe[si]
 	s.mu.Lock()
 	if len(s.free) == 0 {
 		a.globalMu.Lock()
@@ -74,15 +78,39 @@ func (a *Allocator) Alloc(cpu int) (uint64, error) {
 		s.free = append(s.free, a.global[len(a.global)-n:]...)
 		a.global = a.global[:len(a.global)-n]
 		a.globalMu.Unlock()
-		if len(s.free) == 0 {
-			s.mu.Unlock()
+	}
+	if len(s.free) == 0 {
+		// Steal with no lock held on our own stripe, so two starving
+		// CPUs raiding each other cannot deadlock.
+		s.mu.Unlock()
+		stolen := a.steal(si)
+		if len(stolen) == 0 {
 			return 0, fmt.Errorf("pmalloc: out of pages")
 		}
+		s.mu.Lock()
+		s.free = append(s.free, stolen...)
 	}
 	p := s.free[len(s.free)-1]
 	s.free = s.free[:len(s.free)-1]
 	s.mu.Unlock()
 	return p, nil
+}
+
+// steal takes up to half of the first non-empty sibling stripe's pages.
+// At most one stripe lock is held at a time.
+func (a *Allocator) steal(si int) []uint64 {
+	for i := 1; i < stripes; i++ {
+		v := &a.stripe[(si+i)%stripes]
+		v.mu.Lock()
+		if n := (len(v.free) + 1) / 2; n > 0 {
+			stolen := append([]uint64(nil), v.free[len(v.free)-n:]...)
+			v.free = v.free[:len(v.free)-n]
+			v.mu.Unlock()
+			return stolen
+		}
+		v.mu.Unlock()
+	}
+	return nil
 }
 
 // AllocBatch returns n free pages.
@@ -107,6 +135,28 @@ func (a *Allocator) Free(pages ...uint64) {
 	a.globalMu.Lock()
 	a.global = append(a.global, pages...)
 	a.globalMu.Unlock()
+}
+
+// FreeLocal returns pages to cpu's own stripe, keeping them hot for that
+// CPU's next allocations without a trip through the global pool. A
+// stripe holds at most 2*refillBatch pages this way; the overflow spills
+// to the global pool. Pages parked in a stripe remain reachable from
+// other CPUs through Alloc's stealing path.
+func (a *Allocator) FreeLocal(cpu int, pages ...uint64) {
+	if len(pages) == 0 {
+		return
+	}
+	s := &a.stripe[uint(cpu)%stripes]
+	s.mu.Lock()
+	s.free = append(s.free, pages...)
+	var spill []uint64
+	if len(s.free) > 2*refillBatch {
+		k := len(s.free) - 2*refillBatch
+		spill = append([]uint64(nil), s.free[:k]...)
+		s.free = append(s.free[:0], s.free[k:]...)
+	}
+	s.mu.Unlock()
+	a.Free(spill...)
 }
 
 // FreeCount returns the total number of free pages (racy snapshot).

@@ -102,3 +102,85 @@ func TestConcurrentAllocFree(t *testing.T) {
 		}
 	}
 }
+
+func TestAllocStealsAcrossStripes(t *testing.T) {
+	// Drain the device from CPU 0, free everything back into CPU 0's
+	// stripe, and allocate from CPU 7: the global pool is empty, stripe 7
+	// is empty, and only cross-stripe stealing can satisfy the request.
+	a := New(geo(100)) // 96 free pages
+	var pages []uint64
+	for {
+		p, err := a.Alloc(0)
+		if err != nil {
+			break
+		}
+		pages = append(pages, p)
+	}
+	if len(pages) != 96 {
+		t.Fatalf("drained %d pages, want 96", len(pages))
+	}
+	a.FreeLocal(0, pages[:64]...) // fits within the stripe cap, no spill
+	for i := 0; i < 64; i++ {
+		if _, err := a.Alloc(7); err != nil {
+			t.Fatalf("alloc %d from starving stripe: %v", i, err)
+		}
+	}
+	if _, err := a.Alloc(7); err == nil {
+		t.Fatal("allocation past capacity succeeded")
+	}
+}
+
+func TestFreeLocalSpillsToGlobal(t *testing.T) {
+	a := NewEmpty()
+	pages := make([]uint64, 3*refillBatch)
+	for i := range pages {
+		pages[i] = uint64(1000 + i)
+	}
+	a.FreeLocal(3, pages...)
+	// The stripe caps at 2*refillBatch; the rest must reach the global
+	// pool so FreeCount still sees every page.
+	if got := a.FreeCount(); got != 3*refillBatch {
+		t.Fatalf("FreeCount = %d, want %d", got, 3*refillBatch)
+	}
+	a.globalMu.Lock()
+	spilled := len(a.global)
+	a.globalMu.Unlock()
+	if spilled != refillBatch {
+		t.Fatalf("global pool holds %d pages, want %d spilled", spilled, refillBatch)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 3*refillBatch; i++ {
+		p, err := a.Alloc(0) // stripe 0 is empty: refill + steal paths
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if seen[p] {
+			t.Fatalf("page %d handed out twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestConcurrentStealNoDeadlock(t *testing.T) {
+	// Two CPUs repeatedly free locally and allocate from each other's
+	// stripes; stealing must make progress without deadlocking.
+	a := New(geo(200))
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p, err := a.Alloc(cpu)
+				if err != nil {
+					continue
+				}
+				a.FreeLocal(1-cpu, p)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := a.FreeCount(); got != 196 {
+		t.Fatalf("FreeCount = %d, want 196", got)
+	}
+}

@@ -1,0 +1,161 @@
+package pmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Batch is a per-thread write-combining persist queue over one Device.
+//
+// Real PM file systems do not issue a clwb at every call site that
+// dirties a line: within one operation they queue line-granular flush
+// requests, dedupe lines already queued, and issue the write-backs in one
+// burst at the next ordering point. Batch implements that discipline for
+// the LibFS hot paths:
+//
+//   - Flush(off, n) enqueues the cache lines overlapping [off, off+n).
+//     A line already queued since the last barrier is absorbed (counted
+//     in Stats.BatchDedup) — this is what coalesces the adjacent 8-byte
+//     block-map entry flushes of writeAt/Truncate into single-line
+//     flushes.
+//   - Barrier() drains the queue (one clwb per unique line, adjacent
+//     lines merged into ranged flushes) and issues one fence. A Barrier
+//     is an ordering-epoch boundary: content queued before it is durable
+//     before anything queued after it can persist.
+//   - WriteStream/ZeroStream write full cache lines with non-temporal
+//     stores, skipping the clwb entirely; the data is durable at the
+//     next Barrier.
+//
+// Correctness of deferring the clwb to the barrier: in the persistency
+// model (and on real hardware) an unfenced clwb guarantees nothing — a
+// crash before the fence may persist any per-line prefix of the store
+// history whether or not write-back was initiated. Crash states therefore
+// depend only on where the fences are, and Batch preserves exactly the
+// fence placement of the unbatched code. The one rule a caller must keep
+// is the §4.2 ordering-epoch rule: a commit marker must be queued only
+// AFTER the Barrier that persists its body — the marker line must never
+// merge into the body epoch. The crash-enumeration tests in libfs prove
+// the batched protocol admits no new crash states.
+//
+// A Batch is owned by a single thread and is not safe for concurrent
+// use. The degenerate eager mode (NewEagerBatch) reproduces the
+// pre-batching behavior — one clwb per call site, no streaming stores —
+// and exists so benchmarks can A/B the optimization.
+type Batch struct {
+	dev   *Device
+	eager bool
+
+	// pending is the set of queued line offsets in the current epoch.
+	pending map[int64]struct{}
+	// scratch is the reusable sort buffer Barrier drains into.
+	scratch []int64
+}
+
+// NewBatch creates a write-combining persist queue for the device.
+func (d *Device) NewBatch() *Batch {
+	return &Batch{dev: d, pending: make(map[int64]struct{}, 32)}
+}
+
+// NewEagerBatch creates a pass-through queue: every Flush issues its clwb
+// immediately, Barrier only fences, and streaming writes degrade to
+// store+clwb. This is the pre-batching persist behavior.
+func (d *Device) NewEagerBatch() *Batch {
+	return &Batch{dev: d, eager: true}
+}
+
+// Eager reports whether the batch is in pass-through mode.
+func (b *Batch) Eager() bool { return b.eager }
+
+// Device returns the underlying device.
+func (b *Batch) Device() *Device { return b.dev }
+
+// Flush queues a clwb for every cache line overlapping [off, off+n).
+// Lines already queued in this epoch are absorbed.
+func (b *Batch) Flush(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	if b.eager {
+		b.dev.Flush(off, n)
+		return
+	}
+	b.dev.check(off, n)
+	first := off / LineSize * LineSize
+	last := (off + n - 1) / LineSize * LineSize
+	for l := first; l <= last; l += LineSize {
+		if _, dup := b.pending[l]; dup {
+			b.dev.Stats.BatchDedup.Add(1)
+			continue
+		}
+		b.pending[l] = struct{}{}
+	}
+}
+
+// WriteStream writes p (line-aligned, whole lines) with non-temporal
+// stores: no clwb is queued, and the content is durable at the next
+// Barrier. In eager mode it degrades to a store plus immediate clwbs.
+func (b *Batch) WriteStream(off int64, p []byte) {
+	if b.eager {
+		b.dev.Write(off, p)
+		b.dev.Flush(off, int64(len(p)))
+		return
+	}
+	b.dev.WriteNT(off, p)
+}
+
+// ZeroStream zeroes [off, off+n) (line-aligned) with non-temporal stores.
+func (b *Batch) ZeroStream(off, n int64) {
+	if b.eager {
+		b.dev.Zero(off, n)
+		b.dev.Flush(off, n)
+		return
+	}
+	b.dev.ZeroNT(off, n)
+}
+
+// Pending returns the number of queued (not yet written back) lines.
+func (b *Batch) Pending() int { return len(b.pending) }
+
+// Barrier ends the current ordering epoch: it drains the queue — one
+// clwb per unique line, adjacent lines merged into ranged flushes — and
+// issues one fence. Everything flushed or streamed before the Barrier is
+// durable when it returns.
+func (b *Batch) Barrier() {
+	if !b.eager && len(b.pending) > 0 {
+		b.scratch = b.scratch[:0]
+		for l := range b.pending {
+			b.scratch = append(b.scratch, l)
+		}
+		sort.Slice(b.scratch, func(i, j int) bool { return b.scratch[i] < b.scratch[j] })
+		runStart, runEnd := b.scratch[0], b.scratch[0]+LineSize
+		for _, l := range b.scratch[1:] {
+			if l == runEnd {
+				runEnd += LineSize
+				continue
+			}
+			b.dev.Flush(runStart, runEnd-runStart)
+			runStart, runEnd = l, l+LineSize
+		}
+		b.dev.Flush(runStart, runEnd-runStart)
+		clear(b.pending)
+	}
+	b.dev.Fence()
+}
+
+// Drain issues a Barrier only if lines are queued. Call sites that must
+// guarantee "nothing in flight" (ownership transfer to the kernel) use it
+// to avoid paying a fence in the common already-drained case.
+func (b *Batch) Drain() {
+	if len(b.pending) > 0 {
+		b.Barrier()
+	}
+}
+
+// AssertEmpty panics if lines are queued; operations must end on an epoch
+// boundary, so the queue is empty between operations. Tests use it to pin
+// the invariant.
+func (b *Batch) AssertEmpty() {
+	if len(b.pending) > 0 {
+		panic(fmt.Sprintf("pmem: batch holds %d undrained lines across an operation boundary", len(b.pending)))
+	}
+}

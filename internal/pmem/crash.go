@@ -15,6 +15,15 @@ import (
 // The per-line prefix rule encodes that stores to a single cache line are
 // ordered (a later store can never persist without the earlier ones),
 // while different lines are entirely unordered absent a fence.
+//
+// Batched persists (see Batch) need no special handling here, and that is
+// deliberate: a line whose flush is queued in a write-combining Batch but
+// not yet written back, a line whose clwb was issued but not fenced, and
+// a line written with non-temporal stores before its trailing fence are
+// all in the same crash state — dirty, reorderable against every other
+// line, free to persist any prefix of their store history. Only a fence
+// (Batch.Barrier) removes lines from this enumeration, which is why the
+// batcher preserves exactly the fence placement of the unbatched code.
 type CrashPolicy func(lineOff int64, versions int) int
 
 // CrashDropAll persists nothing beyond what was fenced — the most

@@ -44,10 +44,16 @@ const PageSize = 4096
 
 // Stats counts persistence-relevant events on a device.
 type Stats struct {
-	Stores  atomic.Int64 // individual store operations
-	Bytes   atomic.Int64 // bytes stored
-	Flushes atomic.Int64 // cache lines flushed
-	Fences  atomic.Int64 // persist barriers issued
+	Stores   atomic.Int64 // individual store operations
+	Bytes    atomic.Int64 // bytes stored
+	Flushes  atomic.Int64 // cache lines flushed
+	Fences   atomic.Int64 // persist barriers issued
+	NTStores atomic.Int64 // cache lines written with streaming stores
+	// BatchDedup counts cache-line flush requests a write-combining
+	// Batch absorbed because the line was already queued in the current
+	// ordering epoch (see batch.go). Each is one clwb the unbatched code
+	// would have issued.
+	BatchDedup atomic.Int64
 }
 
 // RegisterTelemetry exposes the device's persistence counters in set
@@ -57,6 +63,8 @@ func (d *Device) RegisterTelemetry(set *telemetry.Set) {
 	set.Gauge("pmem.bytes", d.Stats.Bytes.Load)
 	set.Gauge("pmem.flushes", d.Stats.Flushes.Load)
 	set.Gauge("pmem.fences", d.Stats.Fences.Load)
+	set.Gauge("pmem.ntstores", d.Stats.NTStores.Load)
+	set.Gauge("pmem.batch_dedup", d.Stats.BatchDedup.Load)
 }
 
 // lineTrack records the unpersisted store history of one cache line.
@@ -223,6 +231,67 @@ func (d *Device) Store64(off int64, v uint64) {
 	}
 }
 
+// WriteNT stores p at off with non-temporal (streaming, movnt-style)
+// stores. The write bypasses the cache hierarchy: no clwb is needed, and
+// the content is guaranteed durable after the next Fence. Both off and
+// len(p) must be cache-line aligned — streaming stores write whole lines.
+//
+// In the crash model a non-temporal store behaves exactly like a store
+// whose line was immediately flushed: until a fence it may persist any
+// prefix of the line's store history (the write-combining buffer can
+// drain at any time), after a fence it is durable.
+func (d *Device) WriteNT(off int64, p []byte) {
+	if off%LineSize != 0 || len(p)%LineSize != 0 {
+		panic(fmt.Sprintf("pmem: non-temporal write [%d,%d) not line-aligned", off, off+int64(len(p))))
+	}
+	d.check(off, int64(len(p)))
+	copy(d.buf[off:], p)
+	nl := int64(len(p) / LineSize)
+	d.Stats.Stores.Add(1)
+	d.Stats.Bytes.Add(int64(len(p)))
+	d.Stats.NTStores.Add(nl)
+	d.cost.NTStore(int(nl))
+	if d.tracking.Load() {
+		d.recordStore(off, int64(len(p)))
+		d.markFlushed(off/LineSize, (off+int64(len(p))-1)/LineSize)
+	}
+}
+
+// ZeroNT stores n zero bytes at off with non-temporal stores. The same
+// alignment and durability rules as WriteNT apply.
+func (d *Device) ZeroNT(off, n int64) {
+	if off%LineSize != 0 || n%LineSize != 0 {
+		panic(fmt.Sprintf("pmem: non-temporal zero [%d,%d) not line-aligned", off, off+n))
+	}
+	d.check(off, n)
+	b := d.buf[off : off+n]
+	for i := range b {
+		b[i] = 0
+	}
+	nl := n / LineSize
+	d.Stats.Stores.Add(1)
+	d.Stats.Bytes.Add(n)
+	d.Stats.NTStores.Add(nl)
+	d.cost.NTStore(int(nl))
+	if d.tracking.Load() {
+		d.recordStore(off, n)
+		d.markFlushed(off/LineSize, (off+n-1)/LineSize)
+	}
+}
+
+// markFlushed records that lines [first, last] have write-back initiated
+// for their entire store history (clwb issued, or a streaming store that
+// bypassed the cache).
+func (d *Device) markFlushed(first, last int64) {
+	d.mu.Lock()
+	for l := first; l <= last; l++ {
+		if lt := d.lines[l]; lt != nil {
+			lt.flushedVer = len(lt.versions)
+		}
+	}
+	d.mu.Unlock()
+}
+
 // Read copies n bytes at off into p.
 func (d *Device) Read(off int64, p []byte) {
 	d.check(off, int64(len(p)))
@@ -278,13 +347,7 @@ func (d *Device) Flush(off, n int64) {
 	if !d.tracking.Load() {
 		return
 	}
-	d.mu.Lock()
-	for l := first; l <= last; l++ {
-		if lt := d.lines[l]; lt != nil {
-			lt.flushedVer = len(lt.versions)
-		}
-	}
-	d.mu.Unlock()
+	d.markFlushed(first, last)
 }
 
 // Fence issues a persist barrier: all previously flushed line content
