@@ -1,0 +1,93 @@
+// Command arcklint runs the repository's persist-ordering and
+// crash-consistency static analyzer suite (internal/analysis) over a set
+// of package patterns and reports findings as "file:line: checker:
+// message" lines. It exits 1 when any unsuppressed finding remains, 2 on
+// usage or load errors.
+//
+// Usage:
+//
+//	arcklint [-json] [-checker list] [patterns ...]
+//
+// Patterns default to ./... and accept plain directories, dir/..., and
+// ./... forms. Suppressions are written in source as
+// "//arcklint:allow <checker> <reason>"; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"arckfs/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings (including suppressed ones) as a JSON array")
+	checkers := flag.String("checker", "", "comma-separated subset of checkers to run (default: all)")
+	flag.Parse()
+
+	analyzers, err := analysis.Select(*checkers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arcklint: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arcklint: %v\n", err)
+		os.Exit(2)
+	}
+	root, dirs, err := analysis.ExpandPatterns(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arcklint: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.LoadDirs(root, dirs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arcklint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := analysis.Run(prog, analyzers)
+	for i := range findings {
+		if rel, err := filepath.Rel(cwd, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].Pos.Filename = rel
+		}
+	}
+
+	unsuppressed, suppressed := 0, 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+		} else {
+			unsuppressed++
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "arcklint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			if !f.Suppressed {
+				fmt.Println(f)
+			}
+		}
+	}
+	if unsuppressed > 0 {
+		fmt.Fprintf(os.Stderr, "arcklint: %d finding(s), %d suppressed\n", unsuppressed, suppressed)
+		os.Exit(1)
+	}
+}

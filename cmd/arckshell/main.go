@@ -19,6 +19,7 @@
 //	crash                     simulate a power failure and remount
 //	stats                     live telemetry snapshot (JSON, all counters)
 //	trace [n]                 last n kernel-crossing events (default 16)
+//	lint                      run the arcklint checkers over this source tree
 //	help, quit
 package main
 
@@ -30,6 +31,7 @@ import (
 	"strings"
 
 	"arckfs"
+	"arckfs/internal/analysis"
 )
 
 func main() {
@@ -62,7 +64,7 @@ func main() {
 		var err error
 		switch cmd {
 		case "help":
-			fmt.Println("mkdir create write cat ls stat rm rmdir mv trunc release fsck crash stats trace quit")
+			fmt.Println("mkdir create write cat ls stat rm rmdir mv trunc release fsck crash stats trace lint quit")
 		case "quit", "exit":
 			return
 		case "mkdir":
@@ -148,6 +150,8 @@ func main() {
 			fmt.Println("  power failed and remounted:", rep)
 		case "stats":
 			err = sys.Telemetry().WriteJSON(os.Stdout)
+		case "lint":
+			err = runLint()
 		case "trace":
 			n := 16
 			if v, convErr := strconv.Atoi(arg(0)); convErr == nil && v > 0 {
@@ -170,6 +174,35 @@ func main() {
 			fmt.Println("  error:", err)
 		}
 	}
+}
+
+// runLint runs the full arcklint suite in-process over the module this
+// binary was started inside, mirroring `arcklint ./...`.
+func runLint() error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, dirs, err := analysis.ExpandPatterns(cwd, []string{"./..."})
+	if err != nil {
+		return err
+	}
+	prog, err := analysis.LoadDirs(root, dirs)
+	if err != nil {
+		return err
+	}
+	findings := analysis.Run(prog, analysis.Analyzers())
+	unsuppressed, suppressed := 0, 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			continue
+		}
+		unsuppressed++
+		fmt.Println(" ", f)
+	}
+	fmt.Printf("  %d finding(s), %d suppressed\n", unsuppressed, suppressed)
+	return nil
 }
 
 func writeAll(w arckfs.Thread, path, text string) error {

@@ -1,0 +1,232 @@
+// Package analysis implements arcklint, a suite of static analyzers that
+// enforce the repository's persist-ordering and crash-consistency
+// discipline at compile time.
+//
+// Every one of the paper's six ArckFS bugs is a discipline violation
+// visible in source code; the checkers here turn the rules PR 2 made
+// machine-checkable at runtime (Batch ordering epochs, exhaustive crash
+// enumeration) into intraprocedural static rules, so a future hot path
+// cannot silently reintroduce a §4.2-class mistake:
+//
+//   - persistorder: a commit-marker persist must be dominated by a
+//     Batch.Barrier since the last dentry-body store on every path.
+//   - flushcheck: no raw store into the pmem image that is never flushed
+//     (the "never-flushed partial-block zero" class PR 2 fixed).
+//   - epochdrain: a pmem.Batch obtained in a function reaches Barrier or
+//     is handed off on every return path, including early error returns.
+//   - lockorder: hlock acquisition in libfs/kernel follows the declared
+//     partial order.
+//   - counterreg: telemetry counters are registered once and every
+//     namespaced counter-name literal refers to a registered counter.
+//
+// The suite is built on the standard library only (go/parser, go/ast,
+// go/types), so it runs offline with no module dependencies. Each checker
+// is an Analyzer{Name, Doc, Run} value, deliberately shaped so it could
+// later be rehosted on golang.org/x/tools/go/analysis without rewriting
+// the checker bodies.
+//
+// Deliberate exceptions are suppressed in source with
+//
+//	//arcklint:allow <checker> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory: an allow directive without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a checker.
+type Finding struct {
+	Pos     token.Position `json:"pos"`
+	Checker string         `json:"checker"`
+	Message string         `json:"message"`
+	// Suppressed marks a finding matched by an //arcklint:allow
+	// directive; Reason carries the directive's justification.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Checker, f.Message)
+}
+
+// Analyzer is one named checker. Run inspects the program and returns raw
+// findings; suppression handling, deduplication, and ordering are applied
+// centrally by Run (the package-level function).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Program) []Finding
+}
+
+// Analyzers returns the full checker suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		persistOrderAnalyzer,
+		flushCheckAnalyzer,
+		epochDrainAnalyzer,
+		lockOrderAnalyzer,
+		counterRegAnalyzer,
+	}
+}
+
+// Select returns the analyzers whose names appear in the comma-separated
+// list, or all of them for an empty list.
+func Select(list string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if list == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown checker %q (have %s)", name, checkerNames())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func checkerNames() string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// allowDirective is one parsed //arcklint:allow comment.
+type allowDirective struct {
+	checker string
+	reason  string
+	pos     token.Position
+}
+
+const allowPrefix = "//arcklint:allow"
+
+// collectAllows parses every //arcklint:allow directive in the program.
+// The returned map is keyed by filename, then by the source line the
+// directive covers (its own line and the one below it, so a directive
+// can sit on the flagged line or directly above it). Malformed
+// directives — a missing checker, an unknown checker name, or a missing
+// reason — are returned as findings so suppressions cannot silently rot.
+func collectAllows(prog *Program) (map[string]map[int][]allowDirective, []Finding) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	allows := make(map[string]map[int][]allowDirective)
+	var bad []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, allowPrefix)
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0:
+						bad = append(bad, Finding{Pos: pos, Checker: "arcklint",
+							Message: "malformed allow directive: missing checker name and reason"})
+						continue
+					case !known[fields[0]]:
+						bad = append(bad, Finding{Pos: pos, Checker: "arcklint",
+							Message: fmt.Sprintf("allow directive names unknown checker %q (have %s)", fields[0], checkerNames())})
+						continue
+					case len(fields) < 2:
+						bad = append(bad, Finding{Pos: pos, Checker: "arcklint",
+							Message: fmt.Sprintf("allow directive for %q requires a reason", fields[0])})
+						continue
+					}
+					d := allowDirective{
+						checker: fields[0],
+						reason:  strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0])),
+						pos:     pos,
+					}
+					byLine := allows[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int][]allowDirective)
+						allows[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], d)
+					byLine[pos.Line+1] = append(byLine[pos.Line+1], d)
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// Run executes the given analyzers over the program and returns the
+// deduplicated, suppression-annotated findings in file/line order.
+// Directive problems (malformed allows) are always included, whichever
+// checkers were selected.
+func Run(prog *Program, analyzers []*Analyzer) []Finding {
+	allows, findings := collectAllows(prog)
+	for _, a := range analyzers {
+		for _, f := range a.Run(prog) {
+			f.Checker = a.Name
+			if ds := allows[f.Pos.Filename][f.Pos.Line]; ds != nil {
+				for _, d := range ds {
+					if d.checker == a.Name {
+						f.Suppressed = true
+						f.Reason = d.reason
+						break
+					}
+				}
+			}
+			findings = append(findings, f)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		return a.Message < b.Message
+	})
+	// Deduplicate: a flow checker can reach the same violation along
+	// several paths of the same function.
+	out := findings[:0]
+	for i, f := range findings {
+		if i > 0 && f == findings[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// eachFunc invokes fn for every function or method body in the program.
+func eachFunc(prog *Program, fn func(pkg *Package, decl *ast.FuncDecl)) {
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					fn(pkg, fd)
+				}
+			}
+		}
+	}
+}

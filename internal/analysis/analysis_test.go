@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts golden expectations of the form
+//
+//	// want "regexp"
+//
+// from fixture source lines. The quoted text is a regular expression
+// matched against the finding message reported on that line.
+var wantRe = regexp.MustCompile(`// want "(.*)"`)
+
+type wantComment struct {
+	file    string // base filename
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func collectWants(t *testing.T, dir string) []*wantComment {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*wantComment
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pat, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, m[1], err)
+			}
+			wants = append(wants, &wantComment{file: e.Name(), line: i + 1, pattern: pat})
+		}
+	}
+	return wants
+}
+
+// TestGolden runs each checker over its fixture package and diffs the
+// unsuppressed findings against the // want comments: every finding must
+// be expected, and every expectation must fire.
+func TestGolden(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	cases := []struct {
+		dir            string
+		checker        string
+		wantSuppressed int
+	}{
+		{"persistorder", "persistorder", 0},
+		{"flushcheck", "flushcheck", 1},
+		{"epochdrain", "epochdrain", 0},
+		{"lockorder", "lockorder", 0},
+		{"counterreg", "counterreg", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			dir := filepath.Join(root, tc.dir)
+			prog, err := LoadDirs(root, []string{dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			analyzers, err := Select(tc.checker)
+			if err != nil {
+				t.Fatal(err)
+			}
+			findings := Run(prog, analyzers)
+			wants := collectWants(t, dir)
+
+			suppressed := 0
+			for _, f := range findings {
+				if f.Suppressed {
+					suppressed++
+					if f.Reason == "" {
+						t.Errorf("suppressed finding with empty reason: %s", f)
+					}
+					continue
+				}
+				matched := false
+				for _, w := range wants {
+					if w.file == filepath.Base(f.Pos.Filename) && w.line == f.Pos.Line &&
+						w.pattern.MatchString(f.Message) {
+						w.matched = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: expected finding matching %q, got none",
+						w.file, w.line, w.pattern)
+				}
+			}
+			if suppressed != tc.wantSuppressed {
+				t.Errorf("suppressed findings = %d, want %d", suppressed, tc.wantSuppressed)
+			}
+		})
+	}
+}
+
+// TestMalformedAllows checks that broken //arcklint:allow directives are
+// themselves reported and do not suppress anything. (These fixtures
+// cannot carry want comments: appended text would parse as the
+// directive's reason.)
+func TestMalformedAllows(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	dir := filepath.Join(root, "badallow")
+	prog, err := LoadDirs(root, []string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers, err := Select("flushcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(prog, analyzers)
+
+	var meta, unsuppressed, suppressed []Finding
+	for _, f := range findings {
+		switch {
+		case f.Checker == "arcklint":
+			meta = append(meta, f)
+		case f.Suppressed:
+			suppressed = append(suppressed, f)
+		default:
+			unsuppressed = append(unsuppressed, f)
+		}
+	}
+
+	wantMeta := []string{
+		`allow directive for "flushcheck" requires a reason`,
+		`unknown checker "nosuchchecker"`,
+	}
+	if len(meta) != len(wantMeta) {
+		t.Fatalf("arcklint meta-findings = %d, want %d: %v", len(meta), len(wantMeta), meta)
+	}
+	for i, want := range wantMeta {
+		if !strings.Contains(meta[i].Message, want) {
+			t.Errorf("meta finding %d = %q, want substring %q", i, meta[i].Message, want)
+		}
+	}
+
+	// The malformed directives must not suppress their stores; only the
+	// valid one does.
+	if len(unsuppressed) != 2 {
+		t.Errorf("unsuppressed flushcheck findings = %d, want 2: %v", len(unsuppressed), unsuppressed)
+	}
+	if len(suppressed) != 1 {
+		t.Fatalf("suppressed findings = %d, want 1: %v", len(suppressed), suppressed)
+	}
+	if want := "recovery rewrites this line before readers see it"; suppressed[0].Reason != want {
+		t.Errorf("suppression reason = %q, want %q", suppressed[0].Reason, want)
+	}
+}
+
+// TestSelect covers the checker-selection surface the CLI exposes.
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	}
+	two, err := Select("persistorder, lockorder")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("Select(two) = %d analyzers, err %v; want 2, nil", len(two), err)
+	}
+	if _, err := Select("nosuch"); err == nil {
+		t.Fatal("Select(nosuch): expected error")
+	}
+}
+
+// TestFindingString pins the file:line: checker: message format the CI
+// job and editors parse.
+func TestFindingString(t *testing.T) {
+	f := Finding{Checker: "persistorder", Message: "m"}
+	f.Pos.Filename = "dir.go"
+	f.Pos.Line = 7
+	if got, want := f.String(), "dir.go:7: persistorder: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestExpandPatterns checks testdata is skipped by ./... expansion — the
+// fixture module must never leak into a real-tree run.
+func TestExpandPatterns(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dirs, err := ExpandPatterns(cwd, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("ExpandPatterns(./...) included %s", d)
+		}
+	}
+	if len(dirs) != 1 {
+		t.Errorf("expected only this package dir under %s, got %v", cwd, dirs)
+	}
+}
+
+func ExampleFinding_String() {
+	f := Finding{Checker: "flushcheck", Message: "raw store never flushed"}
+	f.Pos.Filename = "dir.go"
+	f.Pos.Line = 256
+	fmt.Println(f)
+	// Output: dir.go:256: flushcheck: raw store never flushed
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// flushcheck catches the "never-flushed store" class: a raw cache-line
+// store into the pmem image (Device.Write / Zero / StoreN) that no path
+// of the function follows with any flush (Batch.Flush, Device.Flush, or
+// Device.Persist). Raw stores land in the CPU cache; without an explicit
+// write-back they reach persistence only by cache-eviction accident, so a
+// crash can lose them long after the surrounding operation "completed" —
+// the partial-block-zero hole PR 2 closed. Streaming stores (WriteNT /
+// ZeroNT / Batch.WriteStream / Batch.ZeroStream) bypass the cache and
+// are exempt.
+//
+// The check is intentionally coarse about offsets: any flush-ish call
+// discharges all raw stores issued so far in the function. Packages that
+// implement the persistence layer itself (internal/pmem), the caller-
+// flushes helper layer (internal/layout), and the baseline file systems
+// (which model other systems' disciplines) are exempt.
+var flushCheckAnalyzer = &Analyzer{
+	Name: "flushcheck",
+	Doc: "raw stores into the pmem image must be followed by a flush " +
+		"(Batch.Flush / Device.Flush / Device.Persist) on every path",
+	Run: runFlushCheck,
+}
+
+type fcState struct {
+	// pending maps the position of each raw store not yet covered by a
+	// flush on this path.
+	pending map[token.Pos]bool
+}
+
+func (s *fcState) Copy() flowState {
+	c := &fcState{pending: make(map[token.Pos]bool, len(s.pending))}
+	for p := range s.pending {
+		c.pending[p] = true
+	}
+	return c
+}
+
+func (s *fcState) Merge(o flowState) {
+	for p := range o.(*fcState).pending {
+		s.pending[p] = true
+	}
+}
+
+type fcClient struct {
+	pkg      *Package
+	prog     *Program
+	findings *[]Finding
+}
+
+func (c *fcClient) onCall(w *flowWalker, st flowState, call *ast.CallExpr) {
+	s := st.(*fcState)
+	fn := calleeFunc(c.pkg, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case isMethod(fn, "internal/pmem", "Device", "Write"),
+		isMethod(fn, "internal/pmem", "Device", "Zero"),
+		isMethod(fn, "internal/pmem", "Device", "Store8"),
+		isMethod(fn, "internal/pmem", "Device", "Store16"),
+		isMethod(fn, "internal/pmem", "Device", "Store32"),
+		isMethod(fn, "internal/pmem", "Device", "Store64"):
+		s.pending[call.Pos()] = true
+	case isMethod(fn, "internal/pmem", "Batch", "Flush"),
+		isMethod(fn, "internal/pmem", "Device", "Flush"),
+		isMethod(fn, "internal/pmem", "Device", "Persist"):
+		clear(s.pending)
+	}
+}
+
+func (c *fcClient) onReturn(st flowState, _ token.Pos) {
+	for pos := range st.(*fcState).pending {
+		*c.findings = append(*c.findings, Finding{
+			Pos: c.prog.Fset.Position(pos),
+			Message: "raw store into the pmem image is never flushed on some path " +
+				"through this function (queue a Batch.Flush, use Device.Persist, or stream it)",
+		})
+	}
+}
+
+// containsSegment reports whether seg appears as a complete segment of
+// the import path.
+func containsSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+func flushCheckExempt(path string) bool {
+	return pkgPathHasSuffix(path, "internal/pmem") ||
+		pkgPathHasSuffix(path, "internal/layout") ||
+		containsSegment(path, "baseline")
+}
+
+func runFlushCheck(prog *Program) []Finding {
+	var findings []Finding
+	eachFunc(prog, func(pkg *Package, decl *ast.FuncDecl) {
+		if flushCheckExempt(pkg.Path) {
+			return
+		}
+		c := &fcClient{pkg: pkg, prog: prog, findings: &findings}
+		walkFunc(pkg, decl.Body, c, &fcState{pending: make(map[token.Pos]bool)})
+	})
+	return findings
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockorder enforces the declared partial order on hlock acquisition in
+// internal/libfs and internal/kernel. Lock classes are identified by the
+// (struct, field) pair holding the lock; the declared order, outermost
+// first, is:
+//
+//	libfs/minode   < libfs/dirbucket < libfs/dirtail < libfs/diridx
+//	             < libfs/inomu < libfs/pagemu < kernel/mapping
+//
+// libfs/dirbucket is the directory hash-table bucket lock, acquired
+// through Table.WithBucket; the checker interprets the callback inline
+// with the bucket held. Try-acquisitions (TryLock/TryRLock) cannot
+// deadlock and are ignored, as are locks outside the class table (e.g.
+// sync.Mutex fields, which stubbed imports keep invisible anyway).
+//
+// The check is intraprocedural: nestings created across call boundaries
+// (appendDentry's tail lock around ensureTailSpace's index lock, say) are
+// invisible to it. The class table is still the single written form of
+// the intended order, and any same-function inversion is caught.
+var lockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc: "hlock acquisition in libfs/kernel must follow the declared " +
+		"partial order (outermost first)",
+	Run: runLockOrder,
+}
+
+type lockClass struct {
+	rank int
+	name string
+}
+
+// lockClasses maps (struct type name, field name) to its class. Keeping
+// the key type-name based lets fixtures declare the same shapes.
+var lockClasses = map[[2]string]lockClass{
+	{"minode", "lock"}:    {0, "libfs/minode"},
+	{"tailCursor", "mu"}:  {2, "libfs/dirtail"},
+	{"dirState", "idxMu"}: {3, "libfs/diridx"},
+	{"FS", "inoMu"}:       {4, "libfs/inomu"},
+	{"FS", "pageMu"}:      {5, "libfs/pagemu"},
+	{"Mapping", "mu"}:     {6, "kernel/mapping"},
+}
+
+// bucketClass is acquired via htable's WithBucket rather than a direct
+// Lock call.
+var bucketClass = lockClass{1, "libfs/dirbucket"}
+
+type loState struct {
+	// held maps class name -> class for every lock held on this path.
+	held map[string]lockClass
+}
+
+func (s *loState) Copy() flowState {
+	c := &loState{held: make(map[string]lockClass, len(s.held))}
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+func (s *loState) Merge(o flowState) {
+	// Union: a lock held on either incoming path constrains what may be
+	// acquired after the join.
+	for k, v := range o.(*loState).held {
+		s.held[k] = v
+	}
+}
+
+type loClient struct {
+	pkg      *Package
+	prog     *Program
+	findings *[]Finding
+}
+
+func (c *loClient) acquire(s *loState, cl lockClass, pos token.Pos) {
+	for _, h := range s.held {
+		switch {
+		case h.rank == cl.rank:
+			*c.findings = append(*c.findings, Finding{
+				Pos: c.prog.Fset.Position(pos),
+				Message: fmt.Sprintf("lock class %s acquired while a lock of the same "+
+					"class is already held (self-deadlock risk)", cl.name),
+			})
+		case h.rank > cl.rank:
+			*c.findings = append(*c.findings, Finding{
+				Pos: c.prog.Fset.Position(pos),
+				Message: fmt.Sprintf("%s acquired while holding %s: the declared order "+
+					"is %s before %s", cl.name, h.name, cl.name, h.name),
+			})
+		}
+	}
+	s.held[cl.name] = cl
+}
+
+func (c *loClient) onCall(w *flowWalker, st flowState, call *ast.CallExpr) {
+	s := st.(*loState)
+	fn := calleeFunc(c.pkg, call)
+	if fn == nil {
+		return
+	}
+	if isMethod(fn, "internal/htable", "Table", "WithBucket") {
+		// The callback runs with the bucket lock held; interpret it inline
+		// on a throwaway copy (whatever it locks, it unlocks before
+		// WithBucket returns).
+		if len(call.Args) == 2 {
+			if lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit); ok {
+				inner := s.Copy().(*loState)
+				c.acquire(inner, bucketClass, call.Pos())
+				w.block(lit.Body, inner)
+				return
+			}
+		}
+		c.acquire(s, bucketClass, call.Pos())
+		delete(s.held, bucketClass.name)
+		return
+	}
+	if isMethod(fn, "internal/htable", "Table", "LockAll") {
+		// LockAll takes every bucket; the release happens through the
+		// returned closure, which this checker cannot see, so the class
+		// conservatively stays held to the end of the function.
+		c.acquire(s, bucketClass, call.Pos())
+		return
+	}
+	recvPkg, _ := recvTypeOf(fn)
+	if !pkgPathHasSuffix(recvPkg, "internal/hlock") {
+		return
+	}
+	cl, ok := classOfReceiver(c.pkg, call)
+	if !ok {
+		return
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		c.acquire(s, cl, call.Pos())
+	case "Unlock", "RUnlock":
+		delete(s.held, cl.name)
+	}
+}
+
+func (c *loClient) onReturn(flowState, token.Pos) {}
+
+// classOfReceiver resolves the lock field a call like tc.mu.Lock() or
+// fs.pageMu[s].Lock() acquires, via the (owner struct, field) pair.
+func classOfReceiver(pkg *Package, call *ast.CallExpr) (lockClass, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockClass{}, false
+	}
+	recv := ast.Unparen(sel.X)
+	if ix, ok := recv.(*ast.IndexExpr); ok {
+		recv = ast.Unparen(ix.X)
+	}
+	fsel, ok := recv.(*ast.SelectorExpr)
+	if !ok {
+		return lockClass{}, false
+	}
+	tv, ok := pkg.Info.Types[fsel.X]
+	if !ok || tv.Type == nil {
+		return lockClass{}, false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return lockClass{}, false
+	}
+	cl, ok := lockClasses[[2]string{named.Obj().Name(), fsel.Sel.Name}]
+	return cl, ok
+}
+
+func runLockOrder(prog *Program) []Finding {
+	var findings []Finding
+	eachFunc(prog, func(pkg *Package, decl *ast.FuncDecl) {
+		c := &loClient{pkg: pkg, prog: prog, findings: &findings}
+		walkFunc(pkg, decl.Body, c, &loState{held: make(map[string]lockClass)})
+	})
+	return findings
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// persistorder enforces the static form of the §4.2 invariant: a store to
+// a dentry commit marker (layout.CommitDentry) must be dominated by a
+// Batch.Barrier since the last body store on every path through the
+// function. On x86 a clwb to the marker line can overtake earlier clwb's
+// to the body lines unless an sfence sits between them; Batch.Barrier is
+// the repository's only ordering point that also writes the queued body
+// lines back, so it is the only call that ends a body epoch. (A raw
+// Device.Fence does not: lines still queued in a Batch have not even been
+// written back when it executes.)
+//
+// The rule is conservative at function entry: the caller's persist queue
+// is unknown, so a function that sets a commit marker must issue its own
+// Barrier first even if it performed no body store itself.
+var persistOrderAnalyzer = &Analyzer{
+	Name: "persistorder",
+	Doc: "commit-marker stores must be dominated by a Batch.Barrier since " +
+		"the last body store on every path (§4.2 missing-fence class)",
+	Run: runPersistOrder,
+}
+
+type poState struct {
+	// dirty means a body store may sit in the current ordering epoch.
+	dirty bool
+}
+
+func (s *poState) Copy() flowState   { c := *s; return &c }
+func (s *poState) Merge(o flowState) { s.dirty = s.dirty || o.(*poState).dirty }
+
+type poClient struct {
+	pkg      *Package
+	prog     *Program
+	findings *[]Finding
+}
+
+func (c *poClient) onCall(w *flowWalker, st flowState, call *ast.CallExpr) {
+	s := st.(*poState)
+	fn := calleeFunc(c.pkg, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case isPkgFunc(fn, "internal/layout", "CommitDentry"):
+		if s.dirty {
+			*c.findings = append(*c.findings, Finding{
+				Pos: c.prog.Fset.Position(call.Pos()),
+				Message: "commit marker set with body stores possibly still in the ordering " +
+					"epoch: no Batch.Barrier dominates this call since the last body store (§4.2)",
+			})
+		}
+	case isMethod(fn, "internal/pmem", "Batch", "Barrier"):
+		// Only Barrier orders: Drain issues the write-backs but no fence,
+		// so a later marker clwb could still overtake them.
+		s.dirty = false
+	case isBodyStore(c.pkg, fn, call):
+		s.dirty = true
+	}
+}
+
+func (c *poClient) onReturn(flowState, token.Pos) {}
+
+// isBodyStore reports whether the call writes or queues dentry-body (or
+// inode) bytes. A persist call whose argument derives from MarkerOff is
+// the marker-line persist of protocol step 2, not a body store.
+func isBodyStore(pkg *Package, fn *types.Func, call *ast.CallExpr) bool {
+	switch {
+	case isPkgFunc(fn, "internal/layout", "WriteDentryBody"),
+		isMethod(fn, "internal/libfs", "FS", "persistDentryBody"):
+		return true
+	case isMethod(fn, "internal/pmem", "Batch", "Flush"),
+		isMethod(fn, "internal/pmem", "Batch", "WriteStream"),
+		isMethod(fn, "internal/pmem", "Batch", "ZeroStream"),
+		isMethod(fn, "internal/pmem", "Device", "Write"),
+		isMethod(fn, "internal/pmem", "Device", "Zero"),
+		isMethod(fn, "internal/pmem", "Device", "Store8"),
+		isMethod(fn, "internal/pmem", "Device", "Store16"),
+		isMethod(fn, "internal/pmem", "Device", "Store32"),
+		isMethod(fn, "internal/pmem", "Device", "Store64"),
+		isMethod(fn, "internal/pmem", "Device", "WriteNT"),
+		isMethod(fn, "internal/pmem", "Device", "ZeroNT"):
+		return !argsUseMarkerOff(pkg, call)
+	}
+	return false
+}
+
+// argsUseMarkerOff reports whether any argument subtree calls
+// DentryRef.MarkerOff — the signature of a marker-line persist.
+func argsUseMarkerOff(pkg *Package, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if fn := calleeFunc(pkg, inner); isMethod(fn, "internal/layout", "DentryRef", "MarkerOff") {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+func runPersistOrder(prog *Program) []Finding {
+	var findings []Finding
+	eachFunc(prog, func(pkg *Package, decl *ast.FuncDecl) {
+		c := &poClient{pkg: pkg, prog: prog, findings: &findings}
+		// Entry state is dirty: the caller's queue contents are unknown.
+		walkFunc(pkg, decl.Body, c, &poState{dirty: true})
+	})
+	return findings
+}

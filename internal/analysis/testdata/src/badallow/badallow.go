@@ -1,0 +1,25 @@
+// Package badallow holds malformed suppression directives; the driver
+// test asserts the arcklint meta-findings programmatically (a want
+// comment cannot share these lines — its text would parse as the
+// directive's reason).
+package badallow
+
+import "fixture/internal/pmem"
+
+// missingReason omits the mandatory justification.
+func missingReason(dev *pmem.Device) {
+	//arcklint:allow flushcheck
+	dev.Store16(0, 1)
+}
+
+// unknownChecker names a checker that does not exist.
+func unknownChecker(dev *pmem.Device) {
+	//arcklint:allow nosuchchecker the checker name is misspelled
+	dev.Store16(8, 1)
+}
+
+// valid is well-formed and suppresses its finding.
+func valid(dev *pmem.Device) {
+	//arcklint:allow flushcheck recovery rewrites this line before readers see it
+	dev.Store16(16, 1)
+}

@@ -1,0 +1,66 @@
+// Package flushcheck exercises the never-flushed-raw-store rule: a
+// Device store lands in the CPU cache and reaches persistence only by
+// eviction accident unless some path writes it back.
+package flushcheck
+
+import "fixture/internal/pmem"
+
+// leakyReserve is the reserveDentry-class hole: a raw store with no
+// write-back anywhere in the function.
+func leakyReserve(dev *pmem.Device) {
+	dev.Store16(8, 42) // want "never flushed"
+}
+
+// queuedReserve is the fix: the line is queued on the thread's batch.
+func queuedReserve(dev *pmem.Device, b *pmem.Batch) {
+	dev.Store16(8, 42)
+	b.Flush(8, 2)
+}
+
+// persisted uses the eager device-side flush+fence.
+func persisted(dev *pmem.Device) {
+	dev.Store64(0, 1)
+	dev.Persist(0, 8)
+}
+
+// branchLeak flushes on one branch only; the fall-through path leaks.
+func branchLeak(dev *pmem.Device, cond bool) {
+	dev.Store32(4, 9) // want "never flushed"
+	if cond {
+		dev.Persist(4, 4)
+	}
+}
+
+// earlyReturnLeak persists on the main path but not before the early
+// error return.
+func earlyReturnLeak(dev *pmem.Device, bad bool) bool {
+	dev.Store64(16, 3) // want "never flushed"
+	if bad {
+		return false
+	}
+	dev.Persist(16, 8)
+	return true
+}
+
+// streamed stores are non-temporal: no write-back needed.
+func streamed(dev *pmem.Device, b *pmem.Batch, p []byte) {
+	b.WriteStream(0, p)
+	b.ZeroStream(64, 64)
+	dev.WriteNT(128, p)
+	dev.ZeroNT(192, 64)
+}
+
+// loopStore flushes each store on the next iteration's entry; the final
+// iteration's store is covered after the loop.
+func loopStore(dev *pmem.Device, offs []int64) {
+	for _, off := range offs {
+		dev.Store64(off, 1)
+		dev.Flush(off, 8)
+	}
+}
+
+// allowedScratch is a deliberate exception, suppressed with a reason.
+func allowedScratch(dev *pmem.Device) {
+	//arcklint:allow flushcheck scratch line is rewritten by recovery before any reader can observe it
+	dev.Store16(256, 1)
+}

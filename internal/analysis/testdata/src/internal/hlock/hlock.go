@@ -1,0 +1,18 @@
+// Package hlock mimics the real spinlock API surface for lockorder
+// fixtures.
+package hlock
+
+type SpinLock struct{}
+
+func (l *SpinLock) Lock()         {}
+func (l *SpinLock) TryLock() bool { return true }
+func (l *SpinLock) Unlock()       {}
+
+type RWSpin struct{}
+
+func (l *RWSpin) Lock()          {}
+func (l *RWSpin) TryLock() bool  { return true }
+func (l *RWSpin) Unlock()        {}
+func (l *RWSpin) RLock()         {}
+func (l *RWSpin) TryRLock() bool { return true }
+func (l *RWSpin) RUnlock()       {}

@@ -1,0 +1,14 @@
+// Package layout mimics the dentry-record helpers the persistorder
+// checker keys on.
+package layout
+
+import "fixture/internal/pmem"
+
+type DentryRef uint64
+
+func (r DentryRef) DevOff() int64    { return int64(r) }
+func (r DentryRef) MarkerOff() int64 { return int64(r) + 14 }
+
+func WriteDentryBody(dev *pmem.Device, r DentryRef, ino uint64, name string) {}
+
+func CommitDentry(dev *pmem.Device, r DentryRef, nameLen int) {}

@@ -73,6 +73,7 @@ func New(size int64, cost *costmodel.Model) (*FS, error) {
 	}
 	fs.tel = telemetry.NewSet()
 	dev.RegisterTelemetry(fs.tel)
+	//arcklint:allow counterreg every system meters "syscalls" in its own private Set so bench tooling reads one cross-system key
 	fs.syscalls = fs.tel.Counter("syscalls")
 	fs.root = fs.newInode(true)
 	return fs, nil

@@ -142,6 +142,7 @@ func (fs *FS) appendDentry(t *Thread, mi *minode, childIno uint64, name string) 
 	}
 	// Step 2: set and persist the commit marker. Its line enters the
 	// queue only here, after the body-epoch Barrier.
+	//arcklint:allow persistorder the Barrier is skipped only when BugMissingFence deliberately reproduces the §4.2 bug; the patched path barriers above
 	layout.CommitDentry(fs.dev, r, len(name))
 	t.pb.Flush(r.MarkerOff(), 2)
 	if h := fs.opts.Hooks.CreateBeforeMarkerFence; h != nil {
@@ -254,6 +255,13 @@ func (fs *FS) reserveDentry(t *Thread, mi *minode, nameLen int) (layout.DentryRe
 	}
 	r := layout.MakeDentryRef(tc.page, tc.off)
 	fs.dev.Store16(r.DevOff()+8, uint16(layout.DentryRecLen(nameLen)))
+	// Queue the write-back here, not just in fillDentry: if the auxiliary
+	// insert fails the slot stays reserved-but-dead, and an unflushed
+	// record length would read back as 0 after a crash — terminating log
+	// scans early and hiding every later entry in the page. The batch
+	// dedups the line when fillDentry re-queues it, so the happy path
+	// costs no extra flush.
+	t.pb.Flush(r.DevOff()+8, 2)
 	tc.off += layout.DentryRecLen(nameLen)
 	return r, nil
 }
@@ -272,6 +280,7 @@ func (fs *FS) fillDentry(t *Thread, mi *minode, r layout.DentryRef, childIno uin
 	if !fs.opts.Bugs.Has(BugMissingFence) {
 		t.pb.Barrier()
 	}
+	//arcklint:allow persistorder the Barrier is skipped only when BugMissingFence deliberately reproduces the §4.2 bug; the patched path barriers above
 	layout.CommitDentry(fs.dev, r, len(name))
 	t.pb.Flush(r.MarkerOff(), 2)
 	if h := fs.opts.Hooks.CreateBeforeMarkerFence; h != nil {
