@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	arckbench -exp figure3|figure4|table2|dataScale|fxmark|filebench|leveldb|table4|all \
+//	arckbench -exp figure3|figure4|table2|dataScale|fxmark|filebench|leveldb|table4|crashmc|all \
 //	          [-threads 1,2,4,8,16,32,48] [-ops 20000] [-dev 512] [-fast] \
 //	          [-systems arckfs,arckfs+,nova,pmfs,kucofs] [-persist batched|eager] \
 //	          [-json out.json]
@@ -16,6 +16,10 @@
 // -persist eager disables the LibFS write-combining persist batcher;
 // pairing a batched and an eager run of the same experiment quantifies
 // the batching optimization (see EXPERIMENTS.md).
+//
+// -exp crashmc runs the crash-state model-checking campaign instead of
+// a benchmark (not part of "all"); the process exits non-zero on any
+// oracle mismatch, which is how CI uses it as a smoke gate.
 //
 // Table 1 (the six bugs and their fixes) is reproduced by the test
 // suite: go test ./internal/libfs -run TestBug -v
@@ -33,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure3, figure4, table2, dataScale, fxmark, filebench, leveldb, table4, all")
+	exp := flag.String("exp", "all", "experiment: figure3, figure4, table2, dataScale, fxmark, filebench, leveldb, table4, crashmc, all")
 	threads := flag.String("threads", "1,2,4,8,16,32,48", "comma-separated thread sweep")
 	ops := flag.Int("ops", 20000, "total operations per measurement cell")
 	dev := flag.Int64("dev", 512, "device size in MiB per instance")
@@ -51,7 +55,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *exp != "all" && !isKnown(*exp) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure3, figure4, table2, dataScale, fxmark, filebench, leveldb, table4, or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure3, figure4, table2, dataScale, fxmark, filebench, leveldb, table4, crashmc, or all)\n", *exp)
 		os.Exit(2)
 	}
 
@@ -110,6 +114,12 @@ func main() {
 	if *exp == "fxmark" {
 		run("fxmark", func() error { return experiments.Fxmark(cfg) })
 	}
+	// crashmc is not part of "all" either: it is a correctness campaign,
+	// not a performance experiment — CI runs it as its own smoke job and
+	// fails on any oracle mismatch.
+	if *exp == "crashmc" {
+		run("crashmc", func() error { return experiments.Crashmc(cfg) })
+	}
 	if want("dataScale") {
 		run("dataScale", func() error { return experiments.DataScale(cfg) })
 	}
@@ -135,7 +145,7 @@ func main() {
 
 func isKnown(e string) bool {
 	switch e {
-	case "figure3", "figure4", "table2", "dataScale", "fxmark", "filebench", "leveldb", "table4":
+	case "figure3", "figure4", "table2", "dataScale", "fxmark", "filebench", "leveldb", "table4", "crashmc":
 		return true
 	}
 	return false

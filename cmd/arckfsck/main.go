@@ -6,11 +6,16 @@
 //
 // Usage:
 //
-//	arckfsck [-repair] image.pm
+//	arckfsck [-repair] [-deep] image.pm
 //	arckfsck -demo
 //
 // With -demo, the tool builds a small file system in memory, injects the
 // paper's §4.2 partial-persist crash, and shows the report.
+//
+// With -deep, the image is additionally run through the crashmc
+// recovery invariants (internal/crashmc.CheckImage in model-free form):
+// recovery must succeed, find no torn committed records, and converge
+// in one repair pass.
 package main
 
 import (
@@ -19,11 +24,13 @@ import (
 	"os"
 
 	"arckfs"
+	"arckfs/internal/crashmc"
 )
 
 func main() {
 	repair := flag.Bool("repair", false, "repair the image in place (writes the file back)")
 	demo := flag.Bool("demo", false, "run a built-in crash-injection demonstration")
+	deep := flag.Bool("deep", false, "also check the crashmc recovery invariants (I1, I2, I4)")
 	flag.Parse()
 
 	if *demo {
@@ -31,7 +38,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: arckfsck [-repair] image.pm | arckfsck -demo")
+		fmt.Fprintln(os.Stderr, "usage: arckfsck [-repair] [-deep] image.pm | arckfsck -demo")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -39,6 +46,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *deep {
+		// CheckImage restores and repairs a scratch device, so -deep
+		// composes with both the dry-run and -repair paths below.
+		if vs := crashmc.CheckImage(img, nil); len(vs) > 0 {
+			for _, v := range vs {
+				fmt.Fprintln(os.Stderr, "deep check:", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("deep check: recovery invariants hold")
 	}
 	if *repair {
 		sys, rep, err := arckfs.Recover(img, arckfs.Options{})

@@ -20,6 +20,8 @@
 //	stats                     live telemetry snapshot (JSON, all counters)
 //	trace [n]                 last n kernel-crossing events (default 16)
 //	lint                      run the arcklint checkers over this source tree
+//	crashmc [name]            run the crash-state model-checking campaign
+//	                          (or just the configs whose name contains name)
 //	help, quit
 package main
 
@@ -32,6 +34,7 @@ import (
 
 	"arckfs"
 	"arckfs/internal/analysis"
+	"arckfs/internal/crashmc"
 )
 
 func main() {
@@ -64,7 +67,7 @@ func main() {
 		var err error
 		switch cmd {
 		case "help":
-			fmt.Println("mkdir create write cat ls stat rm rmdir mv trunc release fsck crash stats trace lint quit")
+			fmt.Println("mkdir create write cat ls stat rm rmdir mv trunc release fsck crash stats trace lint crashmc quit")
 		case "quit", "exit":
 			return
 		case "mkdir":
@@ -152,6 +155,8 @@ func main() {
 			err = sys.Telemetry().WriteJSON(os.Stdout)
 		case "lint":
 			err = runLint()
+		case "crashmc":
+			err = runCrashmc(arg(0))
 		case "trace":
 			n := 16
 			if v, convErr := strconv.Atoi(arg(0)); convErr == nil && v > 0 {
@@ -202,6 +207,31 @@ func runLint() error {
 		fmt.Println(" ", f)
 	}
 	fmt.Printf("  %d finding(s), %d suppressed\n", unsuppressed, suppressed)
+	return nil
+}
+
+// runCrashmc runs the crash-state model-checking campaign (or the
+// subset whose names contain filter) on fresh scratch devices — the
+// shell's own image is untouched.
+func runCrashmc(filter string) error {
+	ran := 0
+	for _, cfg := range crashmc.Campaign() {
+		if filter != "" && !strings.Contains(cfg.Name, filter) {
+			continue
+		}
+		ran++
+		res, err := crashmc.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(" ", res.Summary())
+		for _, ce := range res.Counterexamples {
+			fmt.Println("    counterexample:", ce)
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no campaign config matches %q", filter)
+	}
 	return nil
 }
 

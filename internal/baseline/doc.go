@@ -1,0 +1,8 @@
+// Package baseline holds the comparison file systems of the evaluation
+// (§5): each subpackage implements fsapi against the same simulated
+// pmem device and cost model as ArckFS, reproducing one architectural
+// archetype the paper measures against — nova (log-structured kernel
+// FS), pmfs (in-place-update kernel FS), and kucofs (kernel-bypass
+// with a trusted userspace library). The package itself contains only
+// the cross-baseline conformance and comparison tests.
+package baseline

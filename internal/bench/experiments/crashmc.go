@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"arckfs/internal/crashmc"
+)
+
+// Crashmc runs the crash-state model-checking campaign
+// (internal/crashmc) and renders one summary line per configuration
+// plus every shrunk counterexample. It returns an error when any
+// configuration misses its Expect oracle — a buggy configuration that
+// found nothing, or a patched one that found something — which is what
+// makes `arckbench -exp crashmc` directly usable as the CI smoke gate.
+//
+// The campaign is seeded and deterministic; it ignores the
+// benchmarking knobs in cfg except Out.
+func Crashmc(cfg Config) error {
+	cfg.fill()
+	fmt.Fprintln(cfg.Out, "crashmc campaign — bounded crash-state model checking over the persist schedule")
+	fmt.Fprintln(cfg.Out, "(points = observation instants; images = crash states mounted and checked)")
+	fmt.Fprintln(cfg.Out)
+	var bad []string
+	for _, c := range crashmc.Campaign() {
+		res, err := crashmc.Run(c)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(cfg.Out, res.Summary())
+		for _, ce := range res.Counterexamples {
+			fmt.Fprintf(cfg.Out, "    counterexample: %s\n", ce)
+		}
+		if !res.OK() {
+			bad = append(bad, c.Name)
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("crashmc: oracle mismatch in %s", strings.Join(bad, ", "))
+	}
+	return nil
+}

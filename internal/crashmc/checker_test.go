@@ -1,0 +1,210 @@
+package crashmc
+
+import (
+	"reflect"
+	"testing"
+
+	"arckfs/internal/libfs"
+)
+
+// TestCampaignOracle is the checker's acceptance test (and the
+// project's acceptance criterion for crashmc): every campaign
+// configuration must match its Expect oracle — the §4.2 missing-fence
+// bug and the PR 3 reserveDentry record-length hole are rediscovered
+// from their bug flags alone, and the patched ArckFS+ yields zero
+// counterexamples under the same budget.
+func TestCampaignOracle(t *testing.T) {
+	for _, cfg := range Campaign() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK() {
+				var got []string
+				for _, ce := range res.Counterexamples {
+					got = append(got, ce.String())
+				}
+				t.Fatalf("oracle mismatch: expected %v, got %d counterexample(s): %v",
+					cfg.Expect, len(res.Counterexamples), got)
+			}
+			if res.Points == 0 {
+				t.Fatal("no observation points visited")
+			}
+		})
+	}
+}
+
+// TestSection42CounterexampleShape pins what the §4.2 counterexample
+// looks like after shrinking: a single create suffices, and the minimal
+// persisted-line set is non-empty (the commit marker's line must
+// persist for the body to be torn under it).
+func TestSection42CounterexampleShape(t *testing.T) {
+	var cfg Config
+	for _, c := range Campaign() {
+		if c.Name == "create-commit/arckfs" {
+			cfg = c
+		}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counterexamples) != 1 {
+		t.Fatalf("want exactly one counterexample, got %d", len(res.Counterexamples))
+	}
+	ce := res.Counterexamples[0]
+	if ce.Invariant != InvNoTornCommit {
+		t.Fatalf("want %s, got %s", InvNoTornCommit, ce.Invariant)
+	}
+	if len(ce.Ops) != 1 || ce.Ops[0].Kind != OpCreate {
+		t.Fatalf("shrunk schedule should be the single create, got %v", ce.Ops)
+	}
+	if len(ce.Keep) == 0 {
+		t.Fatal("a torn commit needs at least the marker line persisted; Keep is empty")
+	}
+}
+
+// TestReserveHoleCounterexampleShape pins the reserveDentry hole's
+// shape: the violation is the loss of the verified entry appended after
+// the dead slot, and the minimal counterexample persists nothing — the
+// crash state that loses the file is exactly the fenced-durable image,
+// because the record length was never flushed at all.
+func TestReserveHoleCounterexampleShape(t *testing.T) {
+	var cfg Config
+	for _, c := range Campaign() {
+		if c.Name == "reserve-scan/arckfs" {
+			cfg = c
+		}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violated(InvVerifiedDurable) {
+		t.Fatalf("reserve hole not rediscovered: %v", res.Counterexamples)
+	}
+	for _, ce := range res.Counterexamples {
+		if ce.Invariant != InvVerifiedDurable {
+			continue
+		}
+		if len(ce.Keep) != 0 {
+			t.Errorf("minimal counterexample should persist nothing (the hole is an unflushed line), got %v", ce.Keep)
+		}
+		// The dead slot requires the duplicate create; shrinking must not
+		// remove it.
+		dup := false
+		for _, op := range ce.Ops {
+			if op.WantErr {
+				dup = true
+			}
+		}
+		if !dup {
+			t.Errorf("shrunk schedule lost the duplicate create that plants the dead slot: %v", ce.Ops)
+		}
+	}
+}
+
+// TestRunDeterminism: same config, same seed — identical result shape
+// and identical counterexamples, down to points, line offsets, and
+// prefix choices. The CI smoke job and generated repros rely on this.
+func TestRunDeterminism(t *testing.T) {
+	var cfg Config
+	for _, c := range Campaign() {
+		if c.Name == "create-commit/arckfs" {
+			cfg = c
+		}
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Points != b.Points || a.Images != b.Images {
+		t.Fatalf("nondeterministic exploration: %d/%d points, %d/%d images",
+			a.Points, b.Points, a.Images, b.Images)
+	}
+	if !reflect.DeepEqual(a.Counterexamples, b.Counterexamples) {
+		t.Fatalf("nondeterministic counterexamples:\n%v\nvs\n%v", a.Counterexamples, b.Counterexamples)
+	}
+}
+
+// TestReplayPair replays the §4.2 counterexample in process: under the
+// buggy flags the recorded crash image must still violate I2; with the
+// fence restored (ArckFS+) the same schedule and assignment must be
+// benign.
+func TestReplayPair(t *testing.T) {
+	var cfg Config
+	for _, c := range Campaign() {
+		if c.Name == "create-commit/arckfs" {
+			cfg = c
+		}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counterexamples) == 0 {
+		t.Fatal("no counterexample to replay")
+	}
+	r := ReproOf(res.Counterexamples[0], cfg.Interleave)
+
+	reached, vs, err := ReplayOutcome(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reached {
+		t.Fatal("buggy replay never reached the recorded point")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Invariant == r.Invariant {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("buggy replay did not reproduce %s (got %v)", r.Invariant, vs)
+	}
+
+	patched := r
+	patched.Bugs = uint32(libfs.BugsNone)
+	reached, vs, err = ReplayOutcome(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reached {
+		for _, v := range vs {
+			if v.Invariant == r.Invariant {
+				t.Fatalf("patched replay still violates %s: %v", r.Invariant, v)
+			}
+		}
+	}
+}
+
+// TestCheckImageModelFree exercises the arckfsck -deep entry: a clean
+// post-release image passes the model-free invariants.
+func TestCheckImageModelFree(t *testing.T) {
+	var cfg Config
+	for _, c := range Campaign() {
+		if c.Name == "create-commit/arckfs+" {
+			cfg = c
+		}
+	}
+	cfg.fill()
+	c, err := newChecker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.dev.SetFenceObserver(nil)
+	if err := c.runOp(Op{Kind: OpRelease}); err != nil {
+		t.Fatal(err)
+	}
+	img := c.dev.CrashImage(func(_ int64, versions int) int { return versions })
+	if vs := CheckImage(img, nil); len(vs) != 0 {
+		t.Fatalf("clean image fails model-free check: %v", vs)
+	}
+}

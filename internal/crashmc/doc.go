@@ -1,0 +1,65 @@
+// Package crashmc is a dynamic crash-state model checker for the LibFS
+// persist schedule. Where arcklint (internal/analysis) finds ordering
+// bugs statically from the shape of the code, crashmc finds them
+// dynamically, the way the crash-consistency literature says the
+// long tail must be found: run a real workload, stop at every
+// persist-relevant point, enumerate the crash images the persistency
+// model admits there, and run recovery against each one.
+//
+// # How it works
+//
+// A Config scripts a workload (create/write/rename/unlink/truncate
+// mixes, with explicit kernel Release points) against a LibFS built with
+// a chosen bug set. The checker registers a fence observer on the pmem
+// device: every sfence the workload issues — plus a synthetic checkpoint
+// after each operation — becomes an observation point. Observing at the
+// start of a fence is sufficient: between two fences the set of dirty
+// lines only grows, so the crash images reachable just before fence N
+// are a superset of those reachable at any instant since fence N-1.
+//
+// At each point the checker reads the device's dirty-line state
+// (pmem.DirtyLineStates): each line with V unpersisted store versions
+// may independently persist any prefix of them, so the crash-state
+// space is the product of (V+1) over all dirty lines. Spaces within
+// PointBudget are enumerated exhaustively in mixed-radix order; larger
+// ones are covered by adversarial corners (nothing, everything, each
+// line alone, each line missing) plus a seeded deterministic sample.
+//
+// Every image is checked with the real recovery path and four named
+// invariants (see CheckImage): I1 recovery succeeds, I2 no committed
+// dentry record is torn (the §4.2 signature), I3 every kernel-verified
+// path still resolves (the Trio durability contract: only released,
+// verified state may be asserted durable — the model in model.go tracks
+// exactly that set), and I4 repair is idempotent (a re-check after
+// repair is clean).
+//
+// # Trusted (kernel-hardened) regions
+//
+// The superblock and the kernel's shadow inode table always persist
+// fully in every enumerated image. Shadow records are two cache lines
+// written under a single trailing fence inside the kernel; tearing them
+// would fail recovery by construction and say nothing about LibFS
+// ordering, which is the property under test — the kernel is assumed
+// correct throughout this reproduction. For the same reason no
+// observations are taken inside Release (the kernel verification
+// protocol); the checkpoint after the release still enumerates whatever
+// LibFS left dirty across it.
+//
+// # Counterexamples
+//
+// A violating image is shrunk twice: the persisted-line assignment is
+// minimized greedily while the device is still live, and the op
+// schedule is minimized by re-running candidate sub-schedules. The
+// result is a Counterexample small enough to read, and WriteRepro
+// renders it as a standalone generated Go test that Replay re-executes:
+// the test fails while the counterexample reproduces and passes once
+// the ordering is fixed (the fixed schedule either fences the state
+// early, making the recorded assignment benign, or never reaches an
+// equivalent dirty state at the recorded point).
+//
+// Campaign returns the standard configurations, including the two
+// acceptance oracles: the §4.2 missing-fence bug (found as I2) and the
+// reserveDentry record-length hole arcklint found in PR 3 (found as
+// I3), both rediscovered from their bug flags alone, with the patched
+// ArckFS+ reporting zero counterexamples under the same budget.
+package crashmc

@@ -1,0 +1,87 @@
+package crashmc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"arckfs/internal/pmem"
+)
+
+// enumerate covers one observation point's crash-state space. Each
+// dirty line l may persist any prefix of its Versions_l unpersisted
+// store batches independently, so the space is the mixed-radix product
+// of (Versions_l + 1). Spaces within PointBudget are enumerated
+// completely; larger ones get the adversarial corners — nothing,
+// everything, each line alone, each line missing — plus SampleN seeded
+// random assignments. The corners are what manifest ordering bugs
+// deterministically: a §4.2 torn commit IS "marker line alone", and the
+// reserveDentry hole IS "record-length line missing".
+func (c *checker) enumerate(states []pmem.LineState, expect []string) {
+	total := 1
+	for _, s := range states {
+		total *= s.Versions + 1
+		if total > c.cfg.PointBudget {
+			total = -1
+			break
+		}
+	}
+	ks := make([]int, len(states))
+	if total > 0 {
+		c.res.Exhaustive++
+		for {
+			if !c.checkAssignment(states, ks, expect) {
+				return
+			}
+			i := 0
+			for ; i < len(ks); i++ {
+				ks[i]++
+				if ks[i] <= states[i].Versions {
+					break
+				}
+				ks[i] = 0
+			}
+			if i == len(ks) {
+				return
+			}
+		}
+	}
+	c.res.Sampled++
+	tried := map[string]bool{}
+	try := func(ks []int) bool {
+		key := fmt.Sprint(ks)
+		if tried[key] {
+			return true
+		}
+		tried[key] = true
+		return c.checkAssignment(states, ks, expect)
+	}
+	zero := make([]int, len(states))
+	full := make([]int, len(states))
+	for i, s := range states {
+		full[i] = s.Versions
+	}
+	if !try(zero) || !try(full) {
+		return
+	}
+	for i := range states {
+		alone := make([]int, len(states))
+		alone[i] = states[i].Versions
+		if !try(alone) {
+			return
+		}
+		missing := append([]int(nil), full...)
+		missing[i] = 0
+		if !try(missing) {
+			return
+		}
+	}
+	rng := rand.New(rand.NewSource(c.cfg.Seed + int64(c.res.Points)*1000003))
+	for n := 0; n < c.cfg.SampleN; n++ {
+		for i, s := range states {
+			ks[i] = rng.Intn(s.Versions + 1)
+		}
+		if !try(ks) {
+			return
+		}
+	}
+}

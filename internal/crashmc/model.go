@@ -1,0 +1,105 @@
+package crashmc
+
+import (
+	"sort"
+	"strings"
+)
+
+// model tracks the set of paths a crash image must preserve, per the
+// Trio durability contract: a path is asserted durable only if the last
+// completed kernel release verified it AND no later operation has named
+// it (or an ancestor) since. Everything else — unverified creations,
+// in-flight renames, files created after the last release — may
+// legitimately vanish at a crash, and recovery dropping them is not a
+// counterexample.
+//
+// The model is deliberately conservative (it unasserts on any namespace
+// op touching a verified path) so that every violation it does report
+// is a real loss of verified state, never a modeling artifact.
+type model struct {
+	cur      map[string]bool // paths that exist in the running FS
+	verified map[string]bool // verified at last release, untouched since
+}
+
+// newModel builds the model state as of the end of the checker's warmup
+// (which always ends in a hidden release before tracking starts).
+func newModel(warmup []Op) *model {
+	m := &model{cur: map[string]bool{"/": true}, verified: map[string]bool{}}
+	for _, op := range warmup {
+		m.apply(op)
+	}
+	m.apply(Op{Kind: OpRelease})
+	return m
+}
+
+// apply folds a completed op into the model.
+func (m *model) apply(op Op) {
+	switch op.Kind {
+	case OpCreate, OpMkdir:
+		m.cur[op.Path] = true
+	case OpUnlink, OpRmdir:
+		delete(m.cur, op.Path)
+		m.unassert(op.Path)
+	case OpRename:
+		var moved []string
+		for p := range m.cur {
+			if p == op.Path || strings.HasPrefix(p, op.Path+"/") {
+				moved = append(moved, p)
+			}
+		}
+		sort.Strings(moved)
+		for _, p := range moved {
+			delete(m.cur, p)
+		}
+		for _, p := range moved {
+			m.cur[op.Path2+strings.TrimPrefix(p, op.Path)] = true
+		}
+		m.unassert(op.Path)
+		m.unassert(op.Path2)
+	case OpRelease:
+		m.verified = make(map[string]bool, len(m.cur))
+		for p := range m.cur {
+			m.verified[p] = true
+		}
+	}
+	// OpWrite and OpTruncate change file contents, not the namespace;
+	// the checker asserts presence only, so they leave the model alone.
+}
+
+// unassert removes path and its subtree from the verified set.
+func (m *model) unassert(path string) {
+	for p := range m.verified {
+		if p == path || strings.HasPrefix(p, path+"/") {
+			delete(m.verified, p)
+		}
+	}
+}
+
+// expectPresent returns, sorted, the paths every crash image taken now
+// must preserve. inflight, when non-nil, is the op currently executing;
+// the paths it touches (and their subtrees) are excluded, since the op
+// is entitled to be mid-mutation of them.
+func (m *model) expectPresent(inflight *Op) []string {
+	var skip []string
+	if inflight != nil {
+		skip = inflight.touched()
+	}
+	out := make([]string, 0, len(m.verified))
+	for p := range m.verified {
+		if p == "/" {
+			continue
+		}
+		excluded := false
+		for _, t := range skip {
+			if p == t || strings.HasPrefix(p, t+"/") {
+				excluded = true
+				break
+			}
+		}
+		if !excluded {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

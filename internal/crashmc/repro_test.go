@@ -1,0 +1,80 @@
+package crashmc
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"arckfs/internal/libfs"
+)
+
+// TestGeneratedReproRoundTrip is the satellite acceptance test for
+// repro generation: a shrunk §4.2 counterexample is rendered with
+// WriteRepro into a standalone test file, compiled in a scratch module
+// against this repository, and executed with `go test` — it must FAIL
+// under the buggy configuration and PASS with the fence restored
+// (ArckFS+), the pair differing only in the Bugs value.
+func TestGeneratedReproRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go test subprocesses")
+	}
+	var cfg Config
+	for _, c := range Campaign() {
+		if c.Name == "create-commit/arckfs" {
+			cfg = c
+		}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counterexamples) == 0 {
+		t.Fatal("no counterexample to render")
+	}
+	buggy := ReproOf(res.Counterexamples[0], cfg.Interleave)
+	patched := buggy
+	patched.Name = buggy.Name + "-patched"
+	patched.Bugs = uint32(libfs.BugsNone)
+
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(repoRoot, "go.mod")); err != nil {
+		t.Fatalf("cannot locate repository root from test dir: %v", err)
+	}
+	scratch := t.TempDir()
+	// Generated repros are meant to be dropped into this repository as
+	// regression tests, so they import internal packages. The scratch
+	// module's path sits under arckfs/ to satisfy the (lexical) internal
+	// import rule while still building against the repo via replace.
+	gomod := "module arckfs/reprotest\n\ngo 1.23\n\nrequire arckfs v0.0.0\n\nreplace arckfs => " + repoRoot + "\n"
+	if err := os.WriteFile(filepath.Join(scratch, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for dir, r := range map[string]Repro{"buggy": buggy, "patched": patched} {
+		if err := os.Mkdir(filepath.Join(scratch, dir), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(scratch, dir, "repro_test.go"), WriteRepro(r), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runGoTest := func(dir string) (string, error) {
+		cmd := exec.Command("go", "test", "./"+dir+"/")
+		cmd.Dir = scratch
+		cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=-mod=mod")
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+	if out, err := runGoTest("buggy"); err == nil {
+		t.Errorf("generated repro PASSED on buggy ArckFS; it must reproduce the violation:\n%s", out)
+	} else if !strings.Contains(out, buggy.Invariant) {
+		t.Errorf("generated repro failed for the wrong reason:\n%s", out)
+	}
+	if out, err := runGoTest("patched"); err != nil {
+		t.Errorf("generated repro failed on ArckFS+; the fixed ordering must be benign:\n%s\n%v", out, err)
+	}
+}

@@ -1,0 +1,51 @@
+package crashmc
+
+// Op-schedule shrinking. The line assignment is minimized inline at
+// record time (the device state is only live then); the op schedule is
+// minimized here by re-running candidate sub-schedules from scratch —
+// execution is deterministic, so a removal either reproduces the same
+// invariant violation or it doesn't.
+
+// shrinkOps greedily removes ops the counterexample does not need, then
+// re-collects on the final schedule so Point, Keep, and Detail describe
+// the shrunk run consistently.
+func shrinkOps(cfg Config, ce *Counterexample) (*Counterexample, error) {
+	ops := ce.Ops
+	for i := len(ops) - 1; i >= 0 && len(ops) > 1; i-- {
+		cand := make([]Op, 0, len(ops)-1)
+		cand = append(cand, ops[:i]...)
+		cand = append(cand, ops[i+1:]...)
+		if reFound(cfg, cand, ce.Invariant) {
+			ops = cand
+		}
+	}
+	sub := cfg
+	sub.Ops = ops
+	sub.NoShrink = true
+	res, err := runCollect(sub)
+	if err != nil {
+		// The original counterexample is still valid; keep it.
+		return ce, nil
+	}
+	for _, c2 := range res.Counterexamples {
+		if c2.Invariant == ce.Invariant {
+			return c2, nil
+		}
+	}
+	return ce, nil
+}
+
+// reFound reports whether running cfg with ops still violates inv. A
+// run error (e.g. a WantErr mismatch after a removal changed an op's
+// outcome) means the candidate schedule is invalid, not that the
+// violation is gone.
+func reFound(cfg Config, ops []Op, inv string) bool {
+	sub := cfg
+	sub.Ops = ops
+	sub.NoShrink = true
+	res, err := runCollect(sub)
+	if err != nil {
+		return false
+	}
+	return res.Violated(inv)
+}

@@ -172,6 +172,7 @@ func Mount(dev *pmem.Device, opts Options, repair bool) (*Controller, *Report, e
 func (c *Controller) reconcileDir(dirIno uint64, se *shadowEnt, rep *Report, repair bool) []uint64 {
 	var children []uint64
 	seen := map[string]bool{}
+	seenIno := map[uint64]bool{}
 	nt := int(se.info.NTails)
 	if se.info.DataRoot == 0 || se.info.DataRoot >= c.geo.PageCount {
 		return nil
@@ -194,6 +195,14 @@ func (c *Controller) reconcileDir(dirIno uint64, se *shadowEnt, rep *Report, rep
 			case seen[rd.Name]:
 				rep.DanglingEntries++
 				drop = true
+			case seenIno[rd.Ino]:
+				// A crash between a rename's new-name commit and its
+				// old-name invalidation leaves one inode live under two
+				// names (found by crashmc's mixed-ops workload). The
+				// rename was never kernel-verified, so the earlier record
+				// wins and the later duplicate is dropped.
+				rep.DanglingEntries++
+				drop = true
 			default:
 				child, ok := c.shadows[rd.Ino]
 				if !ok || child.info.Parent != dirIno {
@@ -210,6 +219,7 @@ func (c *Controller) reconcileDir(dirIno uint64, se *shadowEnt, rep *Report, rep
 				return true
 			}
 			seen[rd.Name] = true
+			seenIno[rd.Ino] = true
 			children = append(children, rd.Ino)
 			return true
 		})

@@ -254,14 +254,17 @@ func (fs *FS) reserveDentry(t *Thread, mi *minode, nameLen int) (layout.DentryRe
 		return 0, err
 	}
 	r := layout.MakeDentryRef(tc.page, tc.off)
+	//arcklint:allow flushcheck the write-back is skipped only when BugReserveLenUnflushed deliberately reproduces the PR 3 reservation-persistence hole for crashmc; the fixed path queues it below
 	fs.dev.Store16(r.DevOff()+8, uint16(layout.DentryRecLen(nameLen)))
-	// Queue the write-back here, not just in fillDentry: if the auxiliary
-	// insert fails the slot stays reserved-but-dead, and an unflushed
-	// record length would read back as 0 after a crash — terminating log
-	// scans early and hiding every later entry in the page. The batch
-	// dedups the line when fillDentry re-queues it, so the happy path
-	// costs no extra flush.
-	t.pb.Flush(r.DevOff()+8, 2)
+	if !fs.opts.Bugs.Has(BugReserveLenUnflushed) {
+		// Queue the write-back here, not just in fillDentry: if the
+		// auxiliary insert fails the slot stays reserved-but-dead, and an
+		// unflushed record length would read back as 0 after a crash —
+		// terminating log scans early and hiding every later entry in the
+		// page. The batch dedups the line when fillDentry re-queues it, so
+		// the happy path costs no extra flush.
+		t.pb.Flush(r.DevOff()+8, 2)
+	}
 	tc.off += layout.DentryRecLen(nameLen)
 	return r, nil
 }

@@ -51,6 +51,19 @@ const (
 	// BugNoCycleCheck (§4.6): no global rename lock and no
 	// descendant check on directory renames.
 	BugNoCycleCheck
+	// BugReserveLenUnflushed reproduces the reservation-persistence hole
+	// arcklint found in this reproduction's own tree (PR 3): reserveDentry
+	// stores the reserved record length but does not queue its write-back,
+	// so when the auxiliary insert fails (duplicate name) the dead slot's
+	// length can read back as 0 after a crash, and layout.ScanTail treats
+	// a zero length as the append frontier — hiding every later record in
+	// the page, including entries the kernel had already verified. The
+	// flag exists so the crashmc dynamic checker can re-discover the hole
+	// from its configuration alone; it is NOT part of BugsAll because it
+	// is a reproduction bug (fixed unconditionally in PR 3), not one of
+	// the paper's Table-1 artifact bugs. Only meaningful together with
+	// BugAuxCoreRace, which enables the reserve/fill create path.
+	BugReserveLenUnflushed
 
 	// BugsAll is ArckFS exactly as the artifact shipped.
 	BugsAll = BugRenameVerify | BugMissingFence | BugReleaseUnsync |

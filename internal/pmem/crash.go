@@ -93,6 +93,34 @@ func (d *Device) CrashImage(policy CrashPolicy) []byte {
 	return img
 }
 
+// LineState describes one cache line with unpersisted store history: a
+// crash may persist any prefix of its Versions tracked store batches (0
+// keeps the line's last fenced content). The per-line state spaces are
+// independent, so the crash-state space at an instant is the product of
+// (Versions+1) over all dirty lines — the quantity a bounded model
+// checker enumerates or samples.
+type LineState struct {
+	// Off is the line-aligned device offset.
+	Off int64
+	// Versions is the number of unpersisted store batches recorded for
+	// the line since its content was last fenced.
+	Versions int
+}
+
+// DirtyLineStates returns the state of every cache line with unpersisted
+// store history, sorted by offset. It is the enumeration-ready
+// counterpart of DirtyLines, for crash-state model checking.
+func (d *Device) DirtyLineStates() []LineState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	states := make([]LineState, 0, len(d.lines))
+	for l, lt := range d.lines {
+		states = append(states, LineState{Off: l * LineSize, Versions: len(lt.versions)})
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].Off < states[j].Off })
+	return states
+}
+
 // DirtyLines returns the offsets of all cache lines with unpersisted
 // store history, in unspecified order. Useful for exhaustive small-scope
 // crash enumeration in tests.

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Fails if any internal/ package lacks a package-level doc comment, so
+# `go doc ./internal/...` stays usable as the architecture's reference
+# (see ARCHITECTURE.md). A package passes when at least one of its
+# non-test Go files opens its package clause with a "// Package ..."
+# comment. testdata trees are not packages and are skipped.
+set -eu
+cd "$(dirname "$0")/.."
+status=0
+for dir in $(find internal -type d -not -path '*/testdata*' | sort); do
+    ls "$dir"/*.go >/dev/null 2>&1 || continue
+    found=0
+    for f in "$dir"/*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        if grep -q '^// Package ' "$f"; then
+            found=1
+            break
+        fi
+    done
+    # Directories holding only test files are not importable packages.
+    has_src=0
+    for f in "$dir"/*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        has_src=1
+        break
+    done
+    if [ "$has_src" = 1 ] && [ "$found" = 0 ]; then
+        echo "missing package doc comment: $dir" >&2
+        status=1
+    fi
+done
+if [ "$status" = 0 ]; then
+    echo "all internal packages have package doc comments"
+fi
+exit $status
