@@ -6,7 +6,7 @@
 //	arckbench -exp figure3|figure4|table2|dataScale|fxmark|filebench|leveldb|table4|crashmc|all \
 //	          [-threads 1,2,4,8,16,32,48] [-ops 20000] [-dev 512] [-fast] \
 //	          [-systems arckfs,arckfs+,nova,pmfs,kucofs] [-persist batched|eager] \
-//	          [-json out.json]
+//	          [-serial-kernel] [-json out.json]
 //
 // -json writes a machine-readable run record alongside the rendered
 // tables: configuration, then one cell per measurement with ops/sec,
@@ -16,6 +16,13 @@
 // -persist eager disables the LibFS write-combining persist batcher;
 // pairing a batched and an eager run of the same experiment quantifies
 // the batching optimization (see EXPERIMENTS.md).
+//
+// -serial-kernel reverts the ArckFS control plane to one exclusive lock
+// per kernel crossing with no grant leases; pairing it with a default
+// run quantifies the sharded control plane (see EXPERIMENTS.md). The
+// fxmark experiment additionally runs the MWRA release/reopen workload,
+// whose per-op syscalls and syscalls_avoided deltas expose the lease
+// hit rate directly.
 //
 // -exp crashmc runs the crash-state model-checking campaign instead of
 // a benchmark (not part of "all"); the process exits non-zero on any
@@ -48,6 +55,7 @@ func main() {
 	trials := flag.Int("trials", 3, "best-of-N trials for single-thread cells")
 	jsonOut := flag.String("json", "", "write a machine-readable run record to this path")
 	persist := flag.String("persist", "batched", "ArckFS persist schedule: batched or eager")
+	serial := flag.Bool("serial-kernel", false, "run the ArckFS kernels single-locked and lease-free (control-plane A/B baseline)")
 	flag.Parse()
 
 	if *persist != "batched" && *persist != "eager" {
@@ -80,6 +88,7 @@ func main() {
 		Realistic: !*fast,
 		Trials:    *trials,
 		Eager:     *persist == "eager",
+		Serial:    *serial,
 		Out:       os.Stdout,
 	}
 	if *jsonOut != "" {

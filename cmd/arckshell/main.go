@@ -18,6 +18,7 @@
 //	fsck                      check the current image
 //	crash                     simulate a power failure and remount
 //	stats                     live telemetry snapshot (JSON, all counters)
+//	shards                    per-shard kernel lock counters (contention)
 //	trace [n]                 last n kernel-crossing events (default 16)
 //	lint                      run the arcklint checkers over this source tree
 //	crashmc [name]            run the crash-state model-checking campaign
@@ -67,7 +68,7 @@ func main() {
 		var err error
 		switch cmd {
 		case "help":
-			fmt.Println("mkdir create write cat ls stat rm rmdir mv trunc release fsck crash stats trace lint crashmc quit")
+			fmt.Println("mkdir create write cat ls stat rm rmdir mv trunc release fsck crash stats shards trace lint crashmc quit")
 		case "quit", "exit":
 			return
 		case "mkdir":
@@ -153,6 +154,8 @@ func main() {
 			fmt.Println("  power failed and remounted:", rep)
 		case "stats":
 			err = sys.Telemetry().WriteJSON(os.Stdout)
+		case "shards":
+			printShards(sys)
 		case "lint":
 			err = runLint()
 		case "crashmc":
@@ -178,6 +181,23 @@ func main() {
 		if err != nil {
 			fmt.Println("  error:", err)
 		}
+	}
+}
+
+// printShards renders the kernel's per-shard lock counters, skipping
+// shards never touched so the busy ones stand out.
+func printShards(sys *arckfs.System) {
+	fmt.Printf("  %-8s %5s %12s %10s\n", "kind", "idx", "acquisitions", "contended")
+	var shown int
+	for _, s := range sys.ShardStats() {
+		if s.Acquisitions == 0 && s.Contended == 0 {
+			continue
+		}
+		shown++
+		fmt.Printf("  %-8s %5d %12d %10d\n", s.Kind, s.Index, s.Acquisitions, s.Contended)
+	}
+	if shown == 0 {
+		fmt.Println("  (no kernel crossings yet)")
 	}
 }
 

@@ -1,8 +1,11 @@
 // Command benchcheck gates CI on persistence-cost regressions. It reads
 // one or more machine-readable run records produced by arckbench -json
-// and compares selected per-op counters (pmem flushes, fences, ntstores)
-// against a checked-in bounds file, exiting nonzero if any measured cell
-// exceeds its bound.
+// and compares selected per-op counters (pmem flushes, fences, ntstores,
+// syscalls) against a checked-in bounds file, exiting nonzero if any
+// measured cell exceeds a max bound or undercuts a min bound. Min bounds
+// exist for counters whose value is the optimization — e.g. the grant
+// leases' syscalls_avoided, which dropping to zero would mean the lease
+// fast path silently stopped firing.
 //
 // Usage:
 //
@@ -19,18 +22,21 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"arckfs/internal/bench/experiments"
 )
 
 // Bound is one row of the bounds file: every recorded cell for the
-// given (fs, workload) pair must keep per_op[metric] at or below Max.
+// given (fs, workload) pair must keep per_op[metric] at or below Max
+// and at or above Min. At least one of the two must be set.
 type Bound struct {
-	FS       string  `json:"fs"`
-	Workload string  `json:"workload"`
-	Metric   string  `json:"metric"`
-	Max      float64 `json:"max"`
+	FS       string   `json:"fs"`
+	Workload string   `json:"workload"`
+	Metric   string   `json:"metric"`
+	Max      *float64 `json:"max,omitempty"`
+	Min      *float64 `json:"min,omitempty"`
 	// Note documents where the bound comes from; benchcheck echoes it
 	// on failure so the log explains what regressed.
 	Note string `json:"note,omitempty"`
@@ -73,8 +79,20 @@ func main() {
 
 	failures := 0
 	for _, b := range bf.Bounds {
+		if b.Max == nil && b.Min == nil {
+			fatal("bound %s/%s %s sets neither max nor min", b.Workload, b.FS, b.Metric)
+		}
+		fail := func(c experiments.Cell, v float64, rel string, limit float64) {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL %s/%s %s = %.3f per op (%s, %d threads) %s bound %.3f",
+				b.Workload, b.FS, b.Metric, v, c.Experiment, c.Threads, rel, limit)
+			if b.Note != "" {
+				fmt.Fprintf(os.Stderr, " — %s", b.Note)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 		matched := 0
-		worst := 0.0
+		hi, lo := math.Inf(-1), math.Inf(1)
 		for _, c := range cells {
 			if c.FS != b.FS || c.Workload != b.Workload {
 				continue
@@ -84,17 +102,12 @@ func main() {
 				continue
 			}
 			matched++
-			if v > worst {
-				worst = v
+			hi, lo = math.Max(hi, v), math.Min(lo, v)
+			if b.Max != nil && v > *b.Max {
+				fail(c, v, "exceeds", *b.Max)
 			}
-			if v > b.Max {
-				failures++
-				fmt.Fprintf(os.Stderr, "FAIL %s/%s %s = %.3f per op (%s, %d threads) exceeds bound %.3f",
-					b.Workload, b.FS, b.Metric, v, c.Experiment, c.Threads, b.Max)
-				if b.Note != "" {
-					fmt.Fprintf(os.Stderr, " — %s", b.Note)
-				}
-				fmt.Fprintln(os.Stderr)
+			if b.Min != nil && v < *b.Min {
+				fail(c, v, "undercuts", *b.Min)
 			}
 		}
 		if matched == 0 {
@@ -103,8 +116,15 @@ func main() {
 				b.Workload, b.FS, b.Metric)
 			continue
 		}
-		fmt.Printf("ok   %s/%s %s: worst %.3f per op across %d cells (bound %.3f)\n",
-			b.Workload, b.FS, b.Metric, worst, matched, b.Max)
+		desc := ""
+		if b.Max != nil {
+			desc += fmt.Sprintf(" (max %.3f, worst %.3f)", *b.Max, hi)
+		}
+		if b.Min != nil {
+			desc += fmt.Sprintf(" (min %.3f, worst %.3f)", *b.Min, lo)
+		}
+		fmt.Printf("ok   %s/%s %s across %d cells%s\n",
+			b.Workload, b.FS, b.Metric, matched, desc)
 	}
 	if failures > 0 {
 		fatal("%d bound(s) violated", failures)

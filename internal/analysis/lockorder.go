@@ -13,7 +13,15 @@ import (
 // first, is:
 //
 //	libfs/minode   < libfs/dirbucket < libfs/dirtail < libfs/diridx
-//	             < libfs/inomu < libfs/pagemu < kernel/mapping
+//	             < libfs/inomu < libfs/pagemu
+//	             < kernel/epoch < kernel/shadowshard < kernel/apps
+//	             < kernel/pagestripe < kernel/aclshard < kernel/mapping
+//
+// The kernel classes mirror the sharded control plane: the big-reader
+// epoch is outermost, then the shadow-inode shard for the crossing's
+// target, then the leaf locks (app table, page-owner stripes, ACL
+// shards) that fast paths take briefly while holding their shard, and
+// innermost the per-mapping revocation lock.
 //
 // libfs/dirbucket is the directory hash-table bucket lock, acquired
 // through Table.WithBucket; the checker interprets the callback inline
@@ -40,12 +48,17 @@ type lockClass struct {
 // lockClasses maps (struct type name, field name) to its class. Keeping
 // the key type-name based lets fixtures declare the same shapes.
 var lockClasses = map[[2]string]lockClass{
-	{"minode", "lock"}:    {0, "libfs/minode"},
-	{"tailCursor", "mu"}:  {2, "libfs/dirtail"},
-	{"dirState", "idxMu"}: {3, "libfs/diridx"},
-	{"FS", "inoMu"}:       {4, "libfs/inomu"},
-	{"FS", "pageMu"}:      {5, "libfs/pagemu"},
-	{"Mapping", "mu"}:     {6, "kernel/mapping"},
+	{"minode", "lock"}:       {0, "libfs/minode"},
+	{"tailCursor", "mu"}:     {2, "libfs/dirtail"},
+	{"dirState", "idxMu"}:    {3, "libfs/diridx"},
+	{"FS", "inoMu"}:          {4, "libfs/inomu"},
+	{"FS", "pageMu"}:         {5, "libfs/pagemu"},
+	{"Controller", "epoch"}:  {6, "kernel/epoch"},
+	{"shadowShard", "mu"}:    {7, "kernel/shadowshard"},
+	{"Controller", "appsMu"}: {8, "kernel/apps"},
+	{"pageStripe", "mu"}:     {9, "kernel/pagestripe"},
+	{"aclShard", "mu"}:       {10, "kernel/aclshard"},
+	{"Mapping", "mu"}:        {11, "kernel/mapping"},
 }
 
 // bucketClass is acquired via htable's WithBucket rather than a direct

@@ -47,6 +47,11 @@ type Config struct {
 	// to A/B the batching optimization; recorded in the -json output as
 	// config.persist.
 	Eager bool
+	// Serial runs the ArckFS kernels with the pre-scaling control plane:
+	// one exclusive lock around every crossing and no grant leases
+	// (baselines are unaffected). Used to A/B the sharded control plane;
+	// recorded in the -json output as config.kernel.
+	Serial bool
 	// Out receives rendered tables.
 	Out io.Writer
 	// Rec, when non-nil, accumulates machine-readable cells for the
@@ -90,32 +95,53 @@ func MakeFS(name string, devSize int64, cost *costmodel.Model) (fsapi.FS, error)
 // MakeFSPersist is MakeFS with an explicit persist mode: eager disables
 // the ArckFS write-combining batcher (baselines ignore the flag).
 func MakeFSPersist(name string, devSize int64, cost *costmodel.Model, eager bool) (fsapi.FS, error) {
+	return MakeFSWith(name, FSOpts{DevSize: devSize, Cost: cost, Eager: eager})
+}
+
+// FSOpts parameterizes MakeFSWith. The zero value matches MakeFS.
+type FSOpts struct {
+	DevSize int64
+	Cost    *costmodel.Model
+	// Eager disables the ArckFS persist batcher (baselines ignore it).
+	Eager bool
+	// Serial runs the ArckFS kernel single-locked and lease-free
+	// (baselines ignore it).
+	Serial bool
+}
+
+// MakeFSWith constructs a fresh instance of the named file system under
+// the given options.
+func MakeFSWith(name string, o FSOpts) (fsapi.FS, error) {
+	arck := func(mode core.Mode) (fsapi.FS, error) {
+		sys, err := core.NewSystem(core.Config{
+			Mode: mode, DevSize: o.DevSize, Cost: o.Cost,
+			EagerPersist: o.Eager, SerialKernel: o.Serial,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sys.NewApp(0, 0), nil
+	}
 	switch name {
 	case "arckfs+":
-		sys, err := core.NewSystem(core.Config{Mode: core.ArckFSPlus, DevSize: devSize, Cost: cost, EagerPersist: eager})
-		if err != nil {
-			return nil, err
-		}
-		return sys.NewApp(0, 0), nil
+		return arck(core.ArckFSPlus)
 	case "arckfs":
-		sys, err := core.NewSystem(core.Config{Mode: core.ArckFS, DevSize: devSize, Cost: cost, EagerPersist: eager})
-		if err != nil {
-			return nil, err
-		}
-		return sys.NewApp(0, 0), nil
+		return arck(core.ArckFS)
 	case "nova":
-		return nova.New(devSize, cost)
+		return nova.New(o.DevSize, o.Cost)
 	case "pmfs":
-		return pmfs.New(devSize, cost)
+		return pmfs.New(o.DevSize, o.Cost)
 	case "kucofs":
-		return kucofs.New(devSize, cost)
+		return kucofs.New(o.DevSize, o.Cost)
 	}
 	return nil, fmt.Errorf("unknown file system %q", name)
 }
 
 // makeFS builds the named system under this run's configuration.
 func (c *Config) makeFS(name string) (fsapi.FS, error) {
-	return MakeFSPersist(name, c.DevSize, c.cost(), c.Eager)
+	return MakeFSWith(name, FSOpts{
+		DevSize: c.DevSize, Cost: c.cost(), Eager: c.Eager, Serial: c.Serial,
+	})
 }
 
 func opsFor(total, threads int) int {
@@ -240,7 +266,7 @@ func Figure4(cfg Config) (map[string]*harness.Series, error) {
 // (see EXPERIMENTS.md).
 func Fxmark(cfg Config) error {
 	cfg.fill()
-	for _, group := range [][]fxmark.Workload{fxmark.Metadata, fxmark.DataOps} {
+	for _, group := range [][]fxmark.Workload{fxmark.Metadata, fxmark.Leases, fxmark.DataOps} {
 		for _, w := range group {
 			series := harness.NewSeries("FxMark — " + w.Name + ": " + w.Desc + " (ops/sec)")
 			for _, sysName := range cfg.Systems {

@@ -47,6 +47,10 @@ type RunConfig struct {
 	// (write-combining batcher, the default) or "eager" (one clwb per
 	// call site, the pre-batching behavior).
 	Persist string `json:"persist"`
+	// Kernel is the ArckFS control-plane shape the run used: "sharded"
+	// (lock-striped state plus grant leases, the default) or "serial"
+	// (one exclusive lock per crossing, no leases).
+	Kernel string `json:"kernel"`
 }
 
 // RunRecord is the top-level JSON document arckbench -json emits.
@@ -71,6 +75,10 @@ func NewRecorder(cfg Config) *Recorder {
 	if cfg.Eager {
 		persist = "eager"
 	}
+	kern := "sharded"
+	if cfg.Serial {
+		kern = "serial"
+	}
 	return &Recorder{rec: RunRecord{
 		Tool: "arckbench",
 		Time: time.Now().UTC(),
@@ -82,16 +90,19 @@ func NewRecorder(cfg Config) *Recorder {
 			Realistic: cfg.Realistic,
 			Trials:    cfg.Trials,
 			Persist:   persist,
+			Kernel:    kern,
 		},
 	}}
 }
 
 // perOpKeys maps counter names to their per-op JSON keys.
 var perOpKeys = map[string]string{
-	"pmem.flushes":  "flushes",
-	"pmem.fences":   "fences",
-	"pmem.ntstores": "ntstores",
-	"syscalls":      "syscalls",
+	"pmem.flushes":     "flushes",
+	"pmem.fences":      "fences",
+	"pmem.ntstores":    "ntstores",
+	"syscalls":         "syscalls",
+	"syscalls.avoided": "syscalls_avoided",
+	"kernel.acquires":  "acquires",
 }
 
 // Add records one harness result under the given experiment name.

@@ -431,6 +431,11 @@ func ByName(name string) (Workload, bool) {
 			return w, true
 		}
 	}
+	for _, w := range Leases {
+		if w.Name == name {
+			return w, true
+		}
+	}
 	return Workload{}, false
 }
 

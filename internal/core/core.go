@@ -64,6 +64,15 @@ type Config struct {
 	// rename lock.
 	LeaseTTL       time.Duration
 	RenameLeaseTTL time.Duration
+	// SerialKernel reverts the control plane to its pre-scaling shape:
+	// every kernel crossing serializes behind one exclusive lock
+	// (kernel.Options.Serialize) and the LibFS grant-lease fast paths
+	// are disabled (libfs.Options.NoLeases). Benchmarks use it as the
+	// A/B baseline for the sharded control plane.
+	SerialKernel bool
+	// RecoverWorkers bounds the recovery worker pool used by Recover; 0
+	// picks a default from GOMAXPROCS, 1 forces the serial scan.
+	RecoverWorkers int
 }
 
 func (c *Config) fill() {
@@ -132,6 +141,35 @@ func (s *System) initTelemetry() {
 	// expose theirs under the same key.
 	//arcklint:allow counterreg every system meters "syscalls" in its own private Set so bench tooling reads one cross-system key
 	s.tel.Gauge("syscalls", s.Ctrl.Stats.Syscalls.Load)
+	s.tel.Gauge("leases.hit", func() int64 {
+		s.appsMu.Lock()
+		defer s.appsMu.Unlock()
+		var n int64
+		for _, fs := range s.apps {
+			n += fs.Stats.LeaseHits.Load()
+		}
+		return n
+	})
+	s.tel.Gauge("leases.miss", func() int64 {
+		s.appsMu.Lock()
+		defer s.appsMu.Unlock()
+		var n int64
+		for _, fs := range s.apps {
+			n += fs.Stats.LeaseMisses.Load()
+		}
+		return n
+	})
+	// "syscalls.avoided" is the companion of "syscalls": crossings the
+	// grant leases elided, summed across applications.
+	s.tel.Gauge("syscalls.avoided", func() int64 {
+		s.appsMu.Lock()
+		defer s.appsMu.Unlock()
+		var n int64
+		for _, fs := range s.apps {
+			n += fs.Stats.SyscallsAvoided.Load()
+		}
+		return n
+	})
 }
 
 // Telemetry returns the system-wide counter set.
@@ -149,6 +187,7 @@ func NewSystem(cfg Config) (*System, error) {
 		NTails:         cfg.NTails,
 		LeaseTTL:       cfg.LeaseTTL,
 		RenameLeaseTTL: cfg.RenameLeaseTTL,
+		Serialize:      cfg.SerialKernel,
 	})
 	if err != nil {
 		return nil, err
@@ -172,6 +211,8 @@ func Recover(img []byte, cfg Config) (*System, *kernel.Report, error) {
 		Cost:           cfg.Cost,
 		LeaseTTL:       cfg.LeaseTTL,
 		RenameLeaseTTL: cfg.RenameLeaseTTL,
+		Serialize:      cfg.SerialKernel,
+		RecoverWorkers: cfg.RecoverWorkers,
 	}, true)
 	if err != nil {
 		return nil, nil, err
@@ -193,6 +234,7 @@ func (s *System) NewApp(uid, gid uint32) *libfs.FS {
 		Hooks:        s.cfg.Hooks,
 		DirBuckets:   s.cfg.DirBuckets,
 		EagerPersist: s.cfg.EagerPersist,
+		NoLeases:     s.cfg.SerialKernel,
 	})
 	fs.SetTelemetry(s.tel)
 	s.appsMu.Lock()

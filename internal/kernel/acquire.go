@@ -9,50 +9,75 @@ import (
 	"arckfs/internal/verifier"
 )
 
-// lockedView adapts the controller to verifier.KernelView. All methods
-// assume c.mu is held by the verification in progress.
-type lockedView struct{ c *Controller }
+// ctlView adapts the controller to verifier.KernelView.
+//
+// held is the shard the verification in progress already holds (the
+// verified inode's own shard on the shared fast path; nil under the
+// exclusive epoch). Fast-path verifications are file-only, and the file
+// verifier touches no shadow entry but the file's own (VerifyFile and
+// the file branch of VerifyNewInode read Shadow(ino) plus page-owner
+// words), so cross-shard lookups here — which briefly take another
+// shard's same-rank lock — only ever run under the exclusive epoch,
+// where no other holder exists.
+type ctlView struct {
+	c    *Controller
+	held *shadowShard
+}
 
-func (v lockedView) Shadow(ino uint64) (verifier.ShadowInfo, bool) {
-	se, ok := v.c.shadows[ino]
-	if !ok {
+func (v ctlView) Shadow(ino uint64) (verifier.ShadowInfo, bool) {
+	se := v.c.shadowGet(ino, v.held)
+	if se == nil {
 		return verifier.ShadowInfo{}, false
 	}
 	return se.info, true
 }
 
-func (v lockedView) InodeGrantedTo(app AppID, ino uint64) bool {
-	a, ok := v.c.apps[app]
-	return ok && a.grantedInos[ino]
+func (v ctlView) InodeGrantedTo(app AppID, ino uint64) bool {
+	return v.c.inoGranted(app, ino)
 }
 
-func (v lockedView) PageUsableBy(app AppID, ino, page uint64) bool {
+func (v ctlView) PageUsableBy(app AppID, ino, page uint64) bool {
 	if page >= uint64(len(v.c.pages)) {
 		return false
 	}
-	o := v.c.pages[page]
+	o := v.c.pageOwnerAt(page)
 	return o == ownApp(app) || o == ownIno(ino)
 }
 
-func (v lockedView) OwnedBy(app AppID, ino uint64) bool {
-	se, ok := v.c.shadows[ino]
-	return ok && se.owner == app
+func (v ctlView) OwnedBy(app AppID, ino uint64) bool {
+	se := v.c.shadowGet(ino, v.held)
+	if se == nil || se.owner != app {
+		return false
+	}
+	// A dormant hold was voluntarily released: for verification purposes
+	// the app no longer holds the inode, exactly as after a plain
+	// Release (LibFS Rule: hold the old parent until the new parent
+	// commits — a lease-released parent does not satisfy it).
+	return se.mapping == nil || !se.mapping.dormant.Load()
 }
 
-func (v lockedView) OwnedByOther(app AppID, ino uint64) bool {
-	se, ok := v.c.shadows[ino]
-	return ok && se.owner != 0 && se.owner != app
+func (v ctlView) OwnedByOther(app AppID, ino uint64) bool {
+	se := v.c.shadowGet(ino, v.held)
+	if se == nil || se.owner == 0 || se.owner == app {
+		return false
+	}
+	// A dormant holder does not block removal — reclaim its lease, just
+	// as a plain Release would have left the inode kernel-held.
+	if v.c.reclaimDormant(se) {
+		return false
+	}
+	return true
 }
 
-func (v lockedView) HoldsRenameLock(app AppID) bool {
+func (v ctlView) HoldsRenameLock(app AppID) bool {
 	return v.c.renameLock.Holder() == app
 }
 
-func (v lockedView) IsDescendant(node, anc uint64) bool {
-	return v.c.isDescendantLocked(node, anc)
+func (v ctlView) IsDescendant(node, anc uint64) bool {
+	return v.c.isDescendant(node, anc, v.held)
 }
 
-func (c *Controller) isDescendantLocked(node, anc uint64) bool {
+func (c *Controller) isDescendant(node, anc uint64, held *shadowShard) bool {
 	cur := node
 	for depth := 0; depth < 1<<16; depth++ {
 		if cur == anc {
@@ -61,8 +86,8 @@ func (c *Controller) isDescendantLocked(node, anc uint64) bool {
 		if cur == layout.RootIno {
 			return false
 		}
-		se, ok := c.shadows[cur]
-		if !ok {
+		se := c.shadowGet(cur, held)
+		if se == nil {
 			return false
 		}
 		cur = se.info.Parent
@@ -72,25 +97,125 @@ func (c *Controller) isDescendantLocked(node, anc uint64) bool {
 	return true
 }
 
+// reclaimDormant tears down a mapping whose holder lease-released the
+// inode (ReleaseLeased). The release-time verification already ran and
+// the holder has not re-activated — winning the dormant CAS guarantees
+// it never will — so the core state is exactly as verified and the
+// kernel reclaims without re-running the verifier. Returns false if
+// there was no dormant mapping or the holder re-activated first.
+// Caller holds the inode's shard lock or the exclusive epoch.
+func (c *Controller) reclaimDormant(se *shadowEnt) bool {
+	m := se.mapping
+	if m == nil || !m.dormant.CompareAndSwap(true, false) {
+		return false
+	}
+	m.revoke()
+	for _, gm := range se.groupMappings {
+		gm.revoke()
+	}
+	se.groupMappings = nil
+	c.cost.Unmap()
+	c.trace.Record(telemetry.EvUnmap, se.owner, se.info.Ino, 0, 0)
+	se.owner = 0
+	se.mapping = nil
+	se.snap = nil
+	return true
+}
+
 // Acquire grants app access to ino and maps its core state. write
 // requests write intent. A second acquire by the current owner is
 // idempotent and returns the existing mapping.
 func (c *Controller) Acquire(appID AppID, ino uint64, write bool) (*Mapping, error) {
 	c.syscall()
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.Stats.Acquires.Add(1)
 	var wr int64
 	if write {
 		wr = 1
 	}
 	c.trace.Record(telemetry.EvAcquire, appID, ino, wr, 0)
-	a, ok := c.apps[appID]
-	if !ok {
+	if !c.opts.Serialize {
+		if m, err, handled := c.acquireFast(appID, ino, write); handled {
+			return m, err
+		}
+	}
+	c.enterExcl()
+	defer c.exitExcl()
+	return c.acquireExcl(appID, ino, write)
+}
+
+// acquireFast handles every acquire that touches only ino's own shard:
+// all of them except the expired-lease involuntary release, whose
+// verification can span shards. handled=false punts to acquireExcl.
+func (c *Controller) acquireFast(appID AppID, ino uint64, write bool) (m *Mapping, err error, handled bool) {
+	c.epoch.RLock()
+	defer c.epoch.RUnlock()
+	sh := c.shardOf(ino)
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		sh.mu.Lock()
+	}
+	sh.acquisitions.Add(1)
+	defer sh.mu.Unlock()
+
+	a := c.lookupApp(appID)
+	if a == nil {
+		return nil, fmt.Errorf("kernel: unknown app %d", appID), true
+	}
+	se := sh.m[ino]
+	if se == nil || (!se.info.Committed && se.owner != appID) {
+		return nil, fsapi.ErrNotExist, true
+	}
+	if se.inaccessible {
+		return nil, fmt.Errorf("inode %d marked inaccessible: %w", ino, fsapi.ErrPerm), true
+	}
+	perm := se.info.Perm
+	if ov, ok := c.acl(appID, ino); ok {
+		perm = ov
+	}
+	if write && perm&layout.PermWrite == 0 {
+		return nil, fsapi.ErrPerm, true
+	}
+	if !write && perm&layout.PermRead == 0 {
+		return nil, fsapi.ErrPerm, true
+	}
+	if se.owner == appID {
+		if m := se.mapping; m != nil && m.dormant.Load() {
+			// Our own lease-released hold: take it back in-kernel. A
+			// failed CAS means the LibFS re-activated concurrently;
+			// either way the mapping is active again.
+			m.dormant.CompareAndSwap(true, false)
+		}
+		se.lease = c.now().Add(c.opts.LeaseTTL)
+		return se.mapping, nil, true
+	}
+	if se.owner != 0 && !c.reclaimDormant(se) {
+		holder := c.lookupApp(se.owner)
+		if holder != nil && holder.group.Load() != 0 && holder.group.Load() == a.group.Load() {
+			return c.groupTransfer(se, appID), nil, true
+		}
+		if c.now().Before(se.lease) {
+			return nil, errBusy(ino, se.owner), true
+		}
+		// Lease expired: the involuntary release verifies the holder's
+		// state, which for a directory spans shards — exclusive epoch.
+		return nil, nil, false
+	}
+	if err := c.establish(se, appID); err != nil {
+		return nil, err, true
+	}
+	return se.mapping, nil, true
+}
+
+// acquireExcl is the slow acquire path under the exclusive epoch; it
+// re-checks everything (the world may have changed since the fast path
+// punted).
+func (c *Controller) acquireExcl(appID AppID, ino uint64, write bool) (*Mapping, error) {
+	a := c.lookupApp(appID)
+	if a == nil {
 		return nil, fmt.Errorf("kernel: unknown app %d", appID)
 	}
-	se, ok := c.shadows[ino]
-	if !ok || (!se.info.Committed && se.owner != appID) {
+	se := c.shadowGet(ino, nil)
+	if se == nil || (!se.info.Committed && se.owner != appID) {
 		return nil, fsapi.ErrNotExist
 	}
 	if se.inaccessible {
@@ -107,54 +232,62 @@ func (c *Controller) Acquire(appID AppID, ino uint64, write bool) (*Mapping, err
 		return nil, fsapi.ErrPerm
 	}
 	if se.owner == appID {
-		se.lease = c.clock().Add(c.opts.LeaseTTL)
+		if m := se.mapping; m != nil && m.dormant.Load() {
+			m.dormant.CompareAndSwap(true, false)
+		}
+		se.lease = c.now().Add(c.opts.LeaseTTL)
 		return se.mapping, nil
 	}
-	if se.owner != 0 {
-		holder := c.apps[se.owner]
-		if holder != nil && holder.group != 0 && holder.group == a.group {
-			// Trust group (§5.4): the peer's mapping stays established —
-			// no verification, no unmap, no rebuild. Both applications
-			// access the inode concurrently within the group.
-			c.Stats.TrustTransfers.Add(1)
-			c.trace.Record(telemetry.EvTrustTransfer, appID, ino, se.owner, 0)
-			for _, m := range se.groupMappings {
-				if m.app == appID && m.Valid() {
-					se.lease = c.clock().Add(c.opts.LeaseTTL)
-					return m, nil
-				}
-			}
-			if len(se.groupMappings) == 0 && se.mapping != nil {
-				se.groupMappings = append(se.groupMappings, se.mapping)
-			}
-			m := &Mapping{ino: ino, app: appID, ok: true}
-			se.groupMappings = append(se.groupMappings, m)
-			se.owner = appID
-			se.mapping = m
-			se.lease = c.clock().Add(c.opts.LeaseTTL)
-			c.cost.Map()
-			return m, nil
+	if se.owner != 0 && !c.reclaimDormant(se) {
+		holder := c.lookupApp(se.owner)
+		if holder != nil && holder.group.Load() != 0 && holder.group.Load() == a.group.Load() {
+			return c.groupTransfer(se, appID), nil
 		}
-		if c.clock().Before(se.lease) {
+		if c.now().Before(se.lease) {
 			return nil, errBusy(ino, se.owner)
 		}
 		// Lease expired: involuntary release. The holder may be mid-
 		// operation; that is its problem (§4.3 discussion).
 		c.Stats.Involuntary.Add(1)
 		c.trace.Record(telemetry.EvLeaseExpire, se.owner, ino, int64(appID), 0)
-		if err := c.releaseLocked(se, se.owner); err != nil && !IsVerificationError(err) {
+		if err := c.releaseHeld(se, se.owner, ctlView{c: c}); err != nil && !IsVerificationError(err) {
 			return nil, err
 		}
 	}
-	if err := c.mapLocked(se, appID); err != nil {
+	if err := c.establish(se, appID); err != nil {
 		return nil, err
 	}
 	return se.mapping, nil
 }
 
-// mapLocked snapshots ino's core state and establishes app's mapping.
-func (c *Controller) mapLocked(se *shadowEnt, appID AppID) error {
-	snap, err := c.buildSnapshotLocked(se)
+// groupTransfer hands se to a trust-group peer (§5.4): the holder's
+// mapping stays established — no verification, no unmap, no rebuild.
+// Caller holds se's shard lock or the exclusive epoch.
+func (c *Controller) groupTransfer(se *shadowEnt, appID AppID) *Mapping {
+	c.Stats.TrustTransfers.Add(1)
+	c.trace.Record(telemetry.EvTrustTransfer, appID, se.info.Ino, se.owner, 0)
+	for _, m := range se.groupMappings {
+		if m.app == appID && m.Valid() {
+			se.lease = c.now().Add(c.opts.LeaseTTL)
+			return m
+		}
+	}
+	if len(se.groupMappings) == 0 && se.mapping != nil {
+		se.groupMappings = append(se.groupMappings, se.mapping)
+	}
+	m := &Mapping{ino: se.info.Ino, app: appID, ok: true}
+	se.groupMappings = append(se.groupMappings, m)
+	se.owner = appID
+	se.mapping = m
+	se.lease = c.now().Add(c.opts.LeaseTTL)
+	c.cost.Map()
+	return m
+}
+
+// establish snapshots ino's core state and establishes app's mapping.
+// Caller holds se's shard lock or the exclusive epoch.
+func (c *Controller) establish(se *shadowEnt, appID AppID) error {
+	snap, err := c.buildSnapshot(se)
 	if err != nil {
 		// A kernel-held inode that does not parse is corrupt at rest.
 		se.inaccessible = true
@@ -163,15 +296,15 @@ func (c *Controller) mapLocked(se *shadowEnt, appID AppID) error {
 	se.snap = snap
 	se.owner = appID
 	se.mapping = &Mapping{ino: se.info.Ino, app: appID, ok: true}
-	se.lease = c.clock().Add(c.opts.LeaseTTL)
+	se.lease = c.now().Add(c.opts.LeaseTTL)
 	c.cost.Map()
 	c.trace.Record(telemetry.EvMap, appID, se.info.Ino, 0, 0)
 	return nil
 }
 
-// buildSnapshotLocked parses and copies the inode's metadata state: the
+// buildSnapshot parses and copies the inode's metadata state: the
 // rollback point and verification baseline.
-func (c *Controller) buildSnapshotLocked(se *shadowEnt) (*snapshot, error) {
+func (c *Controller) buildSnapshot(se *shadowEnt) (*snapshot, error) {
 	ino := se.info.Ino
 	snap := &snapshot{pageData: make(map[uint64][]byte)}
 	copyPage := func(p uint64) {
@@ -221,41 +354,22 @@ func (c *Controller) buildSnapshotLocked(se *shadowEnt) (*snapshot, error) {
 	return snap, nil
 }
 
+// xferKind distinguishes the three ownership-transfer entry points that
+// share guard logic: Release, Commit, and ReleaseLeased.
+type xferKind int
+
+const (
+	xferRelease xferKind = iota
+	xferCommit
+	xferLease
+)
+
 // Release returns ino to the kernel: unmap, verify, apply or roll back.
 func (c *Controller) Release(appID AppID, ino uint64) error {
 	c.syscall()
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.Stats.Releases.Add(1)
 	c.trace.Record(telemetry.EvRelease, appID, ino, 0, 0)
-	se, ok := c.shadows[ino]
-	if !ok {
-		if a := c.apps[appID]; a != nil && a.grantedInos[ino] {
-			// LibFS Rule 1 violation: releasing a newly created inode
-			// whose parent directory has not been released — from the
-			// kernel's perspective it is disconnected from the root.
-			return &verifier.FailError{Ino: ino, Reason: "new inode disconnected from the root (I3, LibFS Rule 1)"}
-		}
-		return fsapi.ErrNotExist
-	}
-	if se.owner != appID {
-		return fmt.Errorf("inode %d not held by app %d: %w", ino, appID, fsapi.ErrPerm)
-	}
-	return c.releaseLocked(se, appID)
-}
-
-func (c *Controller) releaseLocked(se *shadowEnt, appID AppID) error {
-	se.mapping.revoke()
-	for _, m := range se.groupMappings {
-		m.revoke()
-	}
-	se.groupMappings = nil
-	c.cost.Unmap()
-	c.trace.Record(telemetry.EvUnmap, appID, se.info.Ino, 0, 0)
-	err := c.verifyAndApplyLocked(se, appID, false)
-	se.owner = 0
-	se.mapping = nil
-	se.snap = nil
+	_, err := c.transfer(appID, ino, xferRelease)
 	return err
 }
 
@@ -265,21 +379,129 @@ func (c *Controller) releaseLocked(se *shadowEnt, appID AppID) error {
 // baseline snapshot. The mapping stays valid on success.
 func (c *Controller) Commit(appID AppID, ino uint64) error {
 	c.syscall()
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.Stats.Commits.Add(1)
 	c.trace.Record(telemetry.EvCommit, appID, ino, 0, 0)
-	se, ok := c.shadows[ino]
-	if !ok {
-		if a := c.apps[appID]; a != nil && a.grantedInos[ino] {
-			return &verifier.FailError{Ino: ino, Reason: "new inode disconnected from the root (I3, LibFS Rule 1)"}
+	_, err := c.transfer(appID, ino, xferCommit)
+	return err
+}
+
+// ReleaseLeased is Release under a grant lease: the state is verified
+// and applied exactly as on Release, but the mapping is left established
+// and dormant instead of being torn down. The LibFS may re-activate it
+// with Mapping.Reactivate — skipping the re-Acquire crossing — until the
+// kernel reclaims it for another application (reclaimDormant). Returns
+// the dormant mapping so the LibFS can cache it (nil if verification
+// failed and the inode was fully released).
+func (c *Controller) ReleaseLeased(appID AppID, ino uint64) (*Mapping, error) {
+	c.syscall()
+	c.Stats.Releases.Add(1)
+	c.Stats.LeasedReleases.Add(1)
+	c.trace.Record(telemetry.EvRelease, appID, ino, 1, 0)
+	return c.transfer(appID, ino, xferLease)
+}
+
+func (c *Controller) transfer(appID AppID, ino uint64, kind xferKind) (*Mapping, error) {
+	if !c.opts.Serialize {
+		if m, err, handled := c.transferFast(appID, ino, kind); handled {
+			return m, err
 		}
-		return fsapi.ErrNotExist
+	}
+	c.enterExcl()
+	defer c.exitExcl()
+	return c.transferExcl(appID, ino, kind)
+}
+
+// transferFast handles file transfers on the shared epoch: file
+// verification touches only the file's own shadow entry and page-owner
+// words, so the shard lock suffices. Directories punt to the exclusive
+// epoch (their commits create, relocate, and free children on other
+// shards).
+func (c *Controller) transferFast(appID AppID, ino uint64, kind xferKind) (m *Mapping, err error, handled bool) {
+	c.epoch.RLock()
+	defer c.epoch.RUnlock()
+	sh := c.shardOf(ino)
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		sh.mu.Lock()
+	}
+	sh.acquisitions.Add(1)
+	defer sh.mu.Unlock()
+
+	se := sh.m[ino]
+	if se == nil {
+		return nil, c.missingTransferErr(appID, ino), true
+	}
+	if se.info.Type == layout.TypeDir {
+		return nil, nil, false
 	}
 	if se.owner != appID {
-		return fmt.Errorf("inode %d not held by app %d: %w", ino, appID, fsapi.ErrPerm)
+		return nil, fmt.Errorf("inode %d not held by app %d: %w", ino, appID, fsapi.ErrPerm), true
 	}
-	return c.verifyAndApplyLocked(se, appID, true)
+	m2, err := c.transferHeld(se, appID, kind, ctlView{c: c, held: sh})
+	return m2, err, true
+}
+
+// transferExcl is the transfer slow path under the exclusive epoch.
+func (c *Controller) transferExcl(appID AppID, ino uint64, kind xferKind) (*Mapping, error) {
+	se := c.shadowGet(ino, nil)
+	if se == nil {
+		return nil, c.missingTransferErr(appID, ino)
+	}
+	if se.owner != appID {
+		return nil, fmt.Errorf("inode %d not held by app %d: %w", ino, appID, fsapi.ErrPerm)
+	}
+	return c.transferHeld(se, appID, kind, ctlView{c: c})
+}
+
+// missingTransferErr classifies a transfer of an unknown inode: either a
+// LibFS Rule 1 violation (releasing a granted inode whose parent was
+// never committed — from the kernel's perspective it is disconnected
+// from the root) or plain absence.
+func (c *Controller) missingTransferErr(appID AppID, ino uint64) error {
+	if c.inoGranted(appID, ino) {
+		return &verifier.FailError{Ino: ino, Reason: "new inode disconnected from the root (I3, LibFS Rule 1)"}
+	}
+	return fsapi.ErrNotExist
+}
+
+// transferHeld applies one transfer kind to an inode the caller has
+// guard-checked. Caller holds se's shard lock or the exclusive epoch.
+func (c *Controller) transferHeld(se *shadowEnt, appID AppID, kind xferKind, view ctlView) (*Mapping, error) {
+	if m := se.mapping; m != nil && m.dormant.Load() {
+		// The app transfers an inode it had lease-released (a LibFS may
+		// order a Commit of a released parent before re-activating it):
+		// take the lease back and proceed as an active holder.
+		m.dormant.CompareAndSwap(true, false)
+	}
+	switch kind {
+	case xferCommit:
+		return nil, c.verifyAndApply(se, appID, true, view)
+	case xferRelease:
+		return nil, c.releaseHeld(se, appID, view)
+	}
+	// xferLease.
+	if len(se.groupMappings) > 0 {
+		// Trust-group peers hold concurrently valid mappings; a dormant
+		// lease has no single holder to hand back to. Plain release.
+		return nil, c.releaseHeld(se, appID, view)
+	}
+	if err := c.verifyAndApply(se, appID, true, view); err != nil {
+		// Failed verification tears the hold down exactly as Release
+		// does (the policy — rollback or inaccessible — was applied by
+		// verifyAndApply).
+		if se.mapping != nil {
+			se.mapping.revoke()
+		}
+		c.cost.Unmap()
+		c.trace.Record(telemetry.EvUnmap, appID, se.info.Ino, 0, 0)
+		se.owner = 0
+		se.mapping = nil
+		se.snap = nil
+		return nil, err
+	}
+	se.lease = c.now().Add(c.opts.LeaseTTL)
+	se.mapping.dormant.Store(true)
+	return se.mapping, nil
 }
 
 // ForceRelease revokes and verifies ino regardless of lease state —
@@ -287,81 +509,99 @@ func (c *Controller) Commit(appID AppID, ino uint64) error {
 // application crash.
 func (c *Controller) ForceRelease(ino uint64) error {
 	c.syscall()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	se, ok := c.shadows[ino]
-	if !ok || se.owner == 0 {
+	c.enterExcl()
+	defer c.exitExcl()
+	se := c.shadowGet(ino, nil)
+	if se == nil || se.owner == 0 {
 		return fsapi.ErrNotExist
 	}
 	c.Stats.Involuntary.Add(1)
-	return c.releaseLocked(se, se.owner)
+	return c.releaseHeld(se, se.owner, ctlView{c: c})
 }
 
-// verifyAndApplyLocked runs the verifier on se's current core state and
+// releaseHeld tears down se's hold: revoke, unmap, verify, apply or
+// roll back. Caller holds se's shard lock or the exclusive epoch.
+func (c *Controller) releaseHeld(se *shadowEnt, appID AppID, view ctlView) error {
+	se.mapping.revoke()
+	for _, m := range se.groupMappings {
+		m.revoke()
+	}
+	se.groupMappings = nil
+	c.cost.Unmap()
+	c.trace.Record(telemetry.EvUnmap, appID, se.info.Ino, 0, 0)
+	err := c.verifyAndApply(se, appID, false, view)
+	se.owner = 0
+	se.mapping = nil
+	se.snap = nil
+	return err
+}
+
+// verifyAndApply runs the verifier on se's current core state and
 // applies the verdict. keepHeld distinguishes Commit from Release.
-func (c *Controller) verifyAndApplyLocked(se *shadowEnt, appID AppID, keepHeld bool) error {
+// Caller holds se's shard lock (files) or the exclusive epoch.
+func (c *Controller) verifyAndApply(se *shadowEnt, appID AppID, keepHeld bool, view ctlView) error {
 	c.Stats.Verifications.Add(1)
 	ino := se.info.Ino
 
 	if !se.info.Committed {
 		// Rule-1 commit of a newly created inode.
-		res, err := c.ver.VerifyNewInode(appID, ino, se.info.Parent, lockedView{c})
+		res, err := c.ver.VerifyNewInode(appID, ino, se.info.Parent, view)
 		if err != nil {
 			c.Stats.VerifyFailures.Add(1)
 			c.trace.Record(telemetry.EvVerifyFail, appID, ino, 0, 0)
-			c.applyPolicyLocked(se)
+			c.applyPolicy(se, view.held)
 			return err
 		}
 		c.trace.Record(telemetry.EvVerifyOK, appID, ino, int64(res.ChildCount), int64(len(res.Pages)))
-		c.applyNewInodeLocked(se, appID, res)
+		c.applyNewInode(se, appID, res, view.held)
 		if keepHeld {
-			return c.refreshSnapshotLocked(se, appID)
+			return c.refreshSnapshot(se)
 		}
 		return nil
 	}
 
 	switch se.info.Type {
 	case layout.TypeDir:
-		res, err := c.ver.VerifyDir(appID, ino, se.snap.dirOld, lockedView{c})
+		res, err := c.ver.VerifyDir(appID, ino, se.snap.dirOld, view)
 		if err != nil {
 			c.Stats.VerifyFailures.Add(1)
 			c.trace.Record(telemetry.EvVerifyFail, appID, ino, 0, 0)
-			c.applyPolicyLocked(se)
+			c.applyPolicy(se, view.held)
 			return err
 		}
 		c.trace.Record(telemetry.EvVerifyOK, appID, ino, int64(res.View.Records), int64(len(res.View.Pages)))
-		c.applyDirLocked(se, appID, res)
+		c.applyDir(se, appID, res)
 	case layout.TypeFile:
-		res, err := c.ver.VerifyFile(appID, ino, se.snap.fileOld, lockedView{c})
+		res, err := c.ver.VerifyFile(appID, ino, se.snap.fileOld, view)
 		if err != nil {
 			c.Stats.VerifyFailures.Add(1)
 			c.trace.Record(telemetry.EvVerifyFail, appID, ino, 0, 0)
-			c.applyPolicyLocked(se)
+			c.applyPolicy(se, view.held)
 			return err
 		}
 		c.trace.Record(telemetry.EvVerifyOK, appID, ino, 0, int64(len(res.View.MapPages)))
-		c.applyFileLocked(se, res)
+		c.applyFile(se, res)
 	default:
 		return fmt.Errorf("inode %d: unknown shadow type %d", ino, se.info.Type)
 	}
 	if keepHeld {
-		return c.refreshSnapshotLocked(se, appID)
+		return c.refreshSnapshot(se)
 	}
 	return nil
 }
 
-func (c *Controller) refreshSnapshotLocked(se *shadowEnt, appID AppID) error {
-	snap, err := c.buildSnapshotLocked(se)
+func (c *Controller) refreshSnapshot(se *shadowEnt) error {
+	snap, err := c.buildSnapshot(se)
 	if err != nil {
 		return fmt.Errorf("inode %d unreadable after commit: %w", se.info.Ino, err)
 	}
 	se.snap = snap
-	_ = appID
 	return nil
 }
 
-// applyPolicyLocked handles a verification failure.
-func (c *Controller) applyPolicyLocked(se *shadowEnt) {
+// applyPolicy handles a verification failure. held follows the
+// shadowGet convention.
+func (c *Controller) applyPolicy(se *shadowEnt, held *shadowShard) {
 	switch c.opts.Policy {
 	case PolicyRollback:
 		c.Stats.Rollbacks.Add(1)
@@ -376,16 +616,16 @@ func (c *Controller) applyPolicyLocked(se *shadowEnt) {
 			// A pending inode has no snapshot: discard it entirely.
 			layout.FreeInode(c.dev, c.geo, se.info.Ino)
 			c.dev.Persist(layout.InodeOff(c.geo, se.info.Ino), layout.InodeSize)
-			delete(c.shadows, se.info.Ino)
-			c.inoFree = append(c.inoFree, se.info.Ino)
+			c.shadowDelete(se.info.Ino, held)
+			c.pushInoFree(se.info.Ino)
 		}
 	case PolicyMarkInaccessible:
 		se.inaccessible = true
 	}
 }
 
-// writeShadowLocked mirrors se to the PM shadow table.
-func (c *Controller) writeShadowLocked(se *shadowEnt) {
+// writeShadow mirrors se to the PM shadow table.
+func (c *Controller) writeShadow(se *shadowEnt) {
 	ex := &layout.ShadowExtra{
 		ChildCount:   se.info.ChildCount,
 		Committed:    se.info.Committed,
@@ -395,13 +635,14 @@ func (c *Controller) writeShadowLocked(se *shadowEnt) {
 	layout.PersistShadow(c.dev, c.geo, se.info.Ino)
 }
 
-// applyDirLocked commits a successful directory verification.
-func (c *Controller) applyDirLocked(se *shadowEnt, appID AppID, res *verifier.DirResult) {
-	a := c.apps[appID]
+// applyDir commits a successful directory verification. Directory
+// transfers always run under the exclusive epoch (they touch children on
+// arbitrary shards).
+func (c *Controller) applyDir(se *shadowEnt, appID AppID, res *verifier.DirResult) {
 	for _, ch := range res.Changes {
 		switch ch.Action {
 		case verifier.AddNew:
-			delete(a.grantedInos, ch.Ino)
+			c.ungrant(appID, ch.Ino)
 			cin, _, _ := layout.ReadInode(c.dev, c.geo, ch.Ino)
 			child := &shadowEnt{
 				info:  shadowInfoOf(ch.Ino, &cin, 0, false),
@@ -409,44 +650,48 @@ func (c *Controller) applyDirLocked(se *shadowEnt, appID AppID, res *verifier.Di
 				owner: appID,
 			}
 			child.mapping = &Mapping{ino: ch.Ino, app: appID, ok: true}
-			child.lease = c.clock().Add(c.opts.LeaseTTL)
-			c.shadows[ch.Ino] = child
+			child.lease = c.now().Add(c.opts.LeaseTTL)
+			c.shadowPut(ch.Ino, child, nil)
 		case verifier.RelocateIn:
 			// Advance the child's verified parent pointer. The Original
 			// verifier also tracks parents for files (cross-directory
 			// file moves worked in the Trio artifact); its §4.1 defect
 			// is on the old-parent side for directories.
-			child := c.shadows[ch.Ino]
+			child := c.shadowGet(ch.Ino, nil)
+			// A dormant holder's lease does not survive relocation: the
+			// next access pays a full Acquire under the new parent.
+			c.reclaimDormant(child)
 			child.info.Parent = se.info.Ino
 			child.inode.Parent = se.info.Ino
-			c.writeShadowLocked(child)
+			c.writeShadow(child)
 		case verifier.RemoveFile, verifier.RemoveEmptyDir:
-			c.freeInodeLocked(ch.Ino)
+			c.freeInode(ch.Ino)
 		case verifier.RenamedAway:
 			// Verified at the new parent's commit; nothing to do here.
 		}
 	}
 	se.inode = res.Inode
 	se.info.ChildCount = uint32(len(res.View.Entries))
-	c.applyPagesLocked(se.info.Ino, res.NewPages, res.FreedPages)
-	c.writeShadowLocked(se)
+	c.applyPages(se.info.Ino, res.NewPages, res.FreedPages)
+	c.writeShadow(se)
 }
 
-func (c *Controller) applyFileLocked(se *shadowEnt, res *verifier.FileResult) {
+func (c *Controller) applyFile(se *shadowEnt, res *verifier.FileResult) {
 	se.inode = res.Inode
-	c.applyPagesLocked(se.info.Ino, res.NewPages, res.FreedPages)
-	c.writeShadowLocked(se)
+	c.applyPages(se.info.Ino, res.NewPages, res.FreedPages)
+	c.writeShadow(se)
 }
 
-func (c *Controller) applyNewInodeLocked(se *shadowEnt, appID AppID, res *verifier.NewInodeResult) {
-	a := c.apps[appID]
+func (c *Controller) applyNewInode(se *shadowEnt, appID AppID, res *verifier.NewInodeResult, held *shadowShard) {
 	se.inode = res.Inode
 	se.info = shadowInfoOf(se.info.Ino, &res.Inode, res.ChildCount, true)
 	for _, p := range res.Pages {
-		c.pages[p] = ownIno(se.info.Ino)
+		c.setPageOwner(p, ownIno(se.info.Ino))
 	}
+	// PendingChildren only occur for directories, which commit under the
+	// exclusive epoch (held == nil): the cross-shard shadowPut is safe.
 	for _, ch := range res.PendingChildren {
-		delete(a.grantedInos, ch.Ino)
+		c.ungrant(appID, ch.Ino)
 		cin, _, _ := layout.ReadInode(c.dev, c.geo, ch.Ino)
 		child := &shadowEnt{
 			info:  shadowInfoOf(ch.Ino, &cin, 0, false),
@@ -454,29 +699,30 @@ func (c *Controller) applyNewInodeLocked(se *shadowEnt, appID AppID, res *verifi
 			owner: appID,
 		}
 		child.mapping = &Mapping{ino: ch.Ino, app: appID, ok: true}
-		child.lease = c.clock().Add(c.opts.LeaseTTL)
-		c.shadows[ch.Ino] = child
+		child.lease = c.now().Add(c.opts.LeaseTTL)
+		c.shadowPut(ch.Ino, child, held)
 	}
-	c.writeShadowLocked(se)
+	c.writeShadow(se)
 }
 
-func (c *Controller) applyPagesLocked(ino uint64, newPages, freed []uint64) {
+func (c *Controller) applyPages(ino uint64, newPages, freed []uint64) {
 	for _, p := range newPages {
-		c.pages[p] = ownIno(ino)
+		c.setPageOwner(p, ownIno(ino))
 	}
 	if len(freed) > 0 {
 		for _, p := range freed {
-			c.pages[p] = ownFree
+			c.setPageOwner(p, ownFree)
 		}
 		c.alloc.Free(freed...)
 	}
 }
 
-// freeInodeLocked reclaims a deleted inode: its pages, its shadow record,
-// its PM records, and its number.
-func (c *Controller) freeInodeLocked(ino uint64) {
-	se, ok := c.shadows[ino]
-	if !ok {
+// freeInode reclaims a deleted inode: its pages, its shadow record,
+// its PM records, and its number. Exclusive-epoch callers only (reached
+// through directory commits).
+func (c *Controller) freeInode(ino uint64) {
+	se := c.shadowGet(ino, nil)
+	if se == nil {
 		return
 	}
 	if se.mapping != nil {
@@ -502,8 +748,7 @@ func (c *Controller) freeInodeLocked(ino uint64) {
 	}
 	var reclaim []uint64
 	for _, p := range freed {
-		if c.pages[p] == ownIno(ino) {
-			c.pages[p] = ownFree
+		if c.casPageOwner(p, ownIno(ino), ownFree) {
 			reclaim = append(reclaim, p)
 		}
 	}
@@ -512,6 +757,6 @@ func (c *Controller) freeInodeLocked(ino uint64) {
 	c.dev.Persist(layout.InodeOff(c.geo, ino), layout.InodeSize)
 	layout.FreeShadow(c.dev, c.geo, ino)
 	layout.PersistShadow(c.dev, c.geo, ino)
-	delete(c.shadows, ino)
-	c.inoFree = append(c.inoFree, ino)
+	c.shadowDelete(ino, nil)
+	c.pushInoFree(ino)
 }

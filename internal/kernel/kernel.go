@@ -8,12 +8,16 @@
 // Every public entry point models a system call and charges the
 // configured syscall cost. The kernel itself is trusted and always
 // persists its own writes correctly; only LibFS behaviour is under test.
+//
+// The control plane is sharded (see shard.go): single-inode crossings
+// run under a shared epoch plus a per-shard spinlock, multi-inode
+// crossings drain the epoch exclusively. Options.Serialize restores the
+// old single-global-lock behaviour for A/B comparison.
 package kernel
 
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,6 +67,13 @@ type Options struct {
 	RenameLeaseTTL time.Duration
 	// TraceCap sizes the kernel-crossing trace ring (0 = 1024 events).
 	TraceCap int
+	// Serialize pins every crossing to the exclusive epoch, restoring
+	// the pre-sharding single-global-lock kernel (the baseline side of
+	// the control-plane scaling experiment).
+	Serialize bool
+	// RecoverWorkers bounds the recovery worker pool (Mount/Fsck).
+	// 0 = min(GOMAXPROCS, 8); 1 = serial.
+	RecoverWorkers int
 }
 
 func (o *Options) fill() {
@@ -90,12 +101,14 @@ type Stats struct {
 	Syscalls       atomic.Int64 // every modeled kernel crossing
 	Acquires       atomic.Int64
 	Releases       atomic.Int64
+	LeasedReleases atomic.Int64 // releases that left the mapping dormant
 	Commits        atomic.Int64
 	Verifications  atomic.Int64
 	VerifyFailures atomic.Int64
 	Rollbacks      atomic.Int64
 	Involuntary    atomic.Int64
 	TrustTransfers atomic.Int64
+	EpochExclusive atomic.Int64 // crossings that drained the shared epoch
 }
 
 // Snapshot is a point-in-time copy of Stats.
@@ -103,12 +116,14 @@ type Snapshot struct {
 	Syscalls       int64
 	Acquires       int64
 	Releases       int64
+	LeasedReleases int64
 	Commits        int64
 	Verifications  int64
 	VerifyFailures int64
 	Rollbacks      int64
 	Involuntary    int64
 	TrustTransfers int64
+	EpochExclusive int64
 }
 
 // Snapshot copies the counters.
@@ -117,12 +132,14 @@ func (s *Stats) Snapshot() Snapshot {
 		Syscalls:       s.Syscalls.Load(),
 		Acquires:       s.Acquires.Load(),
 		Releases:       s.Releases.Load(),
+		LeasedReleases: s.LeasedReleases.Load(),
 		Commits:        s.Commits.Load(),
 		Verifications:  s.Verifications.Load(),
 		VerifyFailures: s.VerifyFailures.Load(),
 		Rollbacks:      s.Rollbacks.Load(),
 		Involuntary:    s.Involuntary.Load(),
 		TrustTransfers: s.TrustTransfers.Load(),
+		EpochExclusive: s.EpochExclusive.Load(),
 	}
 }
 
@@ -148,7 +165,9 @@ type aclKey struct {
 }
 
 // shadowEnt is the kernel's in-memory authoritative record for one inode;
-// it is mirrored to the PM shadow table on every verified change.
+// it is mirrored to the PM shadow table on every verified change. Except
+// at mount time, it is accessed with its shard lock or the exclusive
+// epoch held.
 type shadowEnt struct {
 	info verifier.ShadowInfo
 	// mirrored full inode for shadow-table writes
@@ -176,9 +195,11 @@ type snapshot struct {
 }
 
 type app struct {
-	id          AppID
-	uid, gid    uint32
-	group       int // trust group; 0 = none
+	id       AppID
+	uid, gid uint32
+	// group is the trust group (0 = none); atomic because acquire fast
+	// paths read it without holding appsMu.
+	group       atomic.Int32
 	grantedInos map[uint64]bool
 }
 
@@ -190,6 +211,13 @@ type Mapping struct {
 	app AppID
 	mu  hlock.SpinLock
 	ok  bool
+	// dormant marks a mapping whose holder voluntarily released the
+	// inode under a grant lease (ReleaseLeased): the kernel keeps the
+	// mapping established but may reclaim it at any time. The flag is
+	// the handoff point — whichever side wins the CAS (the LibFS
+	// re-activating, or the kernel reclaiming for another app) owns the
+	// mapping's fate.
+	dormant atomic.Bool
 }
 
 // Ino returns the mapped inode number.
@@ -203,11 +231,27 @@ func (m *Mapping) Valid() bool {
 	return ok
 }
 
+// Reactivate attempts to take a dormant mapping back into active use
+// without a kernel crossing — the LibFS side of the grant-lease handoff.
+// It returns false if the mapping was not dormant or the kernel revoked
+// it first (the caller must fall back to a real Acquire).
+func (m *Mapping) Reactivate() bool {
+	if m == nil || !m.dormant.CompareAndSwap(true, false) {
+		return false
+	}
+	// Won the CAS: the kernel will no longer reclaim this mapping, but
+	// it may already have been revoked (ForceRelease, deletion by a
+	// trust-group peer) before we got here.
+	return m.Valid()
+}
+
 func (m *Mapping) revoke() {
 	m.mu.Lock()
 	m.ok = false
 	m.mu.Unlock()
 }
+
+type clockFn func() time.Time
 
 // Controller is the in-kernel access controller.
 type Controller struct {
@@ -219,18 +263,29 @@ type Controller struct {
 	alloc *pmalloc.Allocator
 	ver   *verifier.V
 
-	mu         sync.Mutex
-	shadows    map[uint64]*shadowEnt
+	// epoch is the big-reader lock over the sharded state: shared for
+	// single-inode crossings, exclusive for multi-inode ones (shard.go).
+	epoch      hlock.RWSpin
+	shadowTab  [nShadowShards]shadowShard
 	pages      []pageOwner
-	apps       map[AppID]*app
-	nextApp    AppID
-	inoFree    []uint64
-	acls       map[aclKey]uint16
-	renameLock hlock.LeaseLock
-	nextGroup  int
+	pageStripe [nPageStripes]pageStripe
+	aclTab     [nACLShards]aclShard
 
-	// clock is a test hook for lease expiry.
-	clock func() time.Time
+	// appsMu guards the app table, grantedInos sets, the inode free
+	// list, and the id counters.
+	appsMu           hlock.SpinLock
+	appsAcquisitions atomic.Int64
+	appsContended    atomic.Int64
+	apps             map[AppID]*app
+	nextApp          AppID
+	inoFree          []uint64
+	nextGroup        int
+
+	renameLock hlock.LeaseLock
+
+	// clock is a swappable test hook for lease expiry, read without the
+	// epoch held.
+	clock atomic.Pointer[clockFn]
 
 	// trace records kernel crossings and verifier runs; bounded, always
 	// on (the per-event cost is one atomic increment and one store).
@@ -250,7 +305,7 @@ func Format(dev *pmem.Device, opts Options) (*Controller, error) {
 
 	// Root shadow.
 	rootIn, _, _ := layout.ReadInode(dev, g, layout.RootIno)
-	c.shadows[layout.RootIno] = &shadowEnt{
+	c.shardOf(layout.RootIno).m[layout.RootIno] = &shadowEnt{
 		info:  shadowInfoOf(layout.RootIno, &rootIn, 0, true),
 		inode: rootIn,
 	}
@@ -258,7 +313,7 @@ func Format(dev *pmem.Device, opts Options) (*Controller, error) {
 	// tail-set belongs to the root inode and is excluded from the free
 	// pool.
 	c.alloc = pmalloc.NewExcluding(g, rootIn.DataRoot)
-	c.claimPageLocked(rootIn.DataRoot, ownIno(layout.RootIno))
+	c.pages[rootIn.DataRoot] = ownIno(layout.RootIno)
 	// Inode free list (descending so grants ascend).
 	for ino := g.InodeCap - 1; ino >= 2; ino-- {
 		c.inoFree = append(c.inoFree, ino)
@@ -268,17 +323,22 @@ func Format(dev *pmem.Device, opts Options) (*Controller, error) {
 
 func newController(dev *pmem.Device, g layout.Geometry, opts Options) *Controller {
 	c := &Controller{
-		dev:     dev,
-		geo:     g,
-		cost:    opts.Cost,
-		opts:    opts,
-		shadows: make(map[uint64]*shadowEnt),
-		pages:   make([]pageOwner, g.PageCount),
-		apps:    make(map[AppID]*app),
-		acls:    make(map[aclKey]uint16),
-		clock:   time.Now,
-		trace:   telemetry.NewRing(opts.TraceCap),
+		dev:   dev,
+		geo:   g,
+		cost:  opts.Cost,
+		opts:  opts,
+		pages: make([]pageOwner, g.PageCount),
+		apps:  make(map[AppID]*app),
+		trace: telemetry.NewRing(opts.TraceCap),
 	}
+	for i := range c.shadowTab {
+		c.shadowTab[i].m = make(map[uint64]*shadowEnt)
+	}
+	for i := range c.aclTab {
+		c.aclTab[i].m = make(map[aclKey]uint16)
+	}
+	now := clockFn(time.Now)
+	c.clock.Store(&now)
 	c.ver = &verifier.V{Mode: opts.Mode, Dev: dev, Geo: g, Cost: opts.Cost}
 	return c
 }
@@ -301,12 +361,16 @@ func (c *Controller) RegisterTelemetry(set *telemetry.Set) {
 	set.Gauge("kernel.syscalls", c.Stats.Syscalls.Load)
 	set.Gauge("kernel.acquires", c.Stats.Acquires.Load)
 	set.Gauge("kernel.releases", c.Stats.Releases.Load)
+	set.Gauge("kernel.leased_releases", c.Stats.LeasedReleases.Load)
 	set.Gauge("kernel.commits", c.Stats.Commits.Load)
 	set.Gauge("kernel.verifications", c.Stats.Verifications.Load)
 	set.Gauge("kernel.verify_failures", c.Stats.VerifyFailures.Load)
 	set.Gauge("kernel.rollbacks", c.Stats.Rollbacks.Load)
 	set.Gauge("kernel.involuntary_releases", c.Stats.Involuntary.Load)
 	set.Gauge("kernel.trust_transfers", c.Stats.TrustTransfers.Load)
+	set.Gauge("kernel.epoch_exclusive", c.Stats.EpochExclusive.Load)
+	set.Gauge("kernel.shard.acquisitions", func() int64 { return c.shardTelemetry(false) })
+	set.Gauge("kernel.shard.contended", func() int64 { return c.shardTelemetry(true) })
 	set.Gauge("verifier.dentries", c.ver.Stats.Dentries.Load)
 	set.Gauge("verifier.pages", c.ver.Stats.Pages.Load)
 }
@@ -317,12 +381,6 @@ func shadowInfoOf(ino uint64, in *layout.Inode, childCount uint32, committed boo
 		Parent: in.Parent, ChildCount: childCount, Committed: committed,
 		DataRoot: in.DataRoot, NTails: in.NTails,
 	}
-}
-
-// claimPageLocked marks a page's owner and removes it from the allocator
-// if it was free. Call with c.mu held (or during construction).
-func (c *Controller) claimPageLocked(page uint64, owner pageOwner) {
-	c.pages[page] = owner
 }
 
 // Geometry returns the mounted geometry.
@@ -336,17 +394,22 @@ func (c *Controller) Mode() verifier.Mode { return c.opts.Mode }
 
 // SetClock overrides the lease clock (tests).
 func (c *Controller) SetClock(now func() time.Time) {
-	c.mu.Lock()
-	c.clock = now
-	c.mu.Unlock()
+	fn := clockFn(now)
+	c.clock.Store(&fn)
 	c.renameLock.SetClock(now)
 }
 
 // RegisterApp creates an application identity.
 func (c *Controller) RegisterApp(uid, gid uint32) AppID {
 	c.syscall()
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.enterShared()
+	defer c.exitShared()
+	if !c.appsMu.TryLock() {
+		c.appsContended.Add(1)
+		c.appsMu.Lock()
+	}
+	c.appsAcquisitions.Add(1)
+	defer c.appsMu.Unlock()
 	c.nextApp++
 	id := c.nextApp
 	c.apps[id] = &app{id: id, uid: uid, gid: gid, grantedInos: make(map[uint64]bool)}
@@ -357,15 +420,21 @@ func (c *Controller) RegisterApp(uid, gid uint32) AppID {
 // inode ownership moves among them without verification (§5.4).
 func (c *Controller) NewTrustGroup(ids ...AppID) (int, error) {
 	c.syscall()
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.enterShared()
+	defer c.exitShared()
+	if !c.appsMu.TryLock() {
+		c.appsContended.Add(1)
+		c.appsMu.Lock()
+	}
+	c.appsAcquisitions.Add(1)
+	defer c.appsMu.Unlock()
 	c.nextGroup++
 	for _, id := range ids {
 		a, ok := c.apps[id]
 		if !ok {
 			return 0, fmt.Errorf("kernel: unknown app %d", id)
 		}
-		a.group = c.nextGroup
+		a.group.Store(int32(c.nextGroup))
 	}
 	return c.nextGroup, nil
 }
@@ -374,8 +443,15 @@ func (c *Controller) NewTrustGroup(ids ...AppID) (int, error) {
 // files and directories in them without further system calls.
 func (c *Controller) GrantInodes(appID AppID, n int) ([]uint64, error) {
 	c.syscall()
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.trace.Record(telemetry.EvGrantInodes, appID, 0, int64(n), 0)
+	c.enterShared()
+	defer c.exitShared()
+	if !c.appsMu.TryLock() {
+		c.appsContended.Add(1)
+		c.appsMu.Lock()
+	}
+	c.appsAcquisitions.Add(1)
+	defer c.appsMu.Unlock()
 	a, ok := c.apps[appID]
 	if !ok {
 		return nil, fmt.Errorf("kernel: unknown app %d", appID)
@@ -396,35 +472,35 @@ func (c *Controller) GrantInodes(appID AppID, n int) ([]uint64, error) {
 // GrantPages hands n free pages to app.
 func (c *Controller) GrantPages(appID AppID, cpu, n int) ([]uint64, error) {
 	c.syscall()
+	c.trace.Record(telemetry.EvGrantPages, appID, 0, int64(n), 0)
 	pages, err := c.alloc.AllocBatch(cpu, n)
 	if err != nil {
 		return nil, fsapi.ErrNoSpace
 	}
-	c.mu.Lock()
-	if _, ok := c.apps[appID]; !ok {
-		c.mu.Unlock()
+	c.enterShared()
+	defer c.exitShared()
+	if c.lookupApp(appID) == nil {
 		c.alloc.Free(pages...)
 		return nil, fmt.Errorf("kernel: unknown app %d", appID)
 	}
 	for _, p := range pages {
-		c.pages[p] = ownApp(appID)
+		c.setPageOwner(p, ownApp(appID))
 	}
-	c.mu.Unlock()
 	return pages, nil
 }
 
 // ReturnPages gives unused granted pages back (LibFS teardown).
 func (c *Controller) ReturnPages(appID AppID, pages []uint64) {
 	c.syscall()
-	c.mu.Lock()
+	c.trace.Record(telemetry.EvReturnPages, appID, 0, int64(len(pages)), 0)
+	c.enterShared()
 	var back []uint64
 	for _, p := range pages {
-		if c.pages[p] == ownApp(appID) {
-			c.pages[p] = ownFree
+		if c.casPageOwner(p, ownApp(appID), ownFree) {
 			back = append(back, p)
 		}
 	}
-	c.mu.Unlock()
+	c.exitShared()
 	c.alloc.Free(back...)
 }
 
@@ -445,16 +521,46 @@ func (c *Controller) RenameLockRelease(appID AppID) bool {
 
 // SetACL overrides app's permission bits on ino (layout.PermRead |
 // layout.PermWrite). The §3.1 attack scenario uses this to deny App1
-// write access on specific inodes.
+// write access on specific inodes. Like every other entry point it
+// models (and charges) a kernel crossing.
 func (c *Controller) SetACL(ino uint64, appID AppID, perm uint16) {
-	c.mu.Lock()
-	c.acls[aclKey{ino, appID}] = perm
-	c.mu.Unlock()
+	c.syscall()
+	c.trace.Record(telemetry.EvSetACL, appID, ino, int64(perm), 0)
+	c.enterShared()
+	defer c.exitShared()
+	sh := c.shardOf(ino)
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		sh.mu.Lock()
+	}
+	sh.acquisitions.Add(1)
+	defer sh.mu.Unlock()
+	// A dormant (lease-released) holder must not re-activate across a
+	// permission change: reclaim its mapping so the next access pays a
+	// full, ACL-checked Acquire.
+	if se := sh.m[ino]; se != nil && se.owner != 0 {
+		c.reclaimDormant(se)
+	}
+	as := c.aclShardOf(ino)
+	if !as.mu.TryLock() {
+		as.contended.Add(1)
+		as.mu.Lock()
+	}
+	as.acquisitions.Add(1)
+	as.m[aclKey{ino, appID}] = perm
+	as.mu.Unlock()
 }
 
-// acl returns app's permission override for ino, if any. c.mu held.
+// acl returns app's permission override for ino, if any.
 func (c *Controller) acl(appID AppID, ino uint64) (uint16, bool) {
-	p, ok := c.acls[aclKey{ino, appID}]
+	as := c.aclShardOf(ino)
+	if !as.mu.TryLock() {
+		as.contended.Add(1)
+		as.mu.Lock()
+	}
+	as.acquisitions.Add(1)
+	p, ok := as.m[aclKey{ino, appID}]
+	as.mu.Unlock()
 	return p, ok
 }
 
@@ -463,20 +569,33 @@ func (c *Controller) FreeCount() int { return c.alloc.FreeCount() }
 
 // ShadowOf returns a copy of ino's shadow info (tests and tools).
 func (c *Controller) ShadowOf(ino uint64) (verifier.ShadowInfo, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	se, ok := c.shadows[ino]
-	if !ok {
+	c.enterShared()
+	defer c.exitShared()
+	se := c.shadowGet(ino, nil)
+	if se == nil {
 		return verifier.ShadowInfo{}, false
 	}
 	return se.info, true
 }
 
-// OwnerOf returns the app currently holding ino (0 = kernel).
+// OwnerOf returns the app currently holding ino (0 = kernel). A dormant
+// holder — one that lease-released the inode — reports as 0: the kernel
+// may reclaim the inode at any time, so it is kernel-held for every
+// observer but the lease holder itself.
 func (c *Controller) OwnerOf(ino uint64) AppID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if se, ok := c.shadows[ino]; ok {
+	c.enterShared()
+	defer c.exitShared()
+	sh := c.shardOf(ino)
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		sh.mu.Lock()
+	}
+	sh.acquisitions.Add(1)
+	defer sh.mu.Unlock()
+	if se := sh.m[ino]; se != nil {
+		if se.mapping != nil && se.mapping.dormant.Load() {
+			return 0
+		}
 		return se.owner
 	}
 	return 0

@@ -474,7 +474,7 @@ func TestVerifierRejectsUngrantedPages(t *testing.T) {
 	// by writing to it directly.
 	stolen := h.g.PageCount - 3
 	layout.ZeroPage(h.dev, stolen)
-	layout.SetTailHead(h.dev, h.c.shadows[layout.RootIno].info.DataRoot, 1, stolen)
+	layout.SetTailHead(h.dev, h.c.shadowGet(layout.RootIno, nil).info.DataRoot, 1, stolen)
 	ino, _ := h.grant(app, 0)
 	in := layout.Inode{Type: layout.TypeFile, Perm: layout.PermRead, Nlink: 1, Parent: layout.RootIno}
 	layout.WriteInode(h.dev, h.g, ino, &in)

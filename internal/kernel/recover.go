@@ -2,7 +2,10 @@ package kernel
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"arckfs/internal/layout"
 	"arckfs/internal/pmalloc"
@@ -42,10 +45,61 @@ func (r Report) Clean() bool {
 		r.RestoredInodes == 0 && r.OrphanInodes == 0
 }
 
+// recoverWorkers resolves Options.RecoverWorkers to a pool size.
+func recoverWorkers(opts Options) int {
+	w := opts.RecoverWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > 8 {
+			w = 8
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelEach runs fn(worker, i) for every i in [0, n) on a bounded
+// worker pool. Callers keep results deterministic by writing into
+// index-i slots and merging sequentially afterwards.
+func parallelEach(workers, n int, fn func(worker, i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // Mount recovers a formatted device. It trusts the PM shadow table,
 // reconciles every committed inode's LibFS core state against it
 // (repairing torn dentries and dropping uncommitted creations), rebuilds
 // page ownership, and returns everything unreachable to the allocator.
+//
+// The inode-table scans (passes 1, 2 and 5) and each reachability
+// level's directory reconciliations (pass 3) run on a bounded worker
+// pool (Options.RecoverWorkers); per-chunk results merge in index order,
+// so the report and the recovered state are identical to a serial run.
 //
 // When repair is false the device is not modified (fsck dry-run); the
 // returned controller is still usable for inspection but repairs that
@@ -59,76 +113,128 @@ func Mount(dev *pmem.Device, opts Options, repair bool) (*Controller, *Report, e
 	opts.InodeCap = g.InodeCap
 	c := newController(dev, g, opts)
 	rep := &Report{}
+	workers := recoverWorkers(opts)
 
-	// Pass 1: read the shadow table — the trusted ground truth.
-	for ino := uint64(1); ino < g.InodeCap; ino++ {
-		sin, ex, ok, corrupt := layout.ReadShadow(dev, g, ino)
-		if corrupt {
-			return nil, nil, fmt.Errorf("kernel: shadow record %d corrupt; shadow table writes are fenced, device damaged", ino)
+	// Pass 1: read the shadow table — the trusted ground truth — in
+	// contiguous inode chunks. Workers only parse; the merge into the
+	// shard maps is sequential, in chunk order.
+	type p1ent struct {
+		ino uint64
+		se  *shadowEnt
+	}
+	nchunk := workers
+	span := (g.InodeCap - 1 + uint64(nchunk) - 1) / uint64(nchunk)
+	if span == 0 {
+		span = 1
+	}
+	chunkEnts := make([][]p1ent, nchunk)
+	chunkErr := make([]error, nchunk)
+	parallelEach(workers, nchunk, func(_, i int) {
+		lo := 1 + uint64(i)*span
+		hi := lo + span
+		if hi > g.InodeCap {
+			hi = g.InodeCap
 		}
-		if !ok || !ex.Committed {
-			// Pending shadows (crash before the child committed) are
-			// dropped: the creation never completed.
-			continue
+		for ino := lo; ino < hi; ino++ {
+			sin, ex, ok, corrupt := layout.ReadShadow(dev, g, ino)
+			if corrupt {
+				chunkErr[i] = fmt.Errorf("kernel: shadow record %d corrupt; shadow table writes are fenced, device damaged", ino)
+				return
+			}
+			if !ok || !ex.Committed {
+				// Pending shadows (crash before the child committed) are
+				// dropped: the creation never completed.
+				continue
+			}
+			se := &shadowEnt{
+				info:  shadowInfoOf(ino, &sin, ex.ChildCount, true),
+				inode: sin,
+			}
+			if ex.Inaccessible {
+				se.inaccessible = true
+			}
+			chunkEnts[i] = append(chunkEnts[i], p1ent{ino, se})
 		}
-		c.shadows[ino] = &shadowEnt{
-			info:  shadowInfoOf(ino, &sin, ex.ChildCount, true),
-			inode: sin,
+	})
+	for i := 0; i < nchunk; i++ {
+		if chunkErr[i] != nil {
+			return nil, nil, chunkErr[i]
 		}
-		if ex.Inaccessible {
-			c.shadows[ino].inaccessible = true
+		for _, e := range chunkEnts[i] {
+			c.shardOf(e.ino).m[e.ino] = e.se
 		}
 	}
-	if _, ok := c.shadows[layout.RootIno]; !ok {
+	if c.shadowGet(layout.RootIno, nil) == nil {
 		return nil, nil, fmt.Errorf("kernel: no committed root shadow")
 	}
 
 	// Pass 2: restore LibFS inode records that disagree with the shadow
-	// (zeroed or torn by a crash mid-create).
-	for ino, se := range c.shadows {
+	// (zeroed or torn by a crash mid-create). Each inode's check and
+	// repair is independent; per-worker counters sum deterministically.
+	inos := c.sortedInos()
+	restored := make([]int, workers)
+	parallelEach(workers, len(inos), func(w, i int) {
+		ino := inos[i]
+		se := c.shadowGet(ino, nil)
 		in, ok, corrupt := layout.ReadInode(dev, g, ino)
 		if ok && !corrupt && in.Type == se.info.Type && in.DataRoot == se.info.DataRoot {
-			continue
+			return
 		}
-		rep.RestoredInodes++
+		restored[w]++
 		if repair {
 			layout.WriteInode(dev, g, ino, &se.inode)
 			dev.Persist(layout.InodeOff(g, ino), layout.InodeSize)
 		}
+	})
+	for _, n := range restored {
+		rep.RestoredInodes += n
 	}
 
 	// Pass 3: reachability walk from the root, reconciling each
-	// directory's dentry log against the shadow table.
+	// directory's dentry log against the shadow table. Directories on
+	// the same level are independent (an entry only survives under its
+	// shadow-verified parent), so each level fans out on the pool;
+	// children and report deltas merge in level order, keeping the walk
+	// order — and every repair — identical to a serial BFS.
 	reachable := map[uint64]bool{layout.RootIno: true}
-	queue := []uint64{layout.RootIno}
-	for len(queue) > 0 {
-		dirIno := queue[0]
-		queue = queue[1:]
-		se := c.shadows[dirIno]
-		if se.info.Type != layout.TypeDir {
-			continue
-		}
-		children := c.reconcileDir(dirIno, se, rep, repair)
-		// Recount children after repair.
-		se.info.ChildCount = uint32(len(children))
-		if repair {
-			c.writeShadowLocked(se)
-		}
-		for _, child := range children {
-			if !reachable[child] {
-				reachable[child] = true
-				queue = append(queue, child)
+	level := []uint64{layout.RootIno}
+	for len(level) > 0 {
+		levelChildren := make([][]uint64, len(level))
+		levelReps := make([]Report, len(level))
+		parallelEach(workers, len(level), func(_, i int) {
+			se := c.shadowGet(level[i], nil)
+			if se.info.Type != layout.TypeDir {
+				return
+			}
+			children := c.reconcileDir(level[i], se, &levelReps[i], repair)
+			// Recount children after repair.
+			se.info.ChildCount = uint32(len(children))
+			if repair {
+				c.writeShadow(se)
+			}
+			levelChildren[i] = children
+		})
+		var next []uint64
+		for i := range level {
+			rep.CorruptDentries += levelReps[i].CorruptDentries
+			rep.DanglingEntries += levelReps[i].DanglingEntries
+			for _, child := range levelChildren[i] {
+				if !reachable[child] {
+					reachable[child] = true
+					next = append(next, child)
+				}
 			}
 		}
+		level = next
 	}
 
 	// Pass 4: free unreachable committed inodes (orphans).
 	var orphans []uint64
-	for ino := range c.shadows {
+	c.shadowRange(func(ino uint64, se *shadowEnt) {
 		if !reachable[ino] {
 			orphans = append(orphans, ino)
 		}
-	}
+	})
 	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
 	for _, ino := range orphans {
 		rep.OrphanInodes++
@@ -138,19 +244,25 @@ func Mount(dev *pmem.Device, opts Options, repair bool) (*Controller, *Report, e
 			layout.FreeShadow(dev, g, ino)
 			layout.PersistShadow(dev, g, ino)
 		}
-		delete(c.shadows, ino)
+		c.shadowDelete(ino, nil)
 	}
 
 	// Pass 5: rebuild page ownership and the allocator from the
-	// surviving tree.
+	// surviving tree. Workers enumerate each inode's pages; the merge —
+	// owner words and the used set — is sequential in sorted inode
+	// order, so duplicate claims resolve deterministically.
+	rep.CommittedInodes = c.shadowCount()
+	inos = c.sortedInos()
+	inoPageLists := make([][]uint64, len(inos))
+	parallelEach(workers, len(inos), func(_, i int) {
+		inoPageLists[i] = c.inodePages(inos[i], c.shadowGet(inos[i], nil))
+	})
 	var usedPages []uint64
-	rep.CommittedInodes = len(c.shadows)
-	for ino, se := range c.shadows {
-		pages := c.inodePages(ino, se)
-		for _, p := range pages {
+	for i, ino := range inos {
+		for _, p := range inoPageLists[i] {
 			c.pages[p] = ownIno(ino)
 		}
-		usedPages = append(usedPages, pages...)
+		usedPages = append(usedPages, inoPageLists[i]...)
 	}
 	c.alloc = pmalloc.NewExcluding(g, usedPages...)
 	// Everything not referenced by the surviving tree returns to the free
@@ -159,11 +271,22 @@ func Mount(dev *pmem.Device, opts Options, repair bool) (*Controller, *Report, e
 
 	// Pass 6: rebuild the inode free list.
 	for ino := g.InodeCap - 1; ino >= 2; ino-- {
-		if _, used := c.shadows[ino]; !used {
+		if _, used := c.shardOf(ino).m[ino]; !used {
 			c.inoFree = append(c.inoFree, ino)
 		}
 	}
 	return c, rep, nil
+}
+
+// sortedInos lists every shadow entry's inode number in ascending order
+// (mount-time callers; no locking discipline needed).
+func (c *Controller) sortedInos() []uint64 {
+	inos := make([]uint64, 0, c.shadowCount())
+	c.shadowRange(func(ino uint64, se *shadowEnt) {
+		inos = append(inos, ino)
+	})
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	return inos
 }
 
 // reconcileDir scans dirIno's dentry log, invalidating corrupt records
@@ -204,8 +327,8 @@ func (c *Controller) reconcileDir(dirIno uint64, se *shadowEnt, rep *Report, rep
 				rep.DanglingEntries++
 				drop = true
 			default:
-				child, ok := c.shadows[rd.Ino]
-				if !ok || child.info.Parent != dirIno {
+				child := c.shadowGet(rd.Ino, nil)
+				if child == nil || child.info.Parent != dirIno {
 					// Never committed, or verified under another parent.
 					rep.DanglingEntries++
 					drop = true

@@ -1,0 +1,313 @@
+package kernel
+
+import (
+	"sync/atomic"
+	"time"
+
+	"arckfs/internal/hlock"
+)
+
+// Control-plane sharding (scalability work item): the controller's
+// metadata is split into lock-striped shards so independent crossings on
+// different inodes proceed in parallel instead of convoying behind one
+// global mutex.
+//
+// Concurrency scheme — a big-reader epoch over fine-grained shards:
+//
+//   - Single-inode crossings (Acquire, file Release/Commit, grants,
+//     ReturnPages, SetACL, ...) run under epoch.RLock plus the target
+//     shard's spinlock. Shared state off the fast inode path (the app
+//     table, page-owner words, ACL overrides) is guarded by its own
+//     short leaf locks, so fast-path holders never take two locks of the
+//     same class.
+//   - Multi-inode crossings (directory Release/Commit, which can create,
+//     relocate, or free children across shards; ForceRelease; expired-
+//     lease reclaim) take epoch.Lock, draining every fast-path holder:
+//     the exclusive holder owns the whole controller, exactly like the
+//     old global mutex, so cross-inode atomicity is unchanged.
+//
+// The declared lock order (see internal/analysis lockorder) is
+// Controller.epoch < shadowShard.mu < Controller.appsMu < pageStripe.mu
+// < aclShard.mu < Mapping.mu.
+
+const (
+	nShadowShards = 16
+	nPageStripes  = 16
+	nACLShards    = 8
+)
+
+// shadowShard holds a stripe of the shadow-inode table. The counters
+// feed the kernel.shard.* telemetry and arckshell's `shards` command.
+type shadowShard struct {
+	mu           hlock.SpinLock
+	m            map[uint64]*shadowEnt
+	acquisitions atomic.Int64
+	contended    atomic.Int64
+}
+
+// pageStripe guards a stripe of the page-owner array.
+type pageStripe struct {
+	mu           hlock.SpinLock
+	acquisitions atomic.Int64
+	contended    atomic.Int64
+}
+
+// aclShard holds a stripe of the per-app permission overrides.
+type aclShard struct {
+	mu           hlock.SpinLock
+	m            map[aclKey]uint16
+	acquisitions atomic.Int64
+	contended    atomic.Int64
+}
+
+func (c *Controller) shardOf(ino uint64) *shadowShard {
+	return &c.shadowTab[ino%nShadowShards]
+}
+
+func (c *Controller) stripeOf(page uint64) *pageStripe {
+	return &c.pageStripe[page%nPageStripes]
+}
+
+func (c *Controller) aclShardOf(ino uint64) *aclShard {
+	return &c.aclTab[ino%nACLShards]
+}
+
+// enterExcl begins an exclusive (multi-inode) crossing: every fast-path
+// holder drains before it returns.
+func (c *Controller) enterExcl() {
+	c.epoch.Lock()
+	c.Stats.EpochExclusive.Add(1)
+}
+
+func (c *Controller) exitExcl() { c.epoch.Unlock() }
+
+// enterShared begins a single-inode crossing. With Options.Serialize the
+// controller degrades to the pre-sharding single-global-lock behaviour
+// (the A/B baseline in EXPERIMENTS.md): every crossing is exclusive.
+func (c *Controller) enterShared() {
+	if c.opts.Serialize {
+		c.enterExcl()
+		return
+	}
+	c.epoch.RLock()
+}
+
+func (c *Controller) exitShared() {
+	if c.opts.Serialize {
+		c.exitExcl()
+		return
+	}
+	c.epoch.RUnlock()
+}
+
+// shadowGet looks ino up in its shard. held, if non-nil, is a shard the
+// caller already holds: lookups that land on it use the lock already
+// held instead of re-acquiring (fast-path callers pass their own shard;
+// exclusive-epoch callers pass nil and take the brief leaf lock).
+func (c *Controller) shadowGet(ino uint64, held *shadowShard) *shadowEnt {
+	sh := c.shardOf(ino)
+	if sh == held {
+		return sh.m[ino]
+	}
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		sh.mu.Lock()
+	}
+	sh.acquisitions.Add(1)
+	se := sh.m[ino]
+	sh.mu.Unlock()
+	return se
+}
+
+// shadowPut inserts ino's entry, with the same held-shard convention as
+// shadowGet.
+func (c *Controller) shadowPut(ino uint64, se *shadowEnt, held *shadowShard) {
+	sh := c.shardOf(ino)
+	if sh == held {
+		sh.m[ino] = se
+		return
+	}
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		sh.mu.Lock()
+	}
+	sh.acquisitions.Add(1)
+	sh.m[ino] = se
+	sh.mu.Unlock()
+}
+
+// shadowDelete removes ino's entry, with the same held-shard convention
+// as shadowGet.
+func (c *Controller) shadowDelete(ino uint64, held *shadowShard) {
+	sh := c.shardOf(ino)
+	if sh == held {
+		delete(sh.m, ino)
+		return
+	}
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		sh.mu.Lock()
+	}
+	sh.acquisitions.Add(1)
+	delete(sh.m, ino)
+	sh.mu.Unlock()
+}
+
+// shadowRange calls fn for every shadow entry. Exclusive epoch or
+// single-threaded (mount/recovery) callers only.
+func (c *Controller) shadowRange(fn func(ino uint64, se *shadowEnt)) {
+	for i := range c.shadowTab {
+		for ino, se := range c.shadowTab[i].m {
+			fn(ino, se)
+		}
+	}
+}
+
+// shadowCount returns the number of shadow entries (exclusive epoch or
+// mount-time callers).
+func (c *Controller) shadowCount() int {
+	n := 0
+	for i := range c.shadowTab {
+		n += len(c.shadowTab[i].m)
+	}
+	return n
+}
+
+// pageOwnerAt reads one page-owner word under its stripe lock.
+func (c *Controller) pageOwnerAt(page uint64) pageOwner {
+	ps := c.stripeOf(page)
+	if !ps.mu.TryLock() {
+		ps.contended.Add(1)
+		ps.mu.Lock()
+	}
+	ps.acquisitions.Add(1)
+	o := c.pages[page]
+	ps.mu.Unlock()
+	return o
+}
+
+// setPageOwner writes one page-owner word under its stripe lock.
+func (c *Controller) setPageOwner(page uint64, o pageOwner) {
+	ps := c.stripeOf(page)
+	if !ps.mu.TryLock() {
+		ps.contended.Add(1)
+		ps.mu.Lock()
+	}
+	ps.acquisitions.Add(1)
+	c.pages[page] = o
+	ps.mu.Unlock()
+}
+
+// casPageOwner sets page's owner to next only if it currently equals
+// prev, reporting whether the swap happened.
+func (c *Controller) casPageOwner(page uint64, prev, next pageOwner) bool {
+	ps := c.stripeOf(page)
+	if !ps.mu.TryLock() {
+		ps.contended.Add(1)
+		ps.mu.Lock()
+	}
+	ps.acquisitions.Add(1)
+	swapped := c.pages[page] == prev
+	if swapped {
+		c.pages[page] = next
+	}
+	ps.mu.Unlock()
+	return swapped
+}
+
+// lookupApp returns the registered app, or nil.
+func (c *Controller) lookupApp(id AppID) *app {
+	if !c.appsMu.TryLock() {
+		c.appsContended.Add(1)
+		c.appsMu.Lock()
+	}
+	c.appsAcquisitions.Add(1)
+	a := c.apps[id]
+	c.appsMu.Unlock()
+	return a
+}
+
+// inoGranted reports whether ino was granted to app and not yet bound to
+// a committed creation.
+func (c *Controller) inoGranted(id AppID, ino uint64) bool {
+	if !c.appsMu.TryLock() {
+		c.appsContended.Add(1)
+		c.appsMu.Lock()
+	}
+	c.appsAcquisitions.Add(1)
+	a := c.apps[id]
+	ok := a != nil && a.grantedInos[ino]
+	c.appsMu.Unlock()
+	return ok
+}
+
+// ungrant drops ino from app's granted set (the creation committed).
+func (c *Controller) ungrant(id AppID, ino uint64) {
+	if !c.appsMu.TryLock() {
+		c.appsContended.Add(1)
+		c.appsMu.Lock()
+	}
+	c.appsAcquisitions.Add(1)
+	if a := c.apps[id]; a != nil {
+		delete(a.grantedInos, ino)
+	}
+	c.appsMu.Unlock()
+}
+
+// pushInoFree returns ino to the free-number pool.
+func (c *Controller) pushInoFree(ino uint64) {
+	if !c.appsMu.TryLock() {
+		c.appsContended.Add(1)
+		c.appsMu.Lock()
+	}
+	c.appsAcquisitions.Add(1)
+	c.inoFree = append(c.inoFree, ino)
+	c.appsMu.Unlock()
+}
+
+// ShardStat is one shard's lock-traffic counters (telemetry; the
+// arckshell `shards` command renders these).
+type ShardStat struct {
+	Kind         string // "shadow", "page", "acl", "apps"
+	Index        int
+	Acquisitions int64
+	Contended    int64
+}
+
+// ShardStats snapshots per-shard lock acquisition and contention
+// counters for every stripe of the control-plane state.
+func (c *Controller) ShardStats() []ShardStat {
+	out := make([]ShardStat, 0, nShadowShards+nPageStripes+nACLShards+1)
+	for i := range c.shadowTab {
+		sh := &c.shadowTab[i]
+		out = append(out, ShardStat{"shadow", i, sh.acquisitions.Load(), sh.contended.Load()})
+	}
+	for i := range c.pageStripe {
+		ps := &c.pageStripe[i]
+		out = append(out, ShardStat{"page", i, ps.acquisitions.Load(), ps.contended.Load()})
+	}
+	for i := range c.aclTab {
+		as := &c.aclTab[i]
+		out = append(out, ShardStat{"acl", i, as.acquisitions.Load(), as.contended.Load()})
+	}
+	out = append(out, ShardStat{"apps", 0, c.appsAcquisitions.Load(), c.appsContended.Load()})
+	return out
+}
+
+// shardTelemetry sums a counter over every shard.
+func (c *Controller) shardTelemetry(contended bool) int64 {
+	var n int64
+	for _, s := range c.ShardStats() {
+		if contended {
+			n += s.Contended
+		} else {
+			n += s.Acquisitions
+		}
+	}
+	return n
+}
+
+// now reads the (swappable, race-safe) lease clock.
+func (c *Controller) now() time.Time {
+	return (*c.clock.Load())()
+}

@@ -14,6 +14,7 @@ package libfs
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"arckfs/internal/costmodel"
 	"arckfs/internal/fsapi"
@@ -119,6 +120,13 @@ type Options struct {
 	// schedule. Benchmarks use it to A/B the batcher; fence placement
 	// (and so crash semantics) is identical in both modes.
 	EagerPersist bool
+	// NoLeases disables the grant-lease fast paths: voluntary releases
+	// tear the mapping down instead of leaving it dormant, re-acquires
+	// always cross into the kernel, and page grants are not over-granted
+	// into a reserve. Benchmarks use it (together with
+	// kernel.Options.Serialize) as the pre-scaling control-plane
+	// baseline.
+	NoLeases bool
 }
 
 func (o *Options) fill() {
@@ -152,6 +160,11 @@ type FS struct {
 
 	pageMu   [8]hlock.SpinLock
 	pagePool [8][]uint64
+	// pageReserve is the page half of the grant lease: each refill
+	// over-grants and parks the surplus here, so the next dry stripe
+	// restocks without a crossing. Guarded by the stripe's pageMu.
+	pageReserve    [8][]uint64
+	pageReserveExp [8]time.Time
 
 	nthreads atomic.Int64
 	clock    atomic.Uint64 // logical mtime source
@@ -167,11 +180,19 @@ type FS struct {
 }
 
 // Stats counts LibFS events of interest to telemetry: remaps after an
-// involuntary revocation (§4.3 patched path) and re-acquisitions of
-// voluntarily released inodes.
+// involuntary revocation (§4.3 patched path), re-acquisitions of
+// voluntarily released inodes that crossed into the kernel, and the
+// grant-lease outcomes. A LeaseHit is a kernel crossing that did not
+// happen — a dormant mapping reactivated in place, or a page taken from
+// the pre-granted reserve — and every hit also increments
+// SyscallsAvoided (kept separate so the ratio stays meaningful if the
+// two ever diverge). A LeaseMiss fell back to a real crossing.
 type Stats struct {
-	Remaps     atomic.Int64
-	Reacquires atomic.Int64
+	Remaps          atomic.Int64
+	Reacquires      atomic.Int64
+	LeaseHits       atomic.Int64
+	LeaseMisses     atomic.Int64
+	SyscallsAvoided atomic.Int64
 }
 
 // SetTelemetry attaches the owning system's counter set (core.NewApp
@@ -242,24 +263,72 @@ func (fs *FS) recycleIno(ino uint64) {
 	fs.inoMu.Unlock()
 }
 
+// pageReserveTTL bounds how long a parked page reserve still counts as
+// "recently granted" for lease accounting. Consuming an expired reserve
+// is still legal (the pages remain granted to this app); it just counts
+// as a miss instead of a hit.
+const pageReserveTTL = 2 * time.Second
+
 // allocPage takes a granted page, refilling from the kernel when the
-// stripe runs dry.
+// stripe runs dry. With leases enabled a dry stripe first consumes its
+// reserve — pages the kernel already granted on a previous crossing — so
+// the refill costs no syscall; only when both pool and reserve are empty
+// does the stripe cross, over-granting to restock both halves.
 func (fs *FS) allocPage(cpu int) (uint64, error) {
 	s := uint(cpu) % 8
 	fs.pageMu[s].Lock()
+	if len(fs.pagePool[s]) == 0 && len(fs.pageReserve[s]) > 0 {
+		fs.pagePool[s] = fs.pageReserve[s]
+		fs.pageReserve[s] = nil
+		if time.Now().Before(fs.pageReserveExp[s]) {
+			fs.Stats.LeaseHits.Add(1)
+			fs.Stats.SyscallsAvoided.Add(1)
+		} else {
+			fs.Stats.LeaseMisses.Add(1)
+		}
+	}
 	if len(fs.pagePool[s]) == 0 {
 		fs.pageMu[s].Unlock()
-		batch, err := fs.ctrl.GrantPages(fs.app, cpu, fs.opts.GrantPageBatch)
+		batch, reserve, err := fs.grantPageBatch(cpu)
 		if err != nil {
 			return 0, err
 		}
 		fs.pageMu[s].Lock()
 		fs.pagePool[s] = append(fs.pagePool[s], batch...)
+		if len(reserve) > 0 {
+			if len(fs.pageReserve[s]) == 0 {
+				fs.pageReserve[s] = reserve
+				fs.pageReserveExp[s] = time.Now().Add(pageReserveTTL)
+			} else {
+				// A racing refill already parked a reserve; ours goes
+				// straight to the pool.
+				fs.pagePool[s] = append(fs.pagePool[s], reserve...)
+			}
+		}
 	}
 	p := fs.pagePool[s][len(fs.pagePool[s])-1]
 	fs.pagePool[s] = fs.pagePool[s][:len(fs.pagePool[s])-1]
 	fs.pageMu[s].Unlock()
 	return p, nil
+}
+
+// grantPageBatch performs the kernel page-grant crossing. With leases it
+// asks for double the batch and splits the result into an immediate pool
+// and a parked reserve; when the double grant fails (a small device near
+// capacity) it falls back to a plain single grant so leases never turn a
+// satisfiable allocation into ENOSPC.
+func (fs *FS) grantPageBatch(cpu int) (pool, reserve []uint64, err error) {
+	n := fs.opts.GrantPageBatch
+	if !fs.opts.NoLeases {
+		if batch, err := fs.ctrl.GrantPages(fs.app, cpu, 2*n); err == nil {
+			return batch[:n], batch[n:], nil
+		}
+	}
+	batch, err := fs.ctrl.GrantPages(fs.app, cpu, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return batch, nil, nil
 }
 
 // recyclePages returns never-verified pages to the pool.

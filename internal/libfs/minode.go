@@ -155,7 +155,31 @@ func (fs *FS) remap(mi *minode) error {
 }
 
 // reacquire remaps a released inode (§4.3 patch path: aux was retained).
+//
+// With grant leases, a voluntary release left the mapping dormant in the
+// kernel instead of tearing it down; if no other application reclaimed
+// the inode in the meantime, the CAS in Reactivate wins it back without
+// a kernel crossing, and the retained auxiliary state is still exact
+// because a dormant inode's core state cannot have changed (any change
+// requires a reclaim, which fails the CAS). Only on a lost CAS — the
+// kernel revoked the lease — does this fall back to a real Acquire.
 func (fs *FS) reacquire(mi *minode) error {
+	if !fs.opts.NoLeases {
+		mi.lock.Lock()
+		if !mi.released.Load() {
+			mi.lock.Unlock()
+			return nil // lost the race to another re-acquirer
+		}
+		if mi.mapping.Reactivate() {
+			mi.released.Store(false)
+			mi.lock.Unlock()
+			fs.Stats.LeaseHits.Add(1)
+			fs.Stats.SyscallsAvoided.Add(1)
+			return nil
+		}
+		mi.lock.Unlock()
+		fs.Stats.LeaseMisses.Add(1)
+	}
 	fs.Stats.Reacquires.Add(1)
 	m, err := fs.ctrl.Acquire(fs.app, mi.ino, true)
 	if err != nil {

@@ -3,6 +3,7 @@ package libfs
 import (
 	"sort"
 
+	"arckfs/internal/kernel"
 	"arckfs/internal/layout"
 )
 
@@ -94,7 +95,21 @@ func (fs *FS) ReleaseInode(ino uint64) error {
 	if mi.dir != nil {
 		unlockAll = mi.dir.ht.LockAll()
 	}
-	err := fs.ctrl.Release(fs.app, ino)
+	var err error
+	if fs.opts.NoLeases {
+		err = fs.ctrl.Release(fs.app, ino)
+	} else {
+		// Leased release: the kernel verifies and applies exactly as a
+		// plain release, but keeps the mapping alive in a dormant state
+		// so a later reacquire can win it back without a crossing. The
+		// returned mapping also covers inodes this LibFS built itself
+		// and never mapped (mi.mapping == nil until now).
+		var m *kernel.Mapping
+		m, err = fs.ctrl.ReleaseLeased(fs.app, ino)
+		if err == nil && m != nil {
+			mi.mapping = m
+		}
+	}
 	mi.released.Store(true)
 	if unlockAll != nil {
 		unlockAll()

@@ -40,6 +40,14 @@ const (
 	EvRenameLockRelease
 	// EvCrashSnapshot: a crash image was materialized. A = crash policy.
 	EvCrashSnapshot
+	// EvGrantInodes / EvGrantPages: the kernel granted fresh inode
+	// numbers / pages to an application. A = count requested.
+	EvGrantInodes
+	EvGrantPages
+	// EvReturnPages: an application returned granted pages. A = count.
+	EvReturnPages
+	// EvSetACL: a per-app permission override was installed. A = perm.
+	EvSetACL
 )
 
 var eventKindNames = map[EventKind]string{
@@ -55,6 +63,10 @@ var eventKindNames = map[EventKind]string{
 	EvRenameLockAcquire: "rename-lock-acquire",
 	EvRenameLockRelease: "rename-lock-release",
 	EvCrashSnapshot:     "crash-snapshot",
+	EvGrantInodes:       "grant-inodes",
+	EvGrantPages:        "grant-pages",
+	EvReturnPages:       "return-pages",
+	EvSetACL:            "set-acl",
 }
 
 func (k EventKind) String() string {
