@@ -31,6 +31,7 @@ import (
 	"arckfs/internal/libfs"
 	"arckfs/internal/pmem"
 	"arckfs/internal/telemetry"
+	"arckfs/internal/telemetry/span"
 )
 
 // Mode selects the system preset.
@@ -97,6 +98,11 @@ type Options struct {
 	// LeaseTTL bounds how long an application can hold an inode another
 	// application waits for.
 	LeaseTTL time.Duration
+	// SpanSampling enables arcktrace causal span tracing: 1 traces every
+	// operation, N traces one in N (rounded up to a power of two). 0 (the
+	// default) leaves the tracer attached but disabled; Tracer() can flip
+	// it on later.
+	SpanSampling int
 }
 
 // System is a formatted, mounted instance of the Trio architecture.
@@ -111,12 +117,13 @@ func New(opts Options) (*System, error) {
 		cost = costmodel.Default()
 	}
 	sys, err := core.NewSystem(core.Config{
-		Mode:     opts.Mode,
-		DevSize:  opts.DevSize,
-		InodeCap: opts.InodeCap,
-		Cost:     cost,
-		Tracking: opts.CrashTracking,
-		LeaseTTL: opts.LeaseTTL,
+		Mode:         opts.Mode,
+		DevSize:      opts.DevSize,
+		InodeCap:     opts.InodeCap,
+		Cost:         cost,
+		Tracking:     opts.CrashTracking,
+		LeaseTTL:     opts.LeaseTTL,
+		SpanSampling: opts.SpanSampling,
 	})
 	if err != nil {
 		return nil, err
@@ -132,10 +139,11 @@ func Recover(img []byte, opts Options) (*System, *Report, error) {
 		cost = costmodel.Default()
 	}
 	sys, rep, err := core.Recover(img, core.Config{
-		Mode:     opts.Mode,
-		Cost:     cost,
-		Tracking: opts.CrashTracking,
-		LeaseTTL: opts.LeaseTTL,
+		Mode:         opts.Mode,
+		Cost:         cost,
+		Tracking:     opts.CrashTracking,
+		LeaseTTL:     opts.LeaseTTL,
+		SpanSampling: opts.SpanSampling,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -200,6 +208,36 @@ func (s *System) Telemetry() *telemetry.Set { return s.sys.Telemetry() }
 
 // Trace returns the bounded ring of kernel-crossing events.
 func (s *System) Trace() *telemetry.Ring { return s.sys.Ctrl.Trace() }
+
+// Span is one traced operation: app, op kind, duration, and the causal
+// child events it collected (flushes, fences, kernel crossings, lease
+// hits, shard waits) — see internal/telemetry/span.
+type Span = span.Span
+
+// SpanTracer samples operations into per-thread span rings.
+type SpanTracer = span.Tracer
+
+// FlightRecord is a dump of recently retained spans, written as a JSON
+// artifact when an invariant breach or fsck failure is detected.
+type FlightRecord = span.FlightRecord
+
+// AppStat is one application's attribution row: operations, kernel
+// crossings, persist traffic, and sampled operation latency.
+type AppStat = telemetry.AppStat
+
+// Tracer returns the arcktrace span tracer (always attached; enabled per
+// Options.SpanSampling or at runtime via its SetEnabled).
+func (s *System) Tracer() *SpanTracer { return s.sys.Tracer() }
+
+// Spans returns the currently retained sampled spans, oldest first.
+func (s *System) Spans() []*Span { return s.sys.Tracer().Snapshot() }
+
+// SlowestSpans returns up to n retained spans by descending duration.
+func (s *System) SlowestSpans(n int) []*Span { return s.sys.Tracer().Slowest(n) }
+
+// AppStats returns the per-application attribution snapshot, sorted by
+// app ID.
+func (s *System) AppStats() []AppStat { return s.sys.AppStats() }
 
 // DeviceStats returns persistence-event counters (stores, flushes,
 // fences) of the simulated device.

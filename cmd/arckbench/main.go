@@ -6,12 +6,17 @@
 //	arckbench -exp figure3|figure4|table2|dataScale|fxmark|filebench|leveldb|table4|crashmc|all \
 //	          [-threads 1,2,4,8,16,32,48] [-ops 20000] [-dev 512] [-fast] \
 //	          [-systems arckfs,arckfs+,nova,pmfs,kucofs] [-persist batched|eager] \
-//	          [-serial-kernel] [-json out.json]
+//	          [-serial-kernel] [-json out.json] [-sha <commit>] [-timestamp <rfc3339>]
 //
 // -json writes a machine-readable run record alongside the rendered
-// tables: configuration, then one cell per measurement with ops/sec,
-// sampled latency percentiles (p50/p90/p99/max), and telemetry counter
-// deltas (flushes, fences, ntstores, syscalls — absolute and per-op).
+// tables: provenance (git commit, wall time, deterministic config
+// hash), configuration, then one cell per measurement with ops/sec,
+// sampled latency percentiles (p50/p90/p99/max), telemetry counter
+// deltas (flushes, fences, ntstores, syscalls — absolute and per-op),
+// and the per-app attribution delta. -sha and -timestamp override the
+// recorded provenance (defaults: $GITHUB_SHA and the wall clock, both
+// read outside any measured region) — benchcheck -record keys the perf
+// trajectory on them.
 //
 // -persist eager disables the LibFS write-combining persist batcher;
 // pairing a batched and an eager run of the same experiment quantifies
@@ -54,6 +59,8 @@ func main() {
 	bigMB := flag.Uint64("share-big", 256, "Table 4 big shared-file size (MiB; paper uses 1024)")
 	trials := flag.Int("trials", 3, "best-of-N trials for single-thread cells")
 	jsonOut := flag.String("json", "", "write a machine-readable run record to this path")
+	sha := flag.String("sha", os.Getenv("GITHUB_SHA"), "git commit recorded in the run record (provenance only)")
+	timestamp := flag.String("timestamp", "", "RFC3339 wall time recorded in the run record (default: now, read outside any measured region)")
 	persist := flag.String("persist", "batched", "ArckFS persist schedule: batched or eager")
 	serial := flag.Bool("serial-kernel", false, "run the ArckFS kernels single-locked and lease-free (control-plane A/B baseline)")
 	flag.Parse()
@@ -93,6 +100,7 @@ func main() {
 	}
 	if *jsonOut != "" {
 		cfg.Rec = experiments.NewRecorder(cfg)
+		cfg.Rec.SetProvenance(*sha, *timestamp)
 	}
 
 	run := func(name string, fn func() error) {

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +55,7 @@ func main() {
 			for _, v := range vs {
 				fmt.Fprintln(os.Stderr, "deep check:", v)
 			}
+			writeFlight(path, img, "arckfsck-deep", vs[0].String())
 			os.Exit(1)
 		}
 		fmt.Println("deep check: recovery invariants hold")
@@ -78,8 +80,33 @@ func main() {
 	}
 	fmt.Println(rep)
 	if !rep.Clean() {
+		writeFlight(path, img, "arckfsck", rep.String())
 		os.Exit(1)
 	}
+}
+
+// writeFlight dumps a flight record next to a flagged image
+// (<image>.flight.json): the image is re-mounted with every-operation
+// span tracing, so the record carries the timed recovery passes of the
+// repair attempt alongside the reason the image was flagged.
+func writeFlight(imgPath string, img []byte, reason, detail string) {
+	sys, _, err := arckfs.Recover(img, arckfs.Options{SpanSampling: 1})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flight record: recovery replay failed: %v\n", err)
+		return
+	}
+	fr := sys.Tracer().Flight(reason, detail)
+	data, err := json.MarshalIndent(fr, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flight record:", err)
+		return
+	}
+	out := imgPath + ".flight.json"
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "flight record:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "flight record: %s (%d spans)\n", out, len(fr.Spans))
 }
 
 func runDemo() {

@@ -19,7 +19,13 @@
 //	crash                     simulate a power failure and remount
 //	stats                     live telemetry snapshot (JSON, all counters)
 //	shards                    per-shard kernel lock counters (contention)
-//	trace [n]                 last n kernel-crossing events (default 16)
+//	trace [n] [filter...]     last n kernel-crossing events (default 16);
+//	                          filters are kind-name substrings (acquire,
+//	                          commit, grant, verify...) or app=<id>
+//	spans [n]                 slowest recent operation spans (default 10)
+//	                          with their causal event history
+//	top                       per-app attribution: rank tenants by
+//	                          crossings, persist traffic, and p99
 //	lint                      run the arcklint checkers over this source tree
 //	crashmc [name]            run the crash-state model-checking campaign
 //	                          (or just the configs whose name contains name)
@@ -30,16 +36,20 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"arckfs"
 	"arckfs/internal/analysis"
 	"arckfs/internal/crashmc"
+	"arckfs/internal/telemetry"
 )
 
 func main() {
-	sys, err := arckfs.New(arckfs.Options{DevSize: 128 << 20, CrashTracking: true})
+	// SpanSampling 1: the shell is interactive, so every operation gets a
+	// causal span — `spans` then explains any slow command just typed.
+	sys, err := arckfs.New(arckfs.Options{DevSize: 128 << 20, CrashTracking: true, SpanSampling: 1})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -68,7 +78,7 @@ func main() {
 		var err error
 		switch cmd {
 		case "help":
-			fmt.Println("mkdir create write cat ls stat rm rmdir mv trunc release fsck crash stats shards trace lint crashmc quit")
+			fmt.Println("mkdir create write cat ls stat rm rmdir mv trunc release fsck crash stats shards trace spans top lint crashmc quit")
 		case "quit", "exit":
 			return
 		case "mkdir":
@@ -144,7 +154,7 @@ func main() {
 			}
 			img := sys.CrashImage(arckfs.CrashDropAll)
 			var rep *arckfs.Report
-			sys, rep, err = arckfs.Recover(img, arckfs.Options{CrashTracking: true})
+			sys, rep, err = arckfs.Recover(img, arckfs.Options{CrashTracking: true, SpanSampling: 1})
 			if err != nil {
 				break
 			}
@@ -161,26 +171,125 @@ func main() {
 		case "crashmc":
 			err = runCrashmc(arg(0))
 		case "trace":
-			n := 16
+			printTrace(sys, args)
+		case "spans":
+			n := 10
 			if v, convErr := strconv.Atoi(arg(0)); convErr == nil && v > 0 {
 				n = v
 			}
-			evs := sys.Trace().Snapshot()
-			if len(evs) > n {
-				evs = evs[len(evs)-n:]
-			}
-			if len(evs) == 0 {
-				fmt.Println("  (no kernel crossings yet)")
-			}
-			for _, ev := range evs {
-				fmt.Println(" ", ev.String())
-			}
+			printSpans(sys, n)
+		case "top":
+			printTop(sys)
 		default:
 			fmt.Println("  unknown command; try 'help'")
 		}
 		if err != nil {
 			fmt.Println("  error:", err)
 		}
+	}
+}
+
+// printTrace renders the tail of the kernel-crossing ring. args is an
+// optional count followed by filters: kind-name substrings (any may
+// match) and/or one app=<id>.
+func printTrace(sys *arckfs.System, args []string) {
+	n := 16
+	rest := args
+	if len(args) > 0 {
+		if v, err := strconv.Atoi(args[0]); err == nil && v > 0 {
+			n = v
+			rest = args[1:]
+		}
+	}
+	appFilter := int64(-1)
+	var kinds []string
+	for _, f := range rest {
+		if after, ok := strings.CutPrefix(f, "app="); ok {
+			if v, err := strconv.ParseInt(after, 10, 64); err == nil {
+				appFilter = v
+				continue
+			}
+		}
+		kinds = append(kinds, strings.ToLower(f))
+	}
+	var out []telemetry.Event
+	for _, ev := range sys.Trace().Snapshot() {
+		if appFilter >= 0 && ev.App != appFilter {
+			continue
+		}
+		if len(kinds) > 0 {
+			match := false
+			for _, k := range kinds {
+				if strings.Contains(ev.Kind.String(), k) {
+					match = true
+				}
+			}
+			if !match {
+				continue
+			}
+		}
+		out = append(out, ev)
+	}
+	if len(out) > n {
+		out = out[len(out)-n:]
+	}
+	if len(out) == 0 {
+		fmt.Println("  (no matching kernel crossings)")
+	}
+	for _, ev := range out {
+		fmt.Println(" ", ev.String())
+	}
+}
+
+// printSpans renders the slowest retained operation spans with their
+// causal event history — the "why was that slow" view.
+func printSpans(sys *arckfs.System, n int) {
+	spans := sys.SlowestSpans(n)
+	if len(spans) == 0 {
+		fmt.Println("  (no spans recorded yet)")
+		return
+	}
+	for _, sp := range spans {
+		suffix := ""
+		if sp.Err != "" {
+			suffix = " err=" + sp.Err
+		}
+		fmt.Printf("  #%-4d %-8s app=%d %9.2fµs %d event(s)%s\n",
+			sp.ID, sp.Op, sp.App, float64(sp.DurNS)/1e3, len(sp.Events), suffix)
+		for _, ev := range sp.Events {
+			detail := fmt.Sprintf("a=%d b=%d", ev.A, ev.B)
+			if ev.Kind == telemetry.SpanEvCrossing {
+				detail = fmt.Sprintf("%s %.2fµs", telemetry.EventKind(ev.A), float64(ev.B)/1e3)
+			}
+			fmt.Printf("        +%8.2fµs %-12s %s\n",
+				float64(ev.TNS)/1e3, telemetry.SpanEventName(ev.Kind), detail)
+		}
+	}
+}
+
+// printTop renders the per-app attribution table, busiest tenants (by
+// kernel crossings, then operations) first.
+func printTop(sys *arckfs.System) {
+	stats := sys.AppStats()
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Syscalls != stats[j].Syscalls {
+			return stats[i].Syscalls > stats[j].Syscalls
+		}
+		return stats[i].Ops > stats[j].Ops
+	})
+	fmt.Printf("  %4s %8s %9s %8s %7s %9s %10s %10s\n",
+		"app", "ops", "syscalls", "flushes", "fences", "ntstores", "p50", "p99")
+	for _, st := range stats {
+		p50, p99 := "-", "-"
+		if st.Latency != nil {
+			p50 = fmt.Sprintf("%.1fµs", float64(st.Latency.P50NS)/1e3)
+			p99 = fmt.Sprintf("%.1fµs", float64(st.Latency.P99NS)/1e3)
+		}
+		fmt.Printf("  %4d %8d %9d %8d %7d %9d %10s %10s\n",
+			st.App, st.Ops, st.Syscalls, st.Flushes, st.Fences, st.NTStores, p50, p99)
+	}
+	if len(stats) == 0 {
+		fmt.Println("  (no application activity yet)")
 	}
 }
 

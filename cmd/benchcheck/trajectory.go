@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"arckfs/internal/bench/experiments"
+)
+
+// TrajectoryRow is one checked-in measurement: a (workload, fs,
+// threads) cell from one arckbench run, keyed by the configuration
+// hash so only like-for-like runs are compared, and stamped with the
+// commit and date it was recorded under.
+type TrajectoryRow struct {
+	GitSHA     string  `json:"git_sha,omitempty"`
+	Timestamp  string  `json:"timestamp,omitempty"`
+	ConfigHash string  `json:"config_hash"`
+	Workload   string  `json:"workload"`
+	FS         string  `json:"fs"`
+	Threads    int     `json:"threads"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P99NS      int64   `json:"p99_ns,omitempty"`
+}
+
+// TrajectoryFile is the checked-in perf history (BENCH_trajectory.json):
+// append-only rows, oldest first.
+type TrajectoryFile struct {
+	Comment string          `json:"comment,omitempty"`
+	Rows    []TrajectoryRow `json:"rows"`
+}
+
+// key identifies the series a row belongs to.
+func (r TrajectoryRow) key() string {
+	return fmt.Sprintf("%s|%s|%d|%s", r.Workload, r.FS, r.Threads, r.ConfigHash)
+}
+
+// cellRow converts one run-record cell into a trajectory row.
+func cellRow(rec experiments.RunRecord, c experiments.Cell) TrajectoryRow {
+	row := TrajectoryRow{
+		GitSHA:     rec.GitSHA,
+		Timestamp:  rec.Timestamp,
+		ConfigHash: rec.ConfigHash,
+		Workload:   c.Workload,
+		FS:         c.FS,
+		Threads:    c.Threads,
+		OpsPerSec:  c.OpsPerSec,
+	}
+	if c.Latency != nil {
+		row.P99NS = c.Latency.P99NS
+	}
+	return row
+}
+
+// checkTrajectory gates the new records against the checked-in history
+// and appends them: for every new row whose series already has rows,
+// throughput must stay within tolerance of the trailing-window mean.
+// On a regression the file is left untouched (the bad run must not
+// become the baseline) and a nonzero failure count is returned.
+//
+// The comparison is host-speed normalized. Absolute throughput on a
+// shared machine drifts with ambient load — a whole run can land 25%
+// below the history while the code is byte-identical — and a uniform
+// slowdown is indistinguishable from that drift anyway. What a code
+// regression produces that load cannot is a differential signature:
+// one series collapsing while its siblings hold. So the gate first
+// computes each row's ratio to its own trailing-window mean, takes the
+// median ratio across the run as the host-speed factor, and compares
+// each row's ratio against that factor. On a quiet dedicated host the
+// factor sits at ~1 and the gate degenerates to the plain
+// trailing-mean comparison. Runs with fewer than three gated series
+// skip the normalization — a median of one or two rows would just
+// erase the signal it is meant to expose.
+//
+// A below-floor row alone is still not a failure: scheduler noise is
+// heavy-tailed, and on a loaded host a lone cell can land 2x low while
+// every neighbour holds. A code regression does not look like that —
+// it reproduces across the thread counts (and records) of the affected
+// workload. So a row fails the gate only when at least one other row
+// of the same (workload, fs) group is also below floor; a lone
+// below-floor row is reported as a warning and recorded, and the next
+// run's comparison window absorbs it. The cost of the rule is that a
+// regression confined to a workload measured as a single cell can only
+// warn — every workload this repo gates is measured at several thread
+// counts in two experiment records, so nothing currently relies on
+// that edge.
+func checkTrajectory(path string, window int, tolerance float64, recs []experiments.RunRecord) int {
+	var tf TrajectoryFile
+	if err := readJSON(path, &tf); err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			fatal("reading trajectory: %v", err)
+		}
+		tf.Comment = "Per-PR performance trajectory maintained by `benchcheck -record`: one row per " +
+			"(workload, fs, threads) cell per run, keyed by config hash. Appends fail when a row's " +
+			"throughput, normalized by the run's median ratio to history (host-speed drift), drops " +
+			"more than the tolerance below the trailing-window mean of the same series."
+	}
+
+	// Series index over the existing history, oldest first.
+	series := make(map[string][]TrajectoryRow)
+	for _, r := range tf.Rows {
+		series[r.key()] = append(series[r.key()], r)
+	}
+
+	// First pass: resolve each new row's trailing-window mean (0 when
+	// its series has no history yet) and collect the run-wide ratios.
+	type pending struct {
+		row  TrajectoryRow
+		mean float64
+		n    int
+	}
+	var pend []pending
+	var ratios []float64
+	for _, rec := range recs {
+		for _, c := range rec.Cells {
+			row := cellRow(rec, c)
+			prior := series[row.key()]
+			if len(prior) > window {
+				prior = prior[len(prior)-window:]
+			}
+			p := pending{row: row, n: len(prior)}
+			if len(prior) > 0 {
+				var sum float64
+				for _, pr := range prior {
+					sum += pr.OpsPerSec
+				}
+				p.mean = sum / float64(len(prior))
+				ratios = append(ratios, row.OpsPerSec/p.mean)
+			}
+			pend = append(pend, p)
+			series[row.key()] = append(series[row.key()], row)
+		}
+	}
+	scale := 1.0
+	if len(ratios) >= 3 {
+		sort.Float64s(ratios)
+		scale = ratios[len(ratios)/2]
+		fmt.Printf("trajectory: host-speed factor %.2f (median ratio to history across %d series)\n",
+			scale, len(ratios))
+	}
+
+	// Second pass: find the rows below the normalized floor and count
+	// them per (workload, fs) group for the corroboration rule.
+	floor := scale * (1 - tolerance)
+	below := make([]bool, len(pend))
+	belowPerGroup := make(map[string]int)
+	for i, p := range pend {
+		if p.mean > 0 && p.row.OpsPerSec/p.mean < floor {
+			below[i] = true
+			belowPerGroup[p.row.Workload+"|"+p.row.FS]++
+		}
+	}
+
+	// Third pass: report, failing only corroborated regressions.
+	failures := 0
+	var fresh []TrajectoryRow
+	for i, p := range pend {
+		row := p.row
+		if p.mean > 0 {
+			ratio := row.OpsPerSec / p.mean
+			if below[i] {
+				line := fmt.Sprintf(
+					"trajectory %s/%s %dT: %.0f ops/sec is %.1f%% below the trailing-%d mean %.0f after the %.2f host-speed factor (ratio %.2f, floor %.2f)",
+					row.Workload, row.FS, row.Threads, row.OpsPerSec,
+					100*(1-ratio/scale), p.n, p.mean, scale, ratio, floor)
+				if belowPerGroup[row.Workload+"|"+row.FS] >= 2 {
+					failures++
+					fmt.Fprintln(os.Stderr, "FAIL "+line)
+					continue
+				}
+				fmt.Println("warn " + line + " — lone cell, recording as noise")
+			} else {
+				fmt.Printf("ok   trajectory %s/%s %dT: %.0f ops/sec vs trailing-%d mean %.0f (ratio %.2f)\n",
+					row.Workload, row.FS, row.Threads, row.OpsPerSec, p.n, p.mean, ratio)
+			}
+		} else {
+			fmt.Printf("new  trajectory %s/%s %dT (config %s): %.0f ops/sec, no history yet\n",
+				row.Workload, row.FS, row.Threads, row.ConfigHash, row.OpsPerSec)
+		}
+		fresh = append(fresh, row)
+	}
+	if failures > 0 {
+		return failures
+	}
+
+	tf.Rows = append(tf.Rows, fresh...)
+	data, err := json.MarshalIndent(tf, "", "  ")
+	if err != nil {
+		fatal("encoding trajectory: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal("writing trajectory: %v", err)
+	}
+	fmt.Printf("trajectory: %s now holds %d rows (+%d)\n", path, len(tf.Rows), len(fresh))
+	return 0
+}

@@ -7,6 +7,13 @@ import (
 	"arckfs/internal/crashmc"
 )
 
+// flightName flattens a campaign config name and invariant into one
+// artifact file stem, e.g. "flight-create-commit-arckfs-NoTornCommit".
+func flightName(workload, invariant string) string {
+	return "flight-" + strings.ReplaceAll(workload, "/", "-") + "-" +
+		strings.TrimPrefix(invariant, "crashmc:")
+}
+
 // Crashmc runs the crash-state model-checking campaign
 // (internal/crashmc) and renders one summary line per configuration
 // plus every shrunk counterexample. It returns an error when any
@@ -30,6 +37,17 @@ func Crashmc(cfg Config) error {
 		fmt.Fprintln(cfg.Out, res.Summary())
 		for _, ce := range res.Counterexamples {
 			fmt.Fprintf(cfg.Out, "    counterexample: %s\n", ce)
+			if ce.Flight == nil {
+				continue
+			}
+			// Every breach ships its flight record as a JSON artifact
+			// (directory override: $ARCK_FLIGHT_DIR, default artifacts/).
+			path, err := ce.Flight.WriteFile("", flightName(ce.Workload, ce.Invariant))
+			if err != nil {
+				fmt.Fprintf(cfg.Out, "    flight record: write failed: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(cfg.Out, "    flight record: %s (%d spans)\n", path, len(ce.Flight.Spans))
 		}
 		if !res.OK() {
 			bad = append(bad, c.Name)

@@ -266,21 +266,38 @@ func Figure4(cfg Config) (map[string]*harness.Series, error) {
 // (see EXPERIMENTS.md).
 func Fxmark(cfg Config) error {
 	cfg.fill()
+	// Best-of-N like Figure4 (and with the same cap): throughput noise is
+	// one-sided — interference only slows a trial down — so keeping the
+	// best run is the stable estimator the trajectory gate needs. The
+	// per-op counter deltas are deterministic across trials, so the
+	// bounds see the same values either way.
+	trials := cfg.Trials
+	if trials > 2 {
+		trials = 2
+	}
 	for _, group := range [][]fxmark.Workload{fxmark.Metadata, fxmark.Leases, fxmark.DataOps} {
 		for _, w := range group {
 			series := harness.NewSeries("FxMark — " + w.Name + ": " + w.Desc + " (ops/sec)")
 			for _, sysName := range cfg.Systems {
 				for _, th := range cfg.Threads {
-					fs, err := cfg.makeFS(sysName)
-					if err != nil {
-						return err
+					best := 0.0
+					var bestRes harness.Result
+					for trial := 0; trial < trials; trial++ {
+						fs, err := cfg.makeFS(sysName)
+						if err != nil {
+							return err
+						}
+						res, err := fxmark.RunWorkload(fs, w, th, opsFor(cfg.TotalOps, th), fxmark.Defaults())
+						if err != nil {
+							return fmt.Errorf("%s/%s@%d: %w", sysName, w.Name, th, err)
+						}
+						if res.OpsPerSec() > best {
+							best = res.OpsPerSec()
+							bestRes = res
+						}
 					}
-					res, err := fxmark.RunWorkload(fs, w, th, opsFor(cfg.TotalOps, th), fxmark.Defaults())
-					if err != nil {
-						return fmt.Errorf("%s/%s@%d: %w", sysName, w.Name, th, err)
-					}
-					cfg.Rec.Add("fxmark", res)
-					series.Add(sysName, th, res.OpsPerSec())
+					cfg.Rec.Add("fxmark", bestRes)
+					series.Add(sysName, th, best)
 				}
 			}
 			fmt.Fprint(cfg.Out, series.Render())

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
+	"hash/fnv"
 	"os"
 	"sync"
 	"time"
@@ -33,6 +35,11 @@ type Cell struct {
 	// PerOp normalizes selected counters by completed operations:
 	// flushes, fences, and syscalls per op.
 	PerOp map[string]float64 `json:"per_op,omitempty"`
+
+	// Apps is the per-application attribution delta for the cell —
+	// crossings, persist traffic, and sampled op latency per tenant —
+	// so downstream tooling can rank tenants without re-running.
+	Apps []telemetry.AppStat `json:"apps,omitempty"`
 }
 
 // RunConfig echoes the configuration a record was produced under.
@@ -53,12 +60,34 @@ type RunConfig struct {
 	Kernel string `json:"kernel"`
 }
 
+// Hash is the deterministic digest trajectory rows are keyed by: two
+// records with equal hashes were produced under an identical
+// configuration, so their throughputs are comparable. FNV-1a over the
+// canonical (encoding/json, sorted-field) form of the config.
+func (c RunConfig) Hash() string {
+	data, err := json.Marshal(c)
+	if err != nil {
+		// RunConfig is plain data; Marshal cannot fail on it.
+		panic(err)
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // RunRecord is the top-level JSON document arckbench -json emits.
+//
+// GitSHA and Timestamp are provenance passed in by the caller (CI sets
+// -sha/-timestamp from its environment); neither is read inside a
+// measured region. ConfigHash is derived from Config and joins the
+// record to its trajectory rows.
 type RunRecord struct {
-	Tool   string    `json:"tool"`
-	Time   time.Time `json:"time"`
-	Config RunConfig `json:"config"`
-	Cells  []Cell    `json:"cells"`
+	Tool       string    `json:"tool"`
+	GitSHA     string    `json:"git_sha,omitempty"`
+	Timestamp  string    `json:"timestamp,omitempty"`
+	ConfigHash string    `json:"config_hash"`
+	Config     RunConfig `json:"config"`
+	Cells      []Cell    `json:"cells"`
 }
 
 // Recorder accumulates Cells across experiments. A nil *Recorder is
@@ -79,20 +108,40 @@ func NewRecorder(cfg Config) *Recorder {
 	if cfg.Serial {
 		kern = "serial"
 	}
+	rc := RunConfig{
+		Systems:   cfg.Systems,
+		Threads:   cfg.Threads,
+		TotalOps:  cfg.TotalOps,
+		DevSizeMB: cfg.DevSize >> 20,
+		Realistic: cfg.Realistic,
+		Trials:    cfg.Trials,
+		Persist:   persist,
+		Kernel:    kern,
+	}
 	return &Recorder{rec: RunRecord{
-		Tool: "arckbench",
-		Time: time.Now().UTC(),
-		Config: RunConfig{
-			Systems:   cfg.Systems,
-			Threads:   cfg.Threads,
-			TotalOps:  cfg.TotalOps,
-			DevSizeMB: cfg.DevSize >> 20,
-			Realistic: cfg.Realistic,
-			Trials:    cfg.Trials,
-			Persist:   persist,
-			Kernel:    kern,
-		},
+		Tool:       "arckbench",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		ConfigHash: rc.Hash(),
+		Config:     rc,
 	}}
+}
+
+// SetProvenance overrides the record's provenance with caller-supplied
+// values: the commit under test and the (externally chosen) wall time,
+// so records and trajectory rows are joinable across CI runs. Empty
+// arguments leave the current values in place.
+func (r *Recorder) SetProvenance(sha, timestamp string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if sha != "" {
+		r.rec.GitSHA = sha
+	}
+	if timestamp != "" {
+		r.rec.Timestamp = timestamp
+	}
+	r.mu.Unlock()
 }
 
 // perOpKeys maps counter names to their per-op JSON keys.
@@ -103,6 +152,9 @@ var perOpKeys = map[string]string{
 	"syscalls":         "syscalls",
 	"syscalls.avoided": "syscalls_avoided",
 	"kernel.acquires":  "acquires",
+	// span.recorded is the tracer's sampled-span gauge: zero whenever
+	// tracing is disabled, which the obs-smoke CI bound pins.
+	"span.recorded": "spans",
 }
 
 // Add records one harness result under the given experiment name.
@@ -121,6 +173,7 @@ func (r *Recorder) Add(experiment string, res harness.Result) {
 		GiBPerSec:  res.GiBPerSec(),
 		Latency:    res.Lat,
 		Counters:   res.Counters,
+		Apps:       res.Apps,
 	}
 	if res.Ops > 0 && len(res.Counters) > 0 {
 		c.PerOp = map[string]float64{}

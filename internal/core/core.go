@@ -10,10 +10,12 @@ import (
 	"time"
 
 	"arckfs/internal/costmodel"
+	"arckfs/internal/fsapi"
 	"arckfs/internal/kernel"
 	"arckfs/internal/libfs"
 	"arckfs/internal/pmem"
 	"arckfs/internal/telemetry"
+	"arckfs/internal/telemetry/span"
 	"arckfs/internal/verifier"
 )
 
@@ -73,6 +75,14 @@ type Config struct {
 	// RecoverWorkers bounds the recovery worker pool used by Recover; 0
 	// picks a default from GOMAXPROCS, 1 forces the serial scan.
 	RecoverWorkers int
+	// SpanSampling enables arcktrace causal span tracing from boot: 1
+	// traces every operation, N traces one in N (rounded up to a power of
+	// two). 0 (the default) leaves the tracer attached but disabled —
+	// tools can still flip it on at runtime via System.Tracer().
+	SpanSampling int
+	// SpanRing caps the number of retained spans per thread (default
+	// span.DefaultRingCap).
+	SpanRing int
 }
 
 func (c *Config) fill() {
@@ -105,8 +115,22 @@ type System struct {
 	Ctrl *kernel.Controller
 
 	tel    *telemetry.Set
+	tracer *span.Tracer
+	appDim *telemetry.AppDim
 	appsMu sync.Mutex
 	apps   []*libfs.FS
+}
+
+// newTracer builds the system tracer from the config: always attached
+// (so runtime enablement works), enabled only when SpanSampling is set.
+func (c *Config) newTracer() *span.Tracer {
+	every := c.SpanSampling
+	if every <= 0 {
+		every = span.DefaultSampleEvery
+	}
+	tr := span.New(c.SpanRing, every)
+	tr.SetEnabled(c.SpanSampling > 0)
+	return tr
 }
 
 // initTelemetry assembles the system-wide counter set: device
@@ -170,6 +194,10 @@ func (s *System) initTelemetry() {
 		}
 		return n
 	})
+	// "span.recorded" counts spans the arcktrace sampler committed to the
+	// per-thread rings; the obs-smoke bench bound pins it at ~0 when
+	// tracing is disabled.
+	s.tel.Gauge("span.recorded", s.tracer.Recorded)
 }
 
 // Telemetry returns the system-wide counter set.
@@ -179,6 +207,7 @@ func (s *System) Telemetry() *telemetry.Set { return s.tel }
 func NewSystem(cfg Config) (*System, error) {
 	cfg.fill()
 	dev := pmem.New(cfg.DevSize, cfg.Cost)
+	dim := telemetry.NewAppDim()
 	ctrl, err := kernel.Format(dev, kernel.Options{
 		Mode:           cfg.verifierMode(),
 		Policy:         cfg.Policy,
@@ -188,6 +217,7 @@ func NewSystem(cfg Config) (*System, error) {
 		LeaseTTL:       cfg.LeaseTTL,
 		RenameLeaseTTL: cfg.RenameLeaseTTL,
 		Serialize:      cfg.SerialKernel,
+		AppDim:         dim,
 	})
 	if err != nil {
 		return nil, err
@@ -195,7 +225,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Tracking {
 		dev.EnableTracking()
 	}
-	s := &System{cfg: cfg, Dev: dev, Ctrl: ctrl}
+	s := &System{cfg: cfg, Dev: dev, Ctrl: ctrl, tracer: cfg.newTracer(), appDim: dim}
 	s.initTelemetry()
 	return s, nil
 }
@@ -205,6 +235,16 @@ func NewSystem(cfg Config) (*System, error) {
 func Recover(img []byte, cfg Config) (*System, *kernel.Report, error) {
 	cfg.fill()
 	dev := pmem.Restore(img, cfg.Cost)
+	dim := telemetry.NewAppDim()
+	// Recovery itself is traced: the mount runs under an OpRecover span
+	// whose child events are the per-pass timings the kernel reports.
+	tr := cfg.newTracer()
+	rl := tr.NewLocal()
+	sp := rl.Begin(fsapi.OpRecover, 0)
+	var sink telemetry.SpanSink
+	if sp != nil {
+		sink = sp
+	}
 	ctrl, rep, err := kernel.Mount(dev, kernel.Options{
 		Mode:           cfg.verifierMode(),
 		Policy:         cfg.Policy,
@@ -213,14 +253,17 @@ func Recover(img []byte, cfg Config) (*System, *kernel.Report, error) {
 		RenameLeaseTTL: cfg.RenameLeaseTTL,
 		Serialize:      cfg.SerialKernel,
 		RecoverWorkers: cfg.RecoverWorkers,
+		AppDim:         dim,
+		Span:           sink,
 	}, true)
+	rl.End(sp, err)
 	if err != nil {
 		return nil, nil, err
 	}
 	if cfg.Tracking {
 		dev.EnableTracking()
 	}
-	s := &System{cfg: cfg, Dev: dev, Ctrl: ctrl}
+	s := &System{cfg: cfg, Dev: dev, Ctrl: ctrl, tracer: tr, appDim: dim}
 	s.initTelemetry()
 	return s, rep, nil
 }
@@ -237,6 +280,8 @@ func (s *System) NewApp(uid, gid uint32) *libfs.FS {
 		NoLeases:     s.cfg.SerialKernel,
 	})
 	fs.SetTelemetry(s.tel)
+	fs.SetObservability(s.tracer, s.appDim.Row(int64(app)))
+	fs.SetAppStats(s.AppStats)
 	s.appsMu.Lock()
 	s.apps = append(s.apps, fs)
 	s.appsMu.Unlock()
@@ -245,3 +290,11 @@ func (s *System) NewApp(uid, gid uint32) *libfs.FS {
 
 // Mode returns the configured preset.
 func (s *System) Mode() Mode { return s.cfg.Mode }
+
+// Tracer returns the system's arcktrace span tracer (always non-nil).
+func (s *System) Tracer() *span.Tracer { return s.tracer }
+
+// AppStats returns the per-application attribution snapshot, sorted by
+// app ID: kernel crossings, persist traffic, and sampled op latency per
+// tenant.
+func (s *System) AppStats() []telemetry.AppStat { return s.appDim.Snapshot() }

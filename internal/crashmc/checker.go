@@ -9,6 +9,7 @@ import (
 	"arckfs/internal/layout"
 	"arckfs/internal/libfs"
 	"arckfs/internal/pmem"
+	"arckfs/internal/telemetry/span"
 )
 
 // Config parameterizes one model-checking run.
@@ -100,6 +101,12 @@ type Counterexample struct {
 	Keep      []LineChoice
 	Invariant string
 	Detail    string
+	// Flight is the arcktrace span history at the moment the breach was
+	// recorded: every op of the run (the checker traces at sample=1),
+	// including the operation in flight at Point — whose events show the
+	// exact persist schedule (flushes, skipped fences) that admitted the
+	// bad crash state.
+	Flight *span.FlightRecord
 }
 
 func (ce *Counterexample) String() string {
@@ -209,6 +216,7 @@ type checker struct {
 	fs        *libfs.FS
 	th        fsapi.Thread
 	model     *model
+	tracer    *span.Tracer
 	inflight  *Op
 	opIdx     int
 	inRelease bool
@@ -246,6 +254,11 @@ func newChecker(cfg Config) (*checker, error) {
 		GrantPageBatch: 32,
 		DirBuckets:     8,
 	})
+	// Trace every op (sample=1): a counterexample ships with the span
+	// history of the run as its flight record.
+	c.tracer = span.New(span.DefaultRingCap, 1)
+	c.tracer.SetEnabled(true)
+	c.fs.SetObservability(c.tracer, nil)
 	c.th = c.fs.NewThread(0)
 	for i, op := range cfg.Warmup {
 		if err := c.runOp(op); err != nil {
@@ -454,7 +467,23 @@ func (c *checker) record(states []pmem.LineState, ks []int, expect []string, v V
 		Keep:      keep,
 		Invariant: v.Invariant,
 		Detail:    detail,
+		Flight:    c.flight(v.Invariant, detail),
 	})
+}
+
+// flight captures the breach's flight record: the completed spans in the
+// tracer's rings plus the span of the operation in flight at the
+// observation point (observe runs synchronously inside the op, so its
+// span — holding the very stores and skipped fences under enumeration —
+// is still open and not yet published to a ring).
+func (c *checker) flight(inv, detail string) *span.FlightRecord {
+	fr := c.tracer.Flight("crashmc:"+inv, detail)
+	if t, ok := c.th.(*libfs.Thread); ok {
+		if sp := t.CurrentSpan(); sp != nil {
+			fr.Spans = append(fr.Spans, sp)
+		}
+	}
+	return fr
 }
 
 func minInt(a, b int) int {

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"arckfs/internal/libfs"
+	"arckfs/internal/telemetry"
+	"arckfs/internal/telemetry/span"
 )
 
 // TestCampaignOracle is the checker's acceptance test (and the
@@ -128,8 +130,60 @@ func TestRunDeterminism(t *testing.T) {
 		t.Fatalf("nondeterministic exploration: %d/%d points, %d/%d images",
 			a.Points, b.Points, a.Images, b.Images)
 	}
+	// The flight records carry wall-clock timings, so they are compared
+	// structurally; everything else must match byte for byte.
+	fa, fb := stripFlights(a), stripFlights(b)
 	if !reflect.DeepEqual(a.Counterexamples, b.Counterexamples) {
 		t.Fatalf("nondeterministic counterexamples:\n%v\nvs\n%v", a.Counterexamples, b.Counterexamples)
+	}
+	if len(fa) != len(fb) {
+		t.Fatalf("flight count differs: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		assertSameFlightShape(t, fa[i], fb[i])
+	}
+}
+
+// stripFlights detaches every counterexample's flight record, returning
+// them in order.
+func stripFlights(r *Result) []*span.FlightRecord {
+	out := make([]*span.FlightRecord, len(r.Counterexamples))
+	for i, ce := range r.Counterexamples {
+		out[i] = ce.Flight
+		ce.Flight = nil
+	}
+	return out
+}
+
+// assertSameFlightShape checks the timing-independent content of two
+// flight records: same reason, same span sequence (op, app, outcome),
+// and identical event kinds and deterministic payloads. Durations and
+// event timestamps legitimately differ run to run.
+func assertSameFlightShape(t *testing.T, a, b *span.FlightRecord) {
+	t.Helper()
+	if a == nil || b == nil {
+		t.Fatalf("missing flight record: %v vs %v", a, b)
+	}
+	if a.Reason != b.Reason || len(a.Spans) != len(b.Spans) {
+		t.Fatalf("flight shape differs: %q/%d spans vs %q/%d spans",
+			a.Reason, len(a.Spans), b.Reason, len(b.Spans))
+	}
+	for i := range a.Spans {
+		sa, sb := a.Spans[i], b.Spans[i]
+		if sa.Op != sb.Op || sa.App != sb.App || sa.Err != sb.Err || len(sa.Events) != len(sb.Events) {
+			t.Fatalf("flight span %d differs: %v vs %v", i, sa, sb)
+		}
+		for j := range sa.Events {
+			ea, eb := sa.Events[j], sb.Events[j]
+			if ea.Kind != eb.Kind || ea.A != eb.A {
+				t.Fatalf("flight span %d event %d differs: %v vs %v", i, j, ea, eb)
+			}
+			// B is a duration for crossings; it is only pinned for the
+			// deterministic kinds (flush line counts, ntstore sizes...).
+			if ea.Kind != telemetry.SpanEvCrossing && ea.B != eb.B {
+				t.Fatalf("flight span %d event %d payload differs: %v vs %v", i, j, ea, eb)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,92 @@
+package fsapi
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Op classifies a file-system operation for tracing and attribution. The
+// values mirror the Thread interface one-to-one, plus the non-POSIX
+// surface (commit, release, batch) and recovery, so a span's op kind
+// identifies the entry point that started it.
+type Op uint8
+
+const (
+	OpNone Op = iota
+	OpCreate
+	OpMkdir
+	OpOpen
+	OpClose
+	OpRead
+	OpWrite
+	OpFsync
+	OpUnlink
+	OpRmdir
+	OpRename
+	OpStat
+	OpReaddir
+	OpTruncate
+	// OpCommit and OpRelease are the ownership-transfer entry points
+	// (CommitInode / ReleaseInode / ReleaseAll).
+	OpCommit
+	OpRelease
+	// OpBatch is the composite create-many entry point (CreateBatch).
+	OpBatch
+	// OpRecover is kernel mount-time recovery.
+	OpRecover
+)
+
+var opNames = [...]string{
+	OpNone:     "none",
+	OpCreate:   "create",
+	OpMkdir:    "mkdir",
+	OpOpen:     "open",
+	OpClose:    "close",
+	OpRead:     "read",
+	OpWrite:    "write",
+	OpFsync:    "fsync",
+	OpUnlink:   "unlink",
+	OpRmdir:    "rmdir",
+	OpRename:   "rename",
+	OpStat:     "stat",
+	OpReaddir:  "readdir",
+	OpTruncate: "truncate",
+	OpCommit:   "commit",
+	OpRelease:  "release",
+	OpBatch:    "batch",
+	OpRecover:  "recover",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// MarshalJSON renders the op by name.
+func (o Op) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", o.String())), nil
+}
+
+// UnmarshalJSON accepts the name form MarshalJSON emits (and the
+// op(N) fallback for values this build does not know), so flight
+// records and bench artifacts round-trip.
+func (o *Op) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for i, name := range opNames {
+		if name == s {
+			*o = Op(i)
+			return nil
+		}
+	}
+	var n uint8
+	if _, err := fmt.Sscanf(s, "op(%d)", &n); err != nil {
+		return fmt.Errorf("fsapi: unknown op %q", s)
+	}
+	*o = Op(n)
+	return nil
+}

@@ -31,12 +31,39 @@ type Source interface {
 	Snapshot() map[string]int64
 }
 
+// AppSource is a Source that additionally attributes work to
+// applications; systems with an app-keyed counter dimension satisfy it.
+type AppSource interface {
+	Source
+	AppStats() []telemetry.AppStat
+}
+
+// source adapts a system under test: counter snapshots come from its
+// telemetry set, per-app attribution (when the system has it) from its
+// AppStats method.
+type source struct {
+	set *telemetry.Set
+	sys any
+}
+
+func (s source) Snapshot() map[string]int64 { return s.set.Snapshot() }
+
+func (s source) AppStats() []telemetry.AppStat {
+	if p, ok := s.sys.(interface{ AppStats() []telemetry.AppStat }); ok {
+		return p.AppStats()
+	}
+	return nil
+}
+
 // SourceOf returns the telemetry source a file system under test
-// exposes via a Telemetry() method, or nil if it has none.
+// exposes via a Telemetry() method, or nil if it has none. If the
+// system also exposes AppStats() — per-application attribution — the
+// returned source satisfies AppSource and RunCounted records the
+// per-app delta alongside the counters.
 func SourceOf(v any) Source {
 	if p, ok := v.(interface{ Telemetry() *telemetry.Set }); ok {
 		if s := p.Telemetry(); s != nil {
-			return s
+			return source{set: s, sys: v}
 		}
 	}
 	return nil
@@ -59,6 +86,12 @@ type Result struct {
 	// Counters is the delta of the telemetry source across the measured
 	// region; nil when the run had no source.
 	Counters map[string]int64
+
+	// Apps is the per-application attribution delta across the measured
+	// region (counter deltas; the latency summary is the cumulative
+	// after-side histogram). Nil unless the source is an AppSource with
+	// at least one active app.
+	Apps []telemetry.AppStat
 }
 
 // OpsPerSec returns aggregate operation throughput.
@@ -110,8 +143,12 @@ func RunCounted(src Source, fsName, workload string, threads, opsPerThread int, 
 		}
 	}
 	var before map[string]int64
+	var appsBefore []telemetry.AppStat
 	if src != nil {
 		before = src.Snapshot()
+		if a, ok := src.(AppSource); ok {
+			appsBefore = a.AppStats()
+		}
 	}
 	start := time.Now()
 	for tid := 0; tid < threads; tid++ {
@@ -152,6 +189,9 @@ func RunCounted(src Source, fsName, workload string, threads, opsPerThread int, 
 	}
 	if src != nil {
 		res.Counters = telemetry.Delta(before, src.Snapshot())
+		if a, ok := src.(AppSource); ok {
+			res.Apps = telemetry.AppDelta(appsBefore, a.AppStats())
+		}
 	}
 	if mask >= 0 {
 		merged := telemetry.NewHistogram()

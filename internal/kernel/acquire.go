@@ -2,12 +2,34 @@ package kernel
 
 import (
 	"fmt"
+	"time"
 
 	"arckfs/internal/fsapi"
 	"arckfs/internal/layout"
 	"arckfs/internal/telemetry"
 	"arckfs/internal/verifier"
 )
+
+// lockShard takes ino's shard lock with the TryLock-contended accounting
+// convention. When the lock was contended and the caller supplied a span
+// sink, the blocked wait is reported as a timed shard-wait event — the
+// per-span view of the aggregate kernel.shard.contended gauge.
+func (c *Controller) lockShard(ino uint64, sink telemetry.SpanSink) *shadowShard {
+	sh := c.shardOf(ino)
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		if sink != nil {
+			begin := time.Now()
+			sh.mu.Lock()
+			sink.SpanEvent(telemetry.SpanEvShardWait, int64(ino%nShadowShards),
+				time.Since(begin).Nanoseconds())
+		} else {
+			sh.mu.Lock()
+		}
+	}
+	sh.acquisitions.Add(1)
+	return sh
+}
 
 // ctlView adapts the controller to verifier.KernelView.
 //
@@ -126,7 +148,14 @@ func (c *Controller) reclaimDormant(se *shadowEnt) bool {
 // requests write intent. A second acquire by the current owner is
 // idempotent and returns the existing mapping.
 func (c *Controller) Acquire(appID AppID, ino uint64, write bool) (*Mapping, error) {
-	c.syscall()
+	return c.AcquireObserved(appID, ino, write, nil)
+}
+
+// AcquireObserved is Acquire with a span sink: a contended shard lock on
+// the fast path reports a timed shard-wait event to sink (nil = plain
+// Acquire).
+func (c *Controller) AcquireObserved(appID AppID, ino uint64, write bool, sink telemetry.SpanSink) (*Mapping, error) {
+	c.syscall(appID)
 	c.Stats.Acquires.Add(1)
 	var wr int64
 	if write {
@@ -134,7 +163,7 @@ func (c *Controller) Acquire(appID AppID, ino uint64, write bool) (*Mapping, err
 	}
 	c.trace.Record(telemetry.EvAcquire, appID, ino, wr, 0)
 	if !c.opts.Serialize {
-		if m, err, handled := c.acquireFast(appID, ino, write); handled {
+		if m, err, handled := c.acquireFast(appID, ino, write, sink); handled {
 			return m, err
 		}
 	}
@@ -146,15 +175,10 @@ func (c *Controller) Acquire(appID AppID, ino uint64, write bool) (*Mapping, err
 // acquireFast handles every acquire that touches only ino's own shard:
 // all of them except the expired-lease involuntary release, whose
 // verification can span shards. handled=false punts to acquireExcl.
-func (c *Controller) acquireFast(appID AppID, ino uint64, write bool) (m *Mapping, err error, handled bool) {
+func (c *Controller) acquireFast(appID AppID, ino uint64, write bool, sink telemetry.SpanSink) (m *Mapping, err error, handled bool) {
 	c.epoch.RLock()
 	defer c.epoch.RUnlock()
-	sh := c.shardOf(ino)
-	if !sh.mu.TryLock() {
-		sh.contended.Add(1)
-		sh.mu.Lock()
-	}
-	sh.acquisitions.Add(1)
+	sh := c.lockShard(ino, sink)
 	defer sh.mu.Unlock()
 
 	a := c.lookupApp(appID)
@@ -366,10 +390,16 @@ const (
 
 // Release returns ino to the kernel: unmap, verify, apply or roll back.
 func (c *Controller) Release(appID AppID, ino uint64) error {
-	c.syscall()
+	return c.ReleaseObserved(appID, ino, nil)
+}
+
+// ReleaseObserved is Release with a span sink for timed shard-wait
+// events (nil = plain Release).
+func (c *Controller) ReleaseObserved(appID AppID, ino uint64, sink telemetry.SpanSink) error {
+	c.syscall(appID)
 	c.Stats.Releases.Add(1)
 	c.trace.Record(telemetry.EvRelease, appID, ino, 0, 0)
-	_, err := c.transfer(appID, ino, xferRelease)
+	_, err := c.transfer(appID, ino, xferRelease, sink)
 	return err
 }
 
@@ -378,10 +408,16 @@ func (c *Controller) Release(appID AppID, ino uint64) error {
 // a held committed inode it applies the verified delta and refreshes the
 // baseline snapshot. The mapping stays valid on success.
 func (c *Controller) Commit(appID AppID, ino uint64) error {
-	c.syscall()
+	return c.CommitObserved(appID, ino, nil)
+}
+
+// CommitObserved is Commit with a span sink for timed shard-wait events
+// (nil = plain Commit).
+func (c *Controller) CommitObserved(appID AppID, ino uint64, sink telemetry.SpanSink) error {
+	c.syscall(appID)
 	c.Stats.Commits.Add(1)
 	c.trace.Record(telemetry.EvCommit, appID, ino, 0, 0)
-	_, err := c.transfer(appID, ino, xferCommit)
+	_, err := c.transfer(appID, ino, xferCommit, sink)
 	return err
 }
 
@@ -393,16 +429,22 @@ func (c *Controller) Commit(appID AppID, ino uint64) error {
 // the dormant mapping so the LibFS can cache it (nil if verification
 // failed and the inode was fully released).
 func (c *Controller) ReleaseLeased(appID AppID, ino uint64) (*Mapping, error) {
-	c.syscall()
+	return c.ReleaseLeasedObserved(appID, ino, nil)
+}
+
+// ReleaseLeasedObserved is ReleaseLeased with a span sink for timed
+// shard-wait events (nil = plain ReleaseLeased).
+func (c *Controller) ReleaseLeasedObserved(appID AppID, ino uint64, sink telemetry.SpanSink) (*Mapping, error) {
+	c.syscall(appID)
 	c.Stats.Releases.Add(1)
 	c.Stats.LeasedReleases.Add(1)
 	c.trace.Record(telemetry.EvRelease, appID, ino, 1, 0)
-	return c.transfer(appID, ino, xferLease)
+	return c.transfer(appID, ino, xferLease, sink)
 }
 
-func (c *Controller) transfer(appID AppID, ino uint64, kind xferKind) (*Mapping, error) {
+func (c *Controller) transfer(appID AppID, ino uint64, kind xferKind, sink telemetry.SpanSink) (*Mapping, error) {
 	if !c.opts.Serialize {
-		if m, err, handled := c.transferFast(appID, ino, kind); handled {
+		if m, err, handled := c.transferFast(appID, ino, kind, sink); handled {
 			return m, err
 		}
 	}
@@ -416,15 +458,10 @@ func (c *Controller) transfer(appID AppID, ino uint64, kind xferKind) (*Mapping,
 // words, so the shard lock suffices. Directories punt to the exclusive
 // epoch (their commits create, relocate, and free children on other
 // shards).
-func (c *Controller) transferFast(appID AppID, ino uint64, kind xferKind) (m *Mapping, err error, handled bool) {
+func (c *Controller) transferFast(appID AppID, ino uint64, kind xferKind, sink telemetry.SpanSink) (m *Mapping, err error, handled bool) {
 	c.epoch.RLock()
 	defer c.epoch.RUnlock()
-	sh := c.shardOf(ino)
-	if !sh.mu.TryLock() {
-		sh.contended.Add(1)
-		sh.mu.Lock()
-	}
-	sh.acquisitions.Add(1)
+	sh := c.lockShard(ino, sink)
 	defer sh.mu.Unlock()
 
 	se := sh.m[ino]
@@ -508,7 +545,7 @@ func (c *Controller) transferHeld(se *shadowEnt, appID AppID, kind xferKind, vie
 // the involuntary-release path, also used by tests to simulate an
 // application crash.
 func (c *Controller) ForceRelease(ino uint64) error {
-	c.syscall()
+	c.syscall(0)
 	c.enterExcl()
 	defer c.exitExcl()
 	se := c.shadowGet(ino, nil)

@@ -74,6 +74,13 @@ type Options struct {
 	// RecoverWorkers bounds the recovery worker pool (Mount/Fsck).
 	// 0 = min(GOMAXPROCS, 8); 1 = serial.
 	RecoverWorkers int
+	// AppDim, when set, receives per-application crossing counts: every
+	// syscall is charged to the calling app's row, so involuntary work
+	// (lease reclaims triggered by a competitor) is attributed too.
+	AppDim *telemetry.AppDim
+	// Span, when set, receives SpanEvRecoveryPass events while Mount
+	// runs recovery, one per pass with its duration.
+	Span telemetry.SpanSink
 }
 
 func (o *Options) fill() {
@@ -343,9 +350,11 @@ func newController(dev *pmem.Device, g layout.Geometry, opts Options) *Controlle
 	return c
 }
 
-// syscall charges and counts one kernel crossing.
-func (c *Controller) syscall() {
+// syscall charges and counts one kernel crossing, attributing it to
+// appID's row of the app dimension (0 = unattributed).
+func (c *Controller) syscall(appID AppID) {
 	c.Stats.Syscalls.Add(1)
+	c.opts.AppDim.Add(appID, telemetry.AppSyscalls, 1)
 	c.cost.Syscall()
 }
 
@@ -401,7 +410,7 @@ func (c *Controller) SetClock(now func() time.Time) {
 
 // RegisterApp creates an application identity.
 func (c *Controller) RegisterApp(uid, gid uint32) AppID {
-	c.syscall()
+	c.syscall(0)
 	c.enterShared()
 	defer c.exitShared()
 	if !c.appsMu.TryLock() {
@@ -419,7 +428,7 @@ func (c *Controller) RegisterApp(uid, gid uint32) AppID {
 // NewTrustGroup places the given applications in a fresh trust group:
 // inode ownership moves among them without verification (§5.4).
 func (c *Controller) NewTrustGroup(ids ...AppID) (int, error) {
-	c.syscall()
+	c.syscall(0)
 	c.enterShared()
 	defer c.exitShared()
 	if !c.appsMu.TryLock() {
@@ -442,7 +451,7 @@ func (c *Controller) NewTrustGroup(ids ...AppID) (int, error) {
 // GrantInodes hands n fresh inode numbers to app; the LibFS builds new
 // files and directories in them without further system calls.
 func (c *Controller) GrantInodes(appID AppID, n int) ([]uint64, error) {
-	c.syscall()
+	c.syscall(appID)
 	c.trace.Record(telemetry.EvGrantInodes, appID, 0, int64(n), 0)
 	c.enterShared()
 	defer c.exitShared()
@@ -471,7 +480,7 @@ func (c *Controller) GrantInodes(appID AppID, n int) ([]uint64, error) {
 
 // GrantPages hands n free pages to app.
 func (c *Controller) GrantPages(appID AppID, cpu, n int) ([]uint64, error) {
-	c.syscall()
+	c.syscall(appID)
 	c.trace.Record(telemetry.EvGrantPages, appID, 0, int64(n), 0)
 	pages, err := c.alloc.AllocBatch(cpu, n)
 	if err != nil {
@@ -491,7 +500,7 @@ func (c *Controller) GrantPages(appID AppID, cpu, n int) ([]uint64, error) {
 
 // ReturnPages gives unused granted pages back (LibFS teardown).
 func (c *Controller) ReturnPages(appID AppID, pages []uint64) {
-	c.syscall()
+	c.syscall(appID)
 	c.trace.Record(telemetry.EvReturnPages, appID, 0, int64(len(pages)), 0)
 	c.enterShared()
 	var back []uint64
@@ -506,7 +515,7 @@ func (c *Controller) ReturnPages(appID AppID, pages []uint64) {
 
 // RenameLockAcquire takes the global rename lease for app (§4.6 patch).
 func (c *Controller) RenameLockAcquire(appID AppID) {
-	c.syscall()
+	c.syscall(appID)
 	c.trace.Record(telemetry.EvRenameLockAcquire, appID, 0, 0, 0)
 	c.renameLock.Acquire(appID, c.opts.RenameLeaseTTL)
 }
@@ -514,7 +523,7 @@ func (c *Controller) RenameLockAcquire(appID AppID) {
 // RenameLockRelease returns the lease; false means it had expired and
 // been stolen.
 func (c *Controller) RenameLockRelease(appID AppID) bool {
-	c.syscall()
+	c.syscall(appID)
 	c.trace.Record(telemetry.EvRenameLockRelease, appID, 0, 0, 0)
 	return c.renameLock.Release(appID)
 }
@@ -524,7 +533,7 @@ func (c *Controller) RenameLockRelease(appID AppID) bool {
 // write access on specific inodes. Like every other entry point it
 // models (and charges) a kernel crossing.
 func (c *Controller) SetACL(ino uint64, appID AppID, perm uint16) {
-	c.syscall()
+	c.syscall(appID)
 	c.trace.Record(telemetry.EvSetACL, appID, ino, int64(perm), 0)
 	c.enterShared()
 	defer c.exitShared()

@@ -6,10 +6,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"arckfs/internal/layout"
 	"arckfs/internal/pmalloc"
 	"arckfs/internal/pmem"
+	"arckfs/internal/telemetry"
 )
 
 // Report summarizes what recovery (or a dry-run check) found on a device.
@@ -115,6 +117,17 @@ func Mount(dev *pmem.Device, opts Options, repair bool) (*Controller, *Report, e
 	rep := &Report{}
 	workers := recoverWorkers(opts)
 
+	// endPass reports each recovery pass's duration to the mount span
+	// (0-based, in the order the passes run below).
+	passBegin := time.Now()
+	endPass := func(i int) {
+		if opts.Span != nil {
+			opts.Span.SpanEvent(telemetry.SpanEvRecoveryPass, int64(i),
+				time.Since(passBegin).Nanoseconds())
+		}
+		passBegin = time.Now()
+	}
+
 	// Pass 1: read the shadow table — the trusted ground truth — in
 	// contiguous inode chunks. Workers only parse; the merge into the
 	// shard maps is sequential, in chunk order.
@@ -167,6 +180,7 @@ func Mount(dev *pmem.Device, opts Options, repair bool) (*Controller, *Report, e
 	if c.shadowGet(layout.RootIno, nil) == nil {
 		return nil, nil, fmt.Errorf("kernel: no committed root shadow")
 	}
+	endPass(0)
 
 	// Pass 2: restore LibFS inode records that disagree with the shadow
 	// (zeroed or torn by a crash mid-create). Each inode's check and
@@ -189,6 +203,7 @@ func Mount(dev *pmem.Device, opts Options, repair bool) (*Controller, *Report, e
 	for _, n := range restored {
 		rep.RestoredInodes += n
 	}
+	endPass(1)
 
 	// Pass 3: reachability walk from the root, reconciling each
 	// directory's dentry log against the shadow table. Directories on
@@ -227,6 +242,7 @@ func Mount(dev *pmem.Device, opts Options, repair bool) (*Controller, *Report, e
 		}
 		level = next
 	}
+	endPass(2)
 
 	// Pass 4: free unreachable committed inodes (orphans).
 	var orphans []uint64
@@ -246,6 +262,7 @@ func Mount(dev *pmem.Device, opts Options, repair bool) (*Controller, *Report, e
 		}
 		c.shadowDelete(ino, nil)
 	}
+	endPass(3)
 
 	// Pass 5: rebuild page ownership and the allocator from the
 	// surviving tree. Workers enumerate each inode's pages; the merge —
@@ -268,6 +285,7 @@ func Mount(dev *pmem.Device, opts Options, repair bool) (*Controller, *Report, e
 	// Everything not referenced by the surviving tree returns to the free
 	// pool; report how many pages that recovered beyond the tree itself.
 	rep.LeakedPages = c.alloc.FreeCount()
+	endPass(4)
 
 	// Pass 6: rebuild the inode free list.
 	for ino := g.InodeCap - 1; ino >= 2; ino-- {
@@ -275,6 +293,7 @@ func Mount(dev *pmem.Device, opts Options, repair bool) (*Controller, *Report, e
 			c.inoFree = append(c.inoFree, ino)
 		}
 	}
+	endPass(5)
 	return c, rep, nil
 }
 

@@ -28,7 +28,8 @@ import (
 // empty file under dir. It returns the number of files created; on error
 // the first err is returned and earlier files of the batch remain
 // created.
-func (t *Thread) CreateBatch(dir string, names []string) (int, error) {
+func (t *Thread) CreateBatch(dir string, names []string) (n int, err error) {
+	defer t.endOp(t.beginOp(fsapi.OpBatch), &err)
 	fs := t.fs
 	dmi, err := t.resolve(dir)
 	if err != nil {
@@ -38,7 +39,7 @@ func (t *Thread) CreateBatch(dir string, names []string) (int, error) {
 		return 0, fsapi.ErrNotDir
 	}
 	if dmi.released.Load() {
-		if err := fs.reacquire(dmi); err != nil {
+		if err := fs.reacquire(t, dmi); err != nil {
 			return 0, err
 		}
 	}
@@ -51,7 +52,7 @@ func (t *Thread) CreateBatch(dir string, names []string) (int, error) {
 		if !layout.ValidName(name) {
 			return 0, fsapi.ErrInval
 		}
-		ino, err := fs.allocIno()
+		ino, err := fs.allocIno(t)
 		if err != nil {
 			return 0, err
 		}

@@ -12,7 +12,7 @@ import (
 // resolve walks path to its minode.
 func (t *Thread) resolve(path string) (*minode, error) {
 	comps := fsapi.Components(path)
-	mi, err := t.fs.getMinode(layout.RootIno, false)
+	mi, err := t.fs.getMinode(t, layout.RootIno, false)
 	if err != nil {
 		return nil, err
 	}
@@ -32,7 +32,7 @@ func (t *Thread) resolve(path string) (*minode, error) {
 			// (a peer may have modified the directory since): revalidate
 			// a miss by re-acquiring once. Hits stay cache-served — the
 			// §4.3 patch's fast path.
-			if err := t.fs.reacquire(mi); err == nil {
+			if err := t.fs.reacquire(t, mi); err == nil {
 				ino, _, ok, err = t.fs.lookupInDir(t, mi, name)
 				if err != nil {
 					return nil, err
@@ -42,7 +42,7 @@ func (t *Thread) resolve(path string) (*minode, error) {
 		if !ok {
 			return nil, fsapi.ErrNotExist
 		}
-		mi, err = t.fs.getMinode(ino, false)
+		mi, err = t.fs.getMinode(t, ino, false)
 		if err != nil {
 			return nil, err
 		}
@@ -72,13 +72,13 @@ func (t *Thread) resolveParent(path string, write bool) (*minode, string, error)
 	}
 	if write {
 		if mi.released.Load() {
-			if err := t.fs.reacquire(mi); err != nil {
+			if err := t.fs.reacquire(t, mi); err != nil {
 				return nil, "", err
 			}
 		} else if mi.mapping != nil && !mi.mapping.Valid() {
 			// A trust-group peer (or an involuntary release) took the
 			// inode; the patched LibFS re-acquires, ArckFS crashes.
-			if err := t.fs.remap(mi); err != nil {
+			if err := t.fs.remap(t, mi); err != nil {
 				return nil, "", err
 			}
 		}
@@ -187,7 +187,7 @@ func (fs *FS) ensureTailSpace(t *Thread, ds *dirState, ti int, tc *tailCursor, n
 // frontier. The zeroes are streamed (no per-line write-backs) and fenced
 // before the caller links the page.
 func (fs *FS) newLogPage(t *Thread) (uint64, error) {
-	p, err := fs.allocPage(t.cpu)
+	p, err := fs.allocPage(t, t.cpu)
 	if err != nil {
 		return 0, err
 	}
@@ -338,13 +338,14 @@ func (fs *FS) removeEntry(mi *minode, name string) (uint64, error) {
 }
 
 // Create makes an empty regular file.
-func (t *Thread) Create(path string) error {
+func (t *Thread) Create(path string) (err error) {
+	defer t.endOp(t.beginOp(fsapi.OpCreate), &err)
 	fs := t.fs
 	dir, name, err := t.resolveParent(path, true)
 	if err != nil {
 		return err
 	}
-	ino, err := fs.allocIno()
+	ino, err := fs.allocIno(t)
 	if err != nil {
 		return err
 	}
@@ -371,17 +372,18 @@ func (t *Thread) Create(path string) error {
 }
 
 // Mkdir makes an empty directory.
-func (t *Thread) Mkdir(path string) error {
+func (t *Thread) Mkdir(path string) (err error) {
+	defer t.endOp(t.beginOp(fsapi.OpMkdir), &err)
 	fs := t.fs
 	dir, name, err := t.resolveParent(path, true)
 	if err != nil {
 		return err
 	}
-	ino, err := fs.allocIno()
+	ino, err := fs.allocIno(t)
 	if err != nil {
 		return err
 	}
-	tailset, err := fs.allocPage(t.cpu)
+	tailset, err := fs.allocPage(t, t.cpu)
 	if err != nil {
 		fs.recycleIno(ino)
 		return err
@@ -432,7 +434,8 @@ func (fs *FS) rootTails() []tailCursor {
 }
 
 // Unlink removes a regular file.
-func (t *Thread) Unlink(path string) error {
+func (t *Thread) Unlink(path string) (err error) {
+	defer t.endOp(t.beginOp(fsapi.OpUnlink), &err)
 	fs := t.fs
 	dir, name, err := t.resolveParent(path, true)
 	if err != nil {
@@ -489,7 +492,8 @@ func (fs *FS) destroyFile(t *Thread, child *minode) {
 }
 
 // Rmdir removes an empty directory.
-func (t *Thread) Rmdir(path string) error {
+func (t *Thread) Rmdir(path string) (err error) {
+	defer t.endOp(t.beginOp(fsapi.OpRmdir), &err)
 	fs := t.fs
 	dir, name, err := t.resolveParent(path, true)
 	if err != nil {
@@ -502,7 +506,7 @@ func (t *Thread) Rmdir(path string) error {
 	if !ok {
 		return fsapi.ErrNotExist
 	}
-	child, err := fs.getMinode(childIno, false)
+	child, err := fs.getMinode(t, childIno, false)
 	if err != nil {
 		return err
 	}
@@ -538,7 +542,8 @@ func (t *Thread) Rmdir(path string) error {
 }
 
 // Readdir lists a directory's names in sorted order.
-func (t *Thread) Readdir(path string) ([]string, error) {
+func (t *Thread) Readdir(path string) (names []string, err error) {
+	defer t.endOp(t.beginOp(fsapi.OpReaddir), &err)
 	mi, err := t.resolve(path)
 	if err != nil {
 		return nil, err
@@ -546,7 +551,7 @@ func (t *Thread) Readdir(path string) ([]string, error) {
 	if mi.typ != layout.TypeDir {
 		return nil, fsapi.ErrNotDir
 	}
-	names := make([]string, 0, mi.dir.ht.Len())
+	names = make([]string, 0, mi.dir.ht.Len())
 	mi.dir.ht.Range(func(name string, _, _ uint64) bool {
 		names = append(names, name)
 		return true
@@ -558,7 +563,8 @@ func (t *Thread) Readdir(path string) ([]string, error) {
 // Stat returns path's attributes. ArckFS+ serves it from the cached
 // in-memory inode (§4.3 patch); ArckFS reads the mapped core state, which
 // crashes if the mapping was torn down concurrently.
-func (t *Thread) Stat(path string) (fsapi.Stat, error) {
+func (t *Thread) Stat(path string) (st fsapi.Stat, err error) {
+	defer t.endOp(t.beginOp(fsapi.OpStat), &err)
 	mi, err := t.resolve(path)
 	if err != nil {
 		return fsapi.Stat{}, err

@@ -7,7 +7,8 @@ import (
 )
 
 // Open returns a descriptor for an existing file or directory.
-func (t *Thread) Open(path string) (fsapi.FD, error) {
+func (t *Thread) Open(path string) (fd fsapi.FD, err error) {
+	defer t.endOp(t.beginOp(fsapi.OpOpen), &err)
 	mi, err := t.resolve(path)
 	if err != nil {
 		return -1, err
@@ -17,14 +18,15 @@ func (t *Thread) Open(path string) (fsapi.FD, error) {
 
 // ReadAt copies file data at off into p, transparently re-acquiring if a
 // trust-group peer took the inode.
-func (t *Thread) ReadAt(fd fsapi.FD, p []byte, off int64) (int, error) {
+func (t *Thread) ReadAt(fd fsapi.FD, p []byte, off int64) (n int, err error) {
+	defer t.endOp(t.beginOp(fsapi.OpRead), &err)
 	mi, err := t.lookupFD(fd)
 	if err != nil {
 		return 0, err
 	}
-	n, err := t.readAt(mi, p, off)
+	n, err = t.readAt(mi, p, off)
 	if err == fsapi.ErrBusError {
-		if rerr := t.fs.remap(mi); rerr == nil {
+		if rerr := t.fs.remap(t, mi); rerr == nil {
 			return t.readAt(mi, p, off)
 		}
 	}
@@ -36,7 +38,7 @@ func (t *Thread) readAt(mi *minode, p []byte, off int64) (int, error) {
 		return 0, fsapi.ErrIsDir
 	}
 	if mi.released.Load() {
-		if err := t.fs.reacquire(mi); err != nil {
+		if err := t.fs.reacquire(t, mi); err != nil {
 			return 0, err
 		}
 	}
@@ -71,14 +73,15 @@ func (t *Thread) readAt(mi *minode, p []byte, off int64) (int, error) {
 // If the kernel moved the inode to a trust-group peer since the last
 // operation, the patched LibFS transparently re-acquires and retries
 // once; ArckFS crashes (§4.3).
-func (t *Thread) WriteAt(fd fsapi.FD, p []byte, off int64) (int, error) {
+func (t *Thread) WriteAt(fd fsapi.FD, p []byte, off int64) (n int, err error) {
+	defer t.endOp(t.beginOp(fsapi.OpWrite), &err)
 	mi, err := t.lookupFD(fd)
 	if err != nil {
 		return 0, err
 	}
-	n, err := t.fs.writeAt(t, mi, p, off)
+	n, err = t.fs.writeAt(t, mi, p, off)
 	if err == fsapi.ErrBusError {
-		if rerr := t.fs.remap(mi); rerr == nil {
+		if rerr := t.fs.remap(t, mi); rerr == nil {
 			return t.fs.writeAt(t, mi, p, off)
 		}
 	}
@@ -96,7 +99,7 @@ func (fs *FS) writeAt(t *Thread, mi *minode, p []byte, off int64) (int, error) {
 		return 0, nil
 	}
 	if mi.released.Load() {
-		if err := fs.reacquire(mi); err != nil {
+		if err := fs.reacquire(t, mi); err != nil {
 			return 0, err
 		}
 	}
@@ -124,7 +127,7 @@ func (fs *FS) writeAt(t *Thread, mi *minode, p []byte, off int64) (int, error) {
 		if st.blocks[bi] != 0 {
 			continue
 		}
-		b, err := fs.allocPage(t.cpu)
+		b, err := fs.allocPage(t, t.cpu)
 		if err != nil {
 			return 0, err
 		}
@@ -183,7 +186,7 @@ func (fs *FS) ensureMapCapacity(t *Thread, mi *minode, n int) error {
 	st := mi.file
 	needPages := (n + layout.MapEntriesPerPage - 1) / layout.MapEntriesPerPage
 	for len(st.mapPages) < needPages {
-		p, err := fs.allocPage(t.cpu)
+		p, err := fs.allocPage(t, t.cpu)
 		if err != nil {
 			return err
 		}
@@ -218,7 +221,8 @@ func (fs *FS) persistFileInode(b *pmem.Batch, mi *minode) {
 
 // Truncate sets path's size. Shrinking frees whole blocks beyond the new
 // size; growing leaves a hole.
-func (t *Thread) Truncate(path string, size uint64) error {
+func (t *Thread) Truncate(path string, size uint64) (err error) {
+	defer t.endOp(t.beginOp(fsapi.OpTruncate), &err)
 	fs := t.fs
 	mi, err := t.resolve(path)
 	if err != nil {
@@ -228,7 +232,7 @@ func (t *Thread) Truncate(path string, size uint64) error {
 		return fsapi.ErrIsDir
 	}
 	if mi.released.Load() {
-		if err := fs.reacquire(mi); err != nil {
+		if err := fs.reacquire(t, mi); err != nil {
 			return err
 		}
 	}
@@ -273,7 +277,8 @@ func (t *Thread) Truncate(path string, size uint64) error {
 
 // Fsync is a no-op: every ArckFS operation persists synchronously, so
 // "fsync() returns immediately" (§2.2).
-func (t *Thread) Fsync(fd fsapi.FD) error {
-	_, err := t.lookupFD(fd)
+func (t *Thread) Fsync(fd fsapi.FD) (err error) {
+	defer t.endOp(t.beginOp(fsapi.OpFsync), &err)
+	_, err = t.lookupFD(fd)
 	return err
 }

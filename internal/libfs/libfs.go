@@ -24,6 +24,7 @@ import (
 	"arckfs/internal/pmem"
 	"arckfs/internal/rcu"
 	"arckfs/internal/telemetry"
+	"arckfs/internal/telemetry/span"
 )
 
 // Bugs selects which of the paper's Table-1 bugs are present.
@@ -175,6 +176,13 @@ type FS struct {
 	// tel is the owning system's counter set (set by core.NewApp).
 	tel *telemetry.Set
 
+	// tracer and appRow are the arcktrace observability hooks, attached by
+	// SetObservability (see span.go); appStats is the owning system's
+	// whole-dimension snapshot, attached by SetAppStats. All may be nil.
+	tracer   *span.Tracer
+	appRow   *telemetry.AppRow
+	appStats func() []telemetry.AppStat
+
 	// delegates is the I/O delegation pool (see delegate.go).
 	delegates delegatePool
 }
@@ -238,12 +246,15 @@ func (fs *FS) now() uint64 { return fs.clock.Add(1) }
 // --- Resource pools --------------------------------------------------------
 
 // allocIno takes an inode number from the granted pool, refilling via a
-// kernel grant when empty.
-func (fs *FS) allocIno() (uint64, error) {
+// kernel grant when empty. t (nil-tolerated) attributes the refill
+// crossing to the operation's span.
+func (fs *FS) allocIno(t *Thread) (uint64, error) {
 	fs.inoMu.Lock()
 	if len(fs.inoPool) == 0 {
 		fs.inoMu.Unlock()
+		begin := t.crossStart()
 		batch, err := fs.ctrl.GrantInodes(fs.app, fs.opts.GrantInoBatch)
+		t.crossEnd(telemetry.EvGrantInodes, begin)
 		if err != nil {
 			return 0, err
 		}
@@ -274,7 +285,7 @@ const pageReserveTTL = 2 * time.Second
 // reserve — pages the kernel already granted on a previous crossing — so
 // the refill costs no syscall; only when both pool and reserve are empty
 // does the stripe cross, over-granting to restock both halves.
-func (fs *FS) allocPage(cpu int) (uint64, error) {
+func (fs *FS) allocPage(t *Thread, cpu int) (uint64, error) {
 	s := uint(cpu) % 8
 	fs.pageMu[s].Lock()
 	if len(fs.pagePool[s]) == 0 && len(fs.pageReserve[s]) > 0 {
@@ -283,13 +294,15 @@ func (fs *FS) allocPage(cpu int) (uint64, error) {
 		if time.Now().Before(fs.pageReserveExp[s]) {
 			fs.Stats.LeaseHits.Add(1)
 			fs.Stats.SyscallsAvoided.Add(1)
+			t.spanEv(telemetry.SpanEvLeaseHit, 0, 0)
 		} else {
 			fs.Stats.LeaseMisses.Add(1)
+			t.spanEv(telemetry.SpanEvLeaseMiss, 0, 0)
 		}
 	}
 	if len(fs.pagePool[s]) == 0 {
 		fs.pageMu[s].Unlock()
-		batch, reserve, err := fs.grantPageBatch(cpu)
+		batch, reserve, err := fs.grantPageBatch(t, cpu)
 		if err != nil {
 			return 0, err
 		}
@@ -317,14 +330,19 @@ func (fs *FS) allocPage(cpu int) (uint64, error) {
 // and a parked reserve; when the double grant fails (a small device near
 // capacity) it falls back to a plain single grant so leases never turn a
 // satisfiable allocation into ENOSPC.
-func (fs *FS) grantPageBatch(cpu int) (pool, reserve []uint64, err error) {
+func (fs *FS) grantPageBatch(t *Thread, cpu int) (pool, reserve []uint64, err error) {
 	n := fs.opts.GrantPageBatch
 	if !fs.opts.NoLeases {
-		if batch, err := fs.ctrl.GrantPages(fs.app, cpu, 2*n); err == nil {
+		begin := t.crossStart()
+		batch, err := fs.ctrl.GrantPages(fs.app, cpu, 2*n)
+		t.crossEnd(telemetry.EvGrantPages, begin)
+		if err == nil {
 			return batch[:n], batch[n:], nil
 		}
 	}
+	begin := t.crossStart()
 	batch, err := fs.ctrl.GrantPages(fs.app, cpu, n)
+	t.crossEnd(telemetry.EvGrantPages, begin)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -356,6 +374,12 @@ type Thread struct {
 	// line-granular flushes into it and end on a Barrier, so the queue is
 	// empty between operations.
 	pb *pmem.Batch
+
+	// tl is the thread's lane in the span tracer's ring (nil when the FS
+	// has no tracer); sp is the span of the operation in flight, non-nil
+	// only while a sampled operation is executing on this thread.
+	tl *span.Local
+	sp *span.Span
 }
 
 type fdEnt struct {
@@ -369,7 +393,12 @@ func (fs *FS) NewThread(cpu int) fsapi.Thread {
 	if fs.opts.EagerPersist {
 		pb = fs.dev.NewEagerBatch()
 	}
-	return &Thread{fs: fs, cpu: cpu, rd: fs.dom.Register(), pb: pb}
+	t := &Thread{fs: fs, cpu: cpu, rd: fs.dom.Register(), pb: pb, tl: fs.tracer.NewLocal()}
+	// The batch reports every flush, streaming store, and fence to the
+	// thread (see Thread.SpanEvent), which counts them per-app and attaches
+	// them to the sampled span when one is open.
+	pb.SetSink(t)
+	return t
 }
 
 // Detach releases the thread's RCU registration and drains any queued
@@ -402,7 +431,8 @@ func (t *Thread) lookupFD(fd fsapi.FD) (*minode, error) {
 }
 
 // Close implements fsapi.Thread.
-func (t *Thread) Close(fd fsapi.FD) error {
+func (t *Thread) Close(fd fsapi.FD) (err error) {
+	defer t.endOp(t.beginOp(fsapi.OpClose), &err)
 	if int(fd) < 0 || int(fd) >= len(t.fds) || t.fds[fd] == nil {
 		return fsapi.ErrBadFd
 	}

@@ -8,6 +8,7 @@ import (
 	"arckfs/internal/htable"
 	"arckfs/internal/kernel"
 	"arckfs/internal/layout"
+	"arckfs/internal/telemetry"
 )
 
 // minode is the in-memory (auxiliary, per-application) inode. Directory
@@ -100,19 +101,22 @@ func (mi *minode) cacheAttrs(size uint64, nlink uint16, mtime uint64) {
 func (mi *minode) stat() fsapi.Stat { return *mi.attrs.Load() }
 
 // getMinode returns the in-memory inode for ino, acquiring it from the
-// kernel and rebuilding auxiliary state on first touch.
-func (fs *FS) getMinode(ino uint64, write bool) (*minode, error) {
+// kernel and rebuilding auxiliary state on first touch. t (nil-tolerated)
+// attributes kernel crossings to the operation's span.
+func (fs *FS) getMinode(t *Thread, ino uint64, write bool) (*minode, error) {
 	if v, ok := fs.mtab.Load(ino); ok {
 		mi := v.(*minode)
 		if mi.released.Load() && write {
 			// Re-acquire a previously released inode for writing.
-			if err := fs.reacquire(mi); err != nil {
+			if err := fs.reacquire(t, mi); err != nil {
 				return nil, err
 			}
 		}
 		return mi, nil
 	}
-	m, err := fs.ctrl.Acquire(fs.app, ino, true)
+	begin := t.crossStart()
+	m, err := fs.ctrl.AcquireObserved(fs.app, ino, true, t.sink())
+	t.crossEnd(telemetry.EvAcquire, begin)
 	if err != nil {
 		return nil, err
 	}
@@ -128,12 +132,14 @@ func (fs *FS) getMinode(ino uint64, write bool) (*minode, error) {
 // us (an involuntary release or a trust-group transfer to a peer): the
 // patched LibFS rebuilds and retries instead of crashing. ArckFS as
 // shipped has no such path — the revocation is a crash (§4.3).
-func (fs *FS) remap(mi *minode) error {
+func (fs *FS) remap(t *Thread, mi *minode) error {
 	if fs.opts.Bugs.Has(BugReleaseUnsync) {
 		return fsapi.ErrBusError
 	}
 	fs.Stats.Remaps.Add(1)
-	m, err := fs.ctrl.Acquire(fs.app, mi.ino, true)
+	begin := t.crossStart()
+	m, err := fs.ctrl.AcquireObserved(fs.app, mi.ino, true, t.sink())
+	t.crossEnd(telemetry.EvAcquire, begin)
 	if err != nil {
 		return err
 	}
@@ -163,7 +169,7 @@ func (fs *FS) remap(mi *minode) error {
 // because a dormant inode's core state cannot have changed (any change
 // requires a reclaim, which fails the CAS). Only on a lost CAS — the
 // kernel revoked the lease — does this fall back to a real Acquire.
-func (fs *FS) reacquire(mi *minode) error {
+func (fs *FS) reacquire(t *Thread, mi *minode) error {
 	if !fs.opts.NoLeases {
 		mi.lock.Lock()
 		if !mi.released.Load() {
@@ -175,13 +181,19 @@ func (fs *FS) reacquire(mi *minode) error {
 			mi.lock.Unlock()
 			fs.Stats.LeaseHits.Add(1)
 			fs.Stats.SyscallsAvoided.Add(1)
+			// The span's record of the crossing that did NOT happen: a
+			// lease-hit operation must still trace end to end.
+			t.spanEv(telemetry.SpanEvLeaseHit, int64(mi.ino), 0)
 			return nil
 		}
 		mi.lock.Unlock()
 		fs.Stats.LeaseMisses.Add(1)
+		t.spanEv(telemetry.SpanEvLeaseMiss, int64(mi.ino), 0)
 	}
 	fs.Stats.Reacquires.Add(1)
-	m, err := fs.ctrl.Acquire(fs.app, mi.ino, true)
+	begin := t.crossStart()
+	m, err := fs.ctrl.AcquireObserved(fs.app, mi.ino, true, t.sink())
+	t.crossEnd(telemetry.EvAcquire, begin)
 	if err != nil {
 		return err
 	}

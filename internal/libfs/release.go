@@ -3,8 +3,10 @@ package libfs
 import (
 	"sort"
 
+	"arckfs/internal/fsapi"
 	"arckfs/internal/kernel"
 	"arckfs/internal/layout"
+	"arckfs/internal/telemetry"
 )
 
 // ensureCommitted makes the kernel's view of mi a committed shadow inode,
@@ -21,7 +23,7 @@ func (fs *FS) ensureCommitted(t *Thread, mi *minode) error {
 	}
 	if mi.fresh.Load() {
 		pIno := mi.parent.Load()
-		pmi, err := fs.getMinode(pIno, false)
+		pmi, err := fs.getMinode(t, pIno, false)
 		if err != nil {
 			return err
 		}
@@ -30,14 +32,22 @@ func (fs *FS) ensureCommitted(t *Thread, mi *minode) error {
 		}
 		// Committing the parent directory verifies its new entries and
 		// creates pending shadows for every fresh child, mi included.
-		if err := fs.ctrl.Commit(fs.app, pIno); err != nil {
+		if err := fs.commitCrossing(t, pIno); err != nil {
 			return err
 		}
 		fs.markChildrenKnown(pIno)
 	}
 	// Pending -> committed (or a re-verification of an already committed
 	// inode, which also refreshes the kernel's baseline snapshot).
-	return fs.ctrl.Commit(fs.app, mi.ino)
+	return fs.commitCrossing(t, mi.ino)
+}
+
+// commitCrossing performs a Commit syscall with span attribution.
+func (fs *FS) commitCrossing(t *Thread, ino uint64) error {
+	begin := t.crossStart()
+	err := fs.ctrl.CommitObserved(fs.app, ino, t.sink())
+	t.crossEnd(telemetry.EvCommit, begin)
+	return err
 }
 
 // markChildrenKnown clears the fresh flag on every cached minode whose
@@ -55,7 +65,8 @@ func (fs *FS) markChildrenKnown(dirIno uint64) {
 
 // CommitInode runs the commit protocol for path's inode, making it (and
 // any fresh ancestors) verified kernel state without giving up ownership.
-func (fs *FS) CommitInode(t *Thread, path string) error {
+func (fs *FS) CommitInode(t *Thread, path string) (err error) {
+	defer t.endOp(t.beginOp(fsapi.OpCommit), &err)
 	mi, err := t.resolve(path)
 	if err != nil {
 		return err

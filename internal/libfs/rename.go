@@ -3,6 +3,7 @@ package libfs
 import (
 	"arckfs/internal/fsapi"
 	"arckfs/internal/layout"
+	"arckfs/internal/telemetry"
 )
 
 // Rename moves oldPath to newPath. The destination must not exist.
@@ -12,7 +13,8 @@ import (
 // the new parent both before (Rule 3) and after (Rule 2) the move so the
 // verifier can tell the relocation from a deletion (§4.1). ArckFS as
 // shipped performs only the persistent and auxiliary moves.
-func (t *Thread) Rename(oldPath, newPath string) error {
+func (t *Thread) Rename(oldPath, newPath string) (err error) {
+	defer t.endOp(t.beginOp(fsapi.OpRename), &err)
 	fs := t.fs
 	oldDir, oldName, err := t.resolveParent(oldPath, true)
 	if err != nil {
@@ -31,7 +33,7 @@ func (t *Thread) Rename(oldPath, newPath string) error {
 	}
 	// A cross-directory move rewrites the child's inode record, so hold
 	// the child with write intent (re-acquiring it if released).
-	child, err := fs.getMinode(childIno, true)
+	child, err := fs.getMinode(t, childIno, true)
 	if err != nil {
 		return err
 	}
@@ -42,7 +44,9 @@ func (t *Thread) Rename(oldPath, newPath string) error {
 	if protectedDirMove {
 		// §4.6 patch, case 1: serialize cross-directory directory renames
 		// through the kernel's global lease.
+		begin := t.crossStart()
 		fs.ctrl.RenameLockAcquire(fs.app)
+		t.crossEnd(telemetry.EvRenameLockAcquire, begin)
 		defer fs.ctrl.RenameLockRelease(fs.app)
 		// §4.6 patch, case 2: refuse renaming a directory into itself or
 		// one of its own descendants.
@@ -89,7 +93,7 @@ func (t *Thread) Rename(oldPath, newPath string) error {
 		// Rule 2 (§4.1 patch): commit the new parent before the old
 		// parent can be committed or released; this is the per-operation
 		// verification that advances the child's shadow parent pointer.
-		if err := fs.ctrl.Commit(fs.app, newDir.ino); err != nil {
+		if err := fs.commitCrossing(t, newDir.ino); err != nil {
 			return err
 		}
 	}

@@ -3,6 +3,8 @@ package pmem
 import (
 	"fmt"
 	"sort"
+
+	"arckfs/internal/telemetry"
 )
 
 // Batch is a per-thread write-combining persist queue over one Device.
@@ -49,7 +51,15 @@ type Batch struct {
 	pending map[int64]struct{}
 	// scratch is the reusable sort buffer Barrier drains into.
 	scratch []int64
+	// sink, when set, receives one span event per Flush/stream/Barrier so
+	// a sampled operation's span carries its persist history. The sink is
+	// the owning thread (which no-ops when no span is open), so the
+	// disabled cost is one nil check.
+	sink telemetry.SpanSink
 }
+
+// SetSink attaches a span-event sink to the batch. Pass nil to detach.
+func (b *Batch) SetSink(s telemetry.SpanSink) { b.sink = s }
 
 // NewBatch creates a write-combining persist queue for the device.
 func (d *Device) NewBatch() *Batch {
@@ -75,13 +85,16 @@ func (b *Batch) Flush(off, n int64) {
 	if n <= 0 {
 		return
 	}
+	first := off / LineSize * LineSize
+	last := (off + n - 1) / LineSize * LineSize
+	if b.sink != nil {
+		b.sink.SpanEvent(telemetry.SpanEvFlush, first, (last-first)/LineSize+1)
+	}
 	if b.eager {
 		b.dev.Flush(off, n)
 		return
 	}
 	b.dev.check(off, n)
-	first := off / LineSize * LineSize
-	last := (off + n - 1) / LineSize * LineSize
 	for l := first; l <= last; l += LineSize {
 		if _, dup := b.pending[l]; dup {
 			b.dev.Stats.BatchDedup.Add(1)
@@ -95,6 +108,9 @@ func (b *Batch) Flush(off, n int64) {
 // stores: no clwb is queued, and the content is durable at the next
 // Barrier. In eager mode it degrades to a store plus immediate clwbs.
 func (b *Batch) WriteStream(off int64, p []byte) {
+	if b.sink != nil {
+		b.sink.SpanEvent(telemetry.SpanEvNTStore, off, int64(len(p)))
+	}
 	if b.eager {
 		b.dev.Write(off, p)
 		b.dev.Flush(off, int64(len(p)))
@@ -105,6 +121,9 @@ func (b *Batch) WriteStream(off int64, p []byte) {
 
 // ZeroStream zeroes [off, off+n) (line-aligned) with non-temporal stores.
 func (b *Batch) ZeroStream(off, n int64) {
+	if b.sink != nil {
+		b.sink.SpanEvent(telemetry.SpanEvNTStore, off, n)
+	}
 	if b.eager {
 		b.dev.Zero(off, n)
 		b.dev.Flush(off, n)
@@ -121,6 +140,7 @@ func (b *Batch) Pending() int { return len(b.pending) }
 // issues one fence. Everything flushed or streamed before the Barrier is
 // durable when it returns.
 func (b *Batch) Barrier() {
+	drained := int64(len(b.pending))
 	if !b.eager && len(b.pending) > 0 {
 		b.scratch = b.scratch[:0]
 		for l := range b.pending {
@@ -140,6 +160,9 @@ func (b *Batch) Barrier() {
 		clear(b.pending)
 	}
 	b.dev.Fence()
+	if b.sink != nil {
+		b.sink.SpanEvent(telemetry.SpanEvFence, drained, 0)
+	}
 }
 
 // Drain issues a Barrier only if lines are queued. Call sites that must

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// AppMetric indexes one per-application counter in an AppRow.
+type AppMetric int
+
+const (
+	// AppOps: operations entered through the LibFS API.
+	AppOps AppMetric = iota
+	// AppSyscalls: kernel crossings charged to the app, counted by the
+	// kernel so involuntary work (lease reclaims) is attributed too.
+	AppSyscalls
+	// AppFlushes: cache-line write-backs issued by the app's threads.
+	AppFlushes
+	// AppFences: ordering fences issued by the app's threads.
+	AppFences
+	// AppNTStores: non-temporal streaming stores by the app's threads.
+	AppNTStores
+
+	appMetricCount
+)
+
+var appMetricNames = [appMetricCount]string{
+	AppOps:      "ops",
+	AppSyscalls: "syscalls",
+	AppFlushes:  "flushes",
+	AppFences:   "fences",
+	AppNTStores: "ntstores",
+}
+
+// String returns the metric's snapshot key.
+func (m AppMetric) String() string {
+	if m >= 0 && m < appMetricCount {
+		return appMetricNames[m]
+	}
+	return "app-metric(?)"
+}
+
+// AppRow holds one application's attribution counters plus an operation
+// latency histogram (fed from sampled spans). All methods are safe on a
+// nil row and from any goroutine.
+type AppRow struct {
+	counters [appMetricCount]atomic.Int64
+	lat      *Histogram
+}
+
+// Add increments metric by n.
+func (r *AppRow) Add(m AppMetric, n int64) {
+	if r == nil || m < 0 || m >= appMetricCount {
+		return
+	}
+	r.counters[m].Add(n)
+}
+
+// Get reads metric.
+func (r *AppRow) Get(m AppMetric) int64 {
+	if r == nil || m < 0 || m >= appMetricCount {
+		return 0
+	}
+	return r.counters[m].Load()
+}
+
+// Latency returns the row's op-latency histogram.
+func (r *AppRow) Latency() *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lat
+}
+
+// RecordLatency records one operation latency in nanoseconds.
+func (r *AppRow) RecordLatency(ns int64) {
+	if r == nil {
+		return
+	}
+	r.lat.Record(ns)
+}
+
+// AppStat is one application's attribution snapshot.
+type AppStat struct {
+	App      int64           `json:"app"`
+	Ops      int64           `json:"ops"`
+	Syscalls int64           `json:"syscalls"`
+	Flushes  int64           `json:"flushes"`
+	Fences   int64           `json:"fences"`
+	NTStores int64           `json:"ntstores"`
+	Latency  *LatencySummary `json:"latency,omitempty"`
+}
+
+// AppDelta subtracts two attribution snapshots, returning after-before
+// per app (apps absent from before count from zero; apps absent from
+// after are dropped). Latency summaries are cumulative histograms and
+// cannot be subtracted, so the after-side summary is carried through.
+func AppDelta(before, after []AppStat) []AppStat {
+	prev := make(map[int64]AppStat, len(before))
+	for _, st := range before {
+		prev[st.App] = st
+	}
+	out := make([]AppStat, 0, len(after))
+	for _, st := range after {
+		p := prev[st.App]
+		st.Ops -= p.Ops
+		st.Syscalls -= p.Syscalls
+		st.Flushes -= p.Flushes
+		st.Fences -= p.Fences
+		st.NTStores -= p.NTStores
+		out = append(out, st)
+	}
+	return out
+}
+
+// AppDim is the app-keyed dimension of the counter registry: one AppRow
+// per application ID, created on first touch. The kernel charges
+// crossings into it and each LibFS charges persist traffic, so a snapshot
+// ranks tenants by the cost they impose on the shared substrate.
+type AppDim struct {
+	rows sync.Map // int64 -> *AppRow
+}
+
+// NewAppDim creates an empty dimension.
+func NewAppDim() *AppDim { return &AppDim{} }
+
+// Row returns (creating if needed) the row for app. Nil-safe: a nil
+// dimension returns a nil row, whose methods are no-ops.
+func (d *AppDim) Row(app int64) *AppRow {
+	if d == nil {
+		return nil
+	}
+	if v, ok := d.rows.Load(app); ok {
+		return v.(*AppRow)
+	}
+	v, _ := d.rows.LoadOrStore(app, &AppRow{lat: NewHistogram()})
+	return v.(*AppRow)
+}
+
+// Add increments app's metric by n.
+func (d *AppDim) Add(app int64, m AppMetric, n int64) { d.Row(app).Add(m, n) }
+
+// Snapshot returns every row's current counters, sorted by app ID.
+func (d *AppDim) Snapshot() []AppStat {
+	if d == nil {
+		return nil
+	}
+	var out []AppStat
+	d.rows.Range(func(k, v any) bool {
+		r := v.(*AppRow)
+		st := AppStat{
+			App:      k.(int64),
+			Ops:      r.Get(AppOps),
+			Syscalls: r.Get(AppSyscalls),
+			Flushes:  r.Get(AppFlushes),
+			Fences:   r.Get(AppFences),
+			NTStores: r.Get(AppNTStores),
+		}
+		if s := r.lat.Summary(); s.Count > 0 {
+			st.Latency = &s
+		}
+		out = append(out, st)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out
+}

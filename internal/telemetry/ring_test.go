@@ -78,6 +78,70 @@ func TestRingConcurrent(t *testing.T) {
 	}
 }
 
+// TestRingWraparoundConcurrentWriters drives many writers through
+// several full wraps of a small ring, then settles it with a quiescent
+// pass. During the storm every observed event must be internally
+// consistent (no torn payloads — each slot swap is one pointer store);
+// after the settle pass the ring must hold exactly the newest window.
+func TestRingWraparoundConcurrentWriters(t *testing.T) {
+	const (
+		capacity  = 32
+		writers   = 16
+		perWriter = 2000
+	)
+	r := NewRing(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Payload rule: Ino == uint64(A) + 1, B == A * 2. A torn
+				// event would break it.
+				a := int64(w*perWriter + i)
+				r.Record(EvGrantPages, int64(w), uint64(a)+1, a, a*2)
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 500; i++ {
+			for _, ev := range r.Snapshot() {
+				if ev.Ino != uint64(ev.A)+1 || ev.B != ev.A*2 {
+					t.Errorf("torn event observed mid-storm: %+v", ev)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+	if r.Total() != writers*perWriter {
+		t.Fatalf("Total = %d, want %d", r.Total(), writers*perWriter)
+	}
+
+	// Quiescent settle: one writer records a full window. With no
+	// concurrent claims in flight, the survivors must be exactly these.
+	base := r.Total()
+	for i := 0; i < capacity; i++ {
+		a := int64(1 << 40)
+		r.Record(EvReturnPages, 99, uint64(a)+1, a, a*2)
+	}
+	evs := r.Snapshot()
+	if len(evs) != capacity {
+		t.Fatalf("settled ring holds %d events, want %d", len(evs), capacity)
+	}
+	for i, ev := range evs {
+		if want := base + uint64(i); ev.Seq != want {
+			t.Fatalf("settled event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+		if ev.App != 99 || ev.Kind != EvReturnPages {
+			t.Fatalf("settled ring retained stale event: %+v", ev)
+		}
+	}
+}
+
 func TestEventString(t *testing.T) {
 	ev := Event{Seq: 3, Nanos: 1500000, Kind: EvLeaseExpire, App: 2, Ino: 7}
 	if s := ev.String(); !strings.Contains(s, "lease-expire") || !strings.Contains(s, "ino=7") {

@@ -1,0 +1,55 @@
+package span
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DirEnv names the environment variable that overrides the flight-record
+// artifact directory.
+const DirEnv = "ARCK_FLIGHT_DIR"
+
+// DefaultDir is where flight records land when DirEnv is unset.
+const DefaultDir = "artifacts"
+
+// ArtifactDir resolves the flight-record directory: dir if non-empty,
+// else $ARCK_FLIGHT_DIR, else "artifacts".
+func ArtifactDir(dir string) string {
+	if dir != "" {
+		return dir
+	}
+	if env := os.Getenv(DirEnv); env != "" {
+		return env
+	}
+	return DefaultDir
+}
+
+// WriteFile serializes the record as indented JSON to
+// <ArtifactDir(dir)>/<name>.json, creating the directory as needed. The
+// name is sanitized to a flat file name (path separators and other
+// non-portable runes become '-'). It returns the path written.
+func (fr *FlightRecord) WriteFile(dir, name string) (string, error) {
+	dir = ArtifactDir(dir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		}
+		return '-'
+	}, name)
+	path := filepath.Join(dir, name+".json")
+	data, err := json.MarshalIndent(fr, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package span
+
+// raceEnabled reports whether the race detector instruments this build.
+// The allocation pins skip under -race: the race runtime may allocate on
+// behalf of the measured code, which would fail the zero-alloc bound for
+// reasons unrelated to the tracer.
+const raceEnabled = false

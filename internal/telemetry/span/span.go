@@ -1,0 +1,268 @@
+// Package span records causal per-operation spans. A span opens at a
+// LibFS entry point (or at kernel mount for recovery), accumulates the
+// child events the lower layers witness on that thread — kernel
+// crossings, lease hits and misses, shard-lock waits, cache-line
+// write-backs, streaming stores, fences — and closes with the
+// operation's outcome and duration. Spans land in lock-free per-thread
+// rings, so the most recent history is always available: the slowest
+// spans explain a p99, and the full ring is the flight record a breach
+// ships with.
+//
+// Cost discipline: when the tracer is disabled, Begin is one atomic load
+// and allocates nothing; when enabled, only one operation in SampleEvery
+// allocates a span (the rest pay one local counter increment). Both
+// bounds are pinned by tests.
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arckfs/internal/fsapi"
+	"arckfs/internal/telemetry"
+)
+
+// Event is one child event inside a span.
+type Event struct {
+	// TNS is nanoseconds since the span started.
+	TNS int64 `json:"t_ns"`
+	// Kind is a telemetry.SpanEv* constant.
+	Kind uint8 `json:"-"`
+	// A and B are kind-specific payloads (see the SpanEv* docs).
+	A int64 `json:"a,omitempty"`
+	B int64 `json:"b,omitempty"`
+}
+
+// MarshalJSON renders the kind by name alongside the payloads.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type alias Event
+	return json.Marshal(struct {
+		Kind string `json:"kind"`
+		alias
+	}{Kind: telemetry.SpanEventName(e.Kind), alias: alias(e)})
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("+%.3fµs %-13s a=%d b=%d",
+		float64(e.TNS)/1e3, telemetry.SpanEventName(e.Kind), e.A, e.B)
+}
+
+// Span is one sampled operation: who ran what, how long it took, and the
+// ordered low-level history it caused.
+type Span struct {
+	ID      uint64   `json:"id"`
+	App     int64    `json:"app"`
+	Op      fsapi.Op `json:"op"`
+	StartNS int64    `json:"start_ns"` // since tracer creation
+	DurNS   int64    `json:"dur_ns"`
+	Err     string   `json:"err,omitempty"`
+	Events  []Event  `json:"events,omitempty"`
+
+	start time.Time
+}
+
+// Event appends a child event. Nil-safe so unsampled operations can call
+// through unconditionally.
+func (sp *Span) Event(kind uint8, a, b int64) {
+	if sp == nil {
+		return
+	}
+	sp.Events = append(sp.Events, Event{
+		TNS:  time.Since(sp.start).Nanoseconds(),
+		Kind: kind,
+		A:    a,
+		B:    b,
+	})
+}
+
+// SpanEvent makes *Span a telemetry.SpanSink, so a span can be handed
+// directly to producers (recovery) that speak only the sink interface.
+func (sp *Span) SpanEvent(kind uint8, a, b int64) { sp.Event(kind, a, b) }
+
+func (sp *Span) String() string {
+	errs := ""
+	if sp.Err != "" {
+		errs = " err=" + sp.Err
+	}
+	return fmt.Sprintf("span #%d app=%d op=%s dur=%.3fµs events=%d%s",
+		sp.ID, sp.App, sp.Op, float64(sp.DurNS)/1e3, len(sp.Events), errs)
+}
+
+// Count returns how many child events of kind the span holds.
+func (sp *Span) Count(kind uint8) int {
+	if sp == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range sp.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Tracer owns the enable flag, the sampling policy, and the registry of
+// per-thread rings. All methods are safe on a nil tracer.
+type Tracer struct {
+	enabled atomic.Bool
+	mask    uint64 // sample when local counter & mask == 0
+	ringCap int
+	ids     atomic.Uint64
+	nrec    atomic.Int64
+	start   time.Time
+
+	mu     sync.Mutex
+	locals []*Local
+}
+
+// DefaultSampleEvery is the default sampling period: 1 in 64 operations.
+const DefaultSampleEvery = 64
+
+// DefaultRingCap is the default per-thread ring capacity.
+const DefaultRingCap = 256
+
+// New creates a tracer whose locals keep ringCap spans each and sample 1
+// in sampleEvery operations (rounded up to a power of two; <=1 samples
+// everything). The tracer starts disabled.
+func New(ringCap, sampleEvery int) *Tracer {
+	if ringCap < 16 {
+		ringCap = DefaultRingCap
+	}
+	mask := uint64(0)
+	if sampleEvery > 1 {
+		p := 1
+		for p < sampleEvery {
+			p <<= 1
+		}
+		mask = uint64(p - 1)
+	}
+	return &Tracer{mask: mask, ringCap: ringCap, start: time.Now()}
+}
+
+// SetEnabled turns recording on or off. Spans already in the rings are
+// kept.
+func (tr *Tracer) SetEnabled(on bool) {
+	if tr == nil {
+		return
+	}
+	tr.enabled.Store(on)
+}
+
+// Enabled reports whether the tracer records.
+func (tr *Tracer) Enabled() bool { return tr != nil && tr.enabled.Load() }
+
+// Recorded returns how many spans were ever completed (the "span.recorded"
+// gauge; benchmarks pin it at zero when tracing is off).
+func (tr *Tracer) Recorded() int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.nrec.Load()
+}
+
+// NewLocal registers a per-thread recording ring. A Local must only be
+// used from one goroutine at a time (snapshots may come from anywhere).
+func (tr *Tracer) NewLocal() *Local {
+	if tr == nil {
+		return nil
+	}
+	l := &Local{tr: tr, slots: make([]atomic.Pointer[Span], tr.ringCap)}
+	tr.mu.Lock()
+	tr.locals = append(tr.locals, l)
+	tr.mu.Unlock()
+	return l
+}
+
+// Snapshot returns every retained span across all locals, oldest first.
+func (tr *Tracer) Snapshot() []*Span {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	locals := make([]*Local, len(tr.locals))
+	copy(locals, tr.locals)
+	tr.mu.Unlock()
+	var out []*Span
+	for _, l := range locals {
+		for i := range l.slots {
+			if sp := l.slots[i].Load(); sp != nil {
+				out = append(out, sp)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartNS < out[j].StartNS })
+	return out
+}
+
+// Slowest returns up to n retained spans ordered by descending duration.
+func (tr *Tracer) Slowest(n int) []*Span {
+	spans := tr.Snapshot()
+	sort.Slice(spans, func(i, j int) bool { return spans[i].DurNS > spans[j].DurNS })
+	if n > 0 && len(spans) > n {
+		spans = spans[:n]
+	}
+	return spans
+}
+
+// FlightRecord is the JSON artifact a breach ships with: the cause and
+// the retained span history leading up to it.
+type FlightRecord struct {
+	Reason string  `json:"reason"`
+	Detail string  `json:"detail,omitempty"`
+	Spans  []*Span `json:"spans"`
+}
+
+// Flight captures the current retained history under a reason.
+func (tr *Tracer) Flight(reason, detail string) *FlightRecord {
+	return &FlightRecord{Reason: reason, Detail: detail, Spans: tr.Snapshot()}
+}
+
+// Local is one thread's recording ring.
+type Local struct {
+	tr    *Tracer
+	slots []atomic.Pointer[Span]
+	seq   atomic.Uint64
+	n     uint64 // sampling counter; owner-thread only
+}
+
+// Begin opens a span for op, or returns nil (a no-op span) when tracing
+// is disabled or the operation is not sampled. The disabled path is one
+// atomic load and does not allocate.
+func (l *Local) Begin(op fsapi.Op, app int64) *Span {
+	if l == nil || !l.tr.enabled.Load() {
+		return nil
+	}
+	n := l.n
+	l.n++
+	if n&l.tr.mask != 0 {
+		return nil
+	}
+	now := time.Now()
+	return &Span{
+		ID:      l.tr.ids.Add(1),
+		App:     app,
+		Op:      op,
+		StartNS: now.Sub(l.tr.start).Nanoseconds(),
+		start:   now,
+	}
+}
+
+// End closes sp with the operation's outcome and publishes it to the
+// ring. Nil-safe for unsampled operations.
+func (l *Local) End(sp *Span, err error) {
+	if l == nil || sp == nil {
+		return
+	}
+	sp.DurNS = time.Since(sp.start).Nanoseconds()
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	seq := l.seq.Add(1) - 1
+	l.slots[seq%uint64(len(l.slots))].Store(sp)
+	l.tr.nrec.Add(1)
+}
