@@ -4,9 +4,9 @@
 // Usage:
 //
 //	arckbench -exp figure3|figure4|table2|dataScale|fxmark|filebench|leveldb|table4|crashmc|all \
-//	          [-threads 1,2,4,8,16,32,48] [-ops 20000] [-dev 512] [-fast] \
+//	          [-threads 1,2,4,8,16,32,64] [-ops 20000] [-dev 512] [-fast] \
 //	          [-systems arckfs,arckfs+,nova,pmfs,kucofs] [-persist batched|eager] \
-//	          [-serial-kernel] [-json out.json] [-sha <commit>] [-timestamp <rfc3339>]
+//	          [-serial-kernel] [-serial-data] [-json out.json] [-sha <commit>] [-timestamp <rfc3339>]
 //
 // -json writes a machine-readable run record alongside the rendered
 // tables: provenance (git commit, wall time, deterministic config
@@ -29,6 +29,14 @@
 // whose per-op syscalls and syscalls_avoided deltas expose the lease
 // hit rate directly.
 //
+// -serial-data reverts the ArckFS data plane to its locked read paths
+// (bucket locks on directory lookups, per-inode reader-writer locks on
+// file reads); pairing it with a default run quantifies the RCU
+// lock-free read paths (see EXPERIMENTS.md). The fxmark MRSL workload —
+// shared-directory open/stat/read — is the read-mostly cell built for
+// that comparison, and its per-op read_locks delta pins the lock-free
+// path at zero bucket-lock acquisitions.
+//
 // -exp crashmc runs the crash-state model-checking campaign instead of
 // a benchmark (not part of "all"); the process exits non-zero on any
 // oracle mismatch, which is how CI uses it as a smoke gate.
@@ -50,7 +58,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: figure3, figure4, table2, dataScale, fxmark, filebench, leveldb, table4, crashmc, all")
-	threads := flag.String("threads", "1,2,4,8,16,32,48", "comma-separated thread sweep")
+	threads := flag.String("threads", "1,2,4,8,16,32,64", "comma-separated thread sweep")
 	ops := flag.Int("ops", 20000, "total operations per measurement cell")
 	dev := flag.Int64("dev", 512, "device size in MiB per instance")
 	fast := flag.Bool("fast", false, "disable the calibrated cost model (unit-test speed)")
@@ -63,6 +71,7 @@ func main() {
 	timestamp := flag.String("timestamp", "", "RFC3339 wall time recorded in the run record (default: now, read outside any measured region)")
 	persist := flag.String("persist", "batched", "ArckFS persist schedule: batched or eager")
 	serial := flag.Bool("serial-kernel", false, "run the ArckFS kernels single-locked and lease-free (control-plane A/B baseline)")
+	serialData := flag.Bool("serial-data", false, "run the ArckFS data plane with locked read paths (data-plane A/B baseline)")
 	flag.Parse()
 
 	if *persist != "batched" && *persist != "eager" {
@@ -88,15 +97,16 @@ func main() {
 		ths = append(ths, v)
 	}
 	cfg := experiments.Config{
-		Systems:   strings.Split(*systems, ","),
-		Threads:   ths,
-		TotalOps:  *ops,
-		DevSize:   *dev << 20,
-		Realistic: !*fast,
-		Trials:    *trials,
-		Eager:     *persist == "eager",
-		Serial:    *serial,
-		Out:       os.Stdout,
+		Systems:    strings.Split(*systems, ","),
+		Threads:    ths,
+		TotalOps:   *ops,
+		DevSize:    *dev << 20,
+		Realistic:  !*fast,
+		Trials:     *trials,
+		Eager:      *persist == "eager",
+		Serial:     *serial,
+		SerialData: *serialData,
+		Out:        os.Stdout,
 	}
 	if *jsonOut != "" {
 		cfg.Rec = experiments.NewRecorder(cfg)

@@ -16,6 +16,8 @@
 //     is handed off on every return path, including early error returns.
 //   - lockorder: hlock acquisition in libfs/kernel follows the declared
 //     partial order.
+//   - rcusection: RCU read-side critical sections take no blocking lock,
+//     issue no kernel crossing, and unpin on every return path.
 //   - counterreg: telemetry counters are registered once and every
 //     namespaced counter-name literal refers to a registered counter.
 //
@@ -72,6 +74,7 @@ func Analyzers() []*Analyzer {
 		flushCheckAnalyzer,
 		epochDrainAnalyzer,
 		lockOrderAnalyzer,
+		rcuSectionAnalyzer,
 		counterRegAnalyzer,
 	}
 }

@@ -68,6 +68,7 @@ func TestGolden(t *testing.T) {
 		{"flushcheck", "flushcheck", 1},
 		{"epochdrain", "epochdrain", 0},
 		{"lockorder", "lockorder", 0},
+		{"rcusection", "rcusection", 0},
 		{"counterreg", "counterreg", 0},
 	}
 	for _, tc := range cases {
@@ -177,8 +178,8 @@ func TestMalformedAllows(t *testing.T) {
 // TestSelect covers the checker-selection surface the CLI exposes.
 func TestSelect(t *testing.T) {
 	all, err := Select("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("Select(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
 	}
 	two, err := Select("persistorder, lockorder")
 	if err != nil || len(two) != 2 {

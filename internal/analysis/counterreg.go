@@ -18,9 +18,10 @@ import (
 //     flagged against the first (sites are ordered by position, so the
 //     canonical one is stable).
 //  3. Any other string literal that looks like a namespaced counter name
-//     (pmem.*, kernel.*, verifier.*, libfs.*, trace.*) must match a
-//     registered name — the drift that silently breaks dashboards and
-//     bench tooling when a counter is renamed but a lookup key is not.
+//     (pmem.*, kernel.*, verifier.*, libfs.*, trace.*, htable.*,
+//     pmalloc.*) must match a registered name — the drift that silently
+//     breaks dashboards and bench tooling when a counter is renamed but a
+//     lookup key is not.
 //
 // The registry is program-wide: run the checker over the whole module
 // (./...) or registrations in unloaded packages will look missing.
@@ -33,8 +34,9 @@ var counterRegAnalyzer = &Analyzer{
 
 // counterNameRe matches the repository's namespaced counter names. Names
 // without a namespace dot (e.g. "syscalls") are not checked for drift but
-// still participate in the once-only rule.
-var counterNameRe = regexp.MustCompile(`^(pmem|kernel|verifier|libfs|trace)\.[a-z0-9_]+$`)
+// still participate in the once-only rule. Dotted suffixes are allowed
+// ("pmalloc.steals.remote", "kernel.shard.acquisitions").
+var counterNameRe = regexp.MustCompile(`^(pmem|kernel|verifier|libfs|trace|htable|pmalloc)\.[a-z0-9_.]+$`)
 
 type regSite struct {
 	name string

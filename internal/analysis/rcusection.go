@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// rcusection polices the RCU read-side critical sections the lock-free
+// data plane introduced. Between rcu.Reader.ReadLock and its matching
+// ReadUnlock a thread must stay lock-free and kernel-free: the grace
+// period (Domain.Synchronize) spin-waits on every pinned reader, so
+// anything that can block inside the pin — an hlock acquisition, a
+// persistence drain, or a kernel crossing — stretches every writer's
+// retire latency, and waiting on the domain itself deadlocks outright.
+//
+// Four intraprocedural rules, enforced flow-sensitively:
+//
+//  1. Every ReadLock is matched by a ReadUnlock on every path out of the
+//     function (deferred unlocks count).
+//  2. No hlock Lock/RLock while pinned. Try-acquisitions cannot block
+//     and are ignored.
+//  3. No pmem Batch.Barrier/Drain and no rcu Domain.Synchronize/Barrier
+//     while pinned (the latter is a self-deadlock: the grace period
+//     waits on the very reader issuing it).
+//  4. No kernel.Controller method call while pinned — a crossing
+//     serializes on kernel locks the reader must not hold up.
+//
+// Calls that take locks transitively (checkMapped's mapping spinlock,
+// say) are invisible by design, the same trade every flow checker here
+// makes: the rule is cheap, the read paths are short, and the reviewable
+// discipline is "the pinned region calls nothing that blocks in its own
+// body".
+var rcuSectionAnalyzer = &Analyzer{
+	Name: "rcusection",
+	Doc: "RCU read-side critical sections take no blocking lock, issue no " +
+		"kernel crossing, and unpin on every return path",
+	Run: runRCUSection,
+}
+
+type rsState struct {
+	// depth is the reader's pin nesting depth on this path.
+	depth int
+	// pinPos is the ReadLock that opened the outermost pin.
+	pinPos token.Pos
+}
+
+func (s *rsState) Copy() flowState {
+	c := *s
+	return &c
+}
+
+func (s *rsState) Merge(o flowState) {
+	// Pessimistic join: if either incoming path is pinned, the code after
+	// the join must obey the section rules.
+	os := o.(*rsState)
+	if os.depth > s.depth {
+		s.depth = os.depth
+		s.pinPos = os.pinPos
+	}
+}
+
+type rsClient struct {
+	pkg      *Package
+	prog     *Program
+	findings *[]Finding
+}
+
+func (c *rsClient) flag(pos token.Pos, format string, args ...any) {
+	*c.findings = append(*c.findings, Finding{
+		Pos:     c.prog.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *rsClient) onCall(w *flowWalker, st flowState, call *ast.CallExpr) {
+	s := st.(*rsState)
+	fn := calleeFunc(c.pkg, call)
+	if fn == nil {
+		return
+	}
+	if isMethod(fn, "internal/rcu", "Reader", "ReadLock") {
+		if s.depth == 0 {
+			s.pinPos = call.Pos()
+		}
+		s.depth++
+		return
+	}
+	if isMethod(fn, "internal/rcu", "Reader", "ReadUnlock") {
+		// Clamp rather than go negative: deferred unlocks are replayed on
+		// every path, including ones that never pinned.
+		if s.depth > 0 {
+			s.depth--
+		}
+		return
+	}
+	if s.depth == 0 {
+		return
+	}
+	recvPkg, recvType := recvTypeOf(fn)
+	name := fn.Name()
+	switch {
+	case pkgPathHasSuffix(recvPkg, "internal/hlock"):
+		if name == "Lock" || name == "RLock" {
+			c.flag(call.Pos(),
+				"hlock %s inside an RCU read-side critical section can block the grace period", name)
+		}
+	case pkgPathHasSuffix(recvPkg, "internal/pmem") && recvType == "Batch":
+		if name == "Barrier" || name == "Drain" {
+			c.flag(call.Pos(),
+				"pmem Batch.%s inside an RCU read-side critical section stalls the pinned reader on persistence", name)
+		}
+	case pkgPathHasSuffix(recvPkg, "internal/rcu") && recvType == "Domain":
+		if name == "Synchronize" || name == "Barrier" {
+			c.flag(call.Pos(),
+				"rcu Domain.%s inside an RCU read-side critical section deadlocks: the grace period waits on this reader", name)
+		}
+	case pkgPathHasSuffix(recvPkg, "internal/kernel") && recvType == "Controller":
+		c.flag(call.Pos(),
+			"kernel crossing Controller.%s inside an RCU read-side critical section", name)
+	}
+}
+
+func (c *rsClient) onReturn(st flowState, _ token.Pos) {
+	s := st.(*rsState)
+	if s.depth > 0 {
+		c.flag(s.pinPos,
+			"RCU read-side section entered here is not exited on every return path")
+	}
+}
+
+func runRCUSection(prog *Program) []Finding {
+	var findings []Finding
+	eachFunc(prog, func(pkg *Package, decl *ast.FuncDecl) {
+		if pkgPathHasSuffix(pkg.Path, "internal/rcu") {
+			// The reader implementation is exempt: it manipulates its own
+			// pin depth in ways the abstract rules misread.
+			return
+		}
+		c := &rsClient{pkg: pkg, prog: prog, findings: &findings}
+		walkFunc(pkg, decl.Body, c, &rsState{})
+	})
+	return findings
+}

@@ -1,0 +1,8 @@
+// Package kernel mimics the real control-plane API surface for
+// rcusection fixtures: any Controller method is a kernel crossing.
+package kernel
+
+type Controller struct{}
+
+func (c *Controller) AcquireInode(ino uint64) error { return nil }
+func (c *Controller) ReleaseInode(ino uint64) error { return nil }

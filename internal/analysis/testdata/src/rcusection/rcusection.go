@@ -1,0 +1,144 @@
+// Package rcusection exercises the RCU read-side discipline: pinned
+// sections must stay lock-free and kernel-free, and every pin must be
+// released on every path out of the function.
+package rcusection
+
+import (
+	"fixture/internal/hlock"
+	"fixture/internal/kernel"
+	"fixture/internal/pmem"
+	"fixture/internal/rcu"
+)
+
+// balanced pins and unpins inline: clean.
+func balanced(rd *rcu.Reader) int {
+	rd.ReadLock()
+	v := probe()
+	rd.ReadUnlock()
+	return v
+}
+
+// deferred unpin covers every path, early error return included: clean.
+func deferred(rd *rcu.Reader, fail bool) int {
+	rd.ReadLock()
+	defer rd.ReadUnlock()
+	if fail {
+		return -1
+	}
+	return probe()
+}
+
+// nested pins are legal as long as both are released: clean.
+func nested(rd *rcu.Reader) {
+	rd.ReadLock()
+	rd.ReadLock()
+	probe()
+	rd.ReadUnlock()
+	rd.ReadUnlock()
+}
+
+// earlyReturn leaves the function pinned on the error path.
+func earlyReturn(rd *rcu.Reader, fail bool) int {
+	rd.ReadLock() // want "not exited on every return path"
+	if fail {
+		return -1
+	}
+	v := probe()
+	rd.ReadUnlock()
+	return v
+}
+
+// lockInside takes a blocking spinlock while pinned.
+func lockInside(rd *rcu.Reader, mu *hlock.SpinLock) {
+	rd.ReadLock()
+	defer rd.ReadUnlock()
+	mu.Lock() // want "hlock Lock inside an RCU read-side critical section"
+	mu.Unlock()
+}
+
+// rlockInside: reader-writer read acquisition blocks too.
+func rlockInside(rd *rcu.Reader, rw *hlock.RWSpin) {
+	rd.ReadLock()
+	rw.RLock() // want "hlock RLock inside an RCU read-side critical section"
+	rw.RUnlock()
+	rd.ReadUnlock()
+}
+
+// tryInside: try-acquisitions cannot block — clean.
+func tryInside(rd *rcu.Reader, mu *hlock.SpinLock) {
+	rd.ReadLock()
+	defer rd.ReadUnlock()
+	if mu.TryLock() {
+		mu.Unlock()
+	}
+}
+
+// lockAfter takes the same lock after unpinning: clean.
+func lockAfter(rd *rcu.Reader, mu *hlock.SpinLock) {
+	rd.ReadLock()
+	probe()
+	rd.ReadUnlock()
+	mu.Lock()
+	mu.Unlock()
+}
+
+// barrierInside stalls the pinned reader on persistence.
+func barrierInside(rd *rcu.Reader, b *pmem.Batch) {
+	rd.ReadLock()
+	b.Barrier() // want "Batch.Barrier inside an RCU read-side critical section"
+	rd.ReadUnlock()
+}
+
+// flushInside only queues a line — non-blocking, clean.
+func flushInside(rd *rcu.Reader, b *pmem.Batch) {
+	rd.ReadLock()
+	b.Flush(0, 64)
+	rd.ReadUnlock()
+	b.Barrier()
+}
+
+// syncInside waits for a grace period from inside one: self-deadlock.
+func syncInside(rd *rcu.Reader, dom *rcu.Domain) {
+	rd.ReadLock()
+	dom.Synchronize() // want "Domain.Synchronize inside an RCU read-side critical section deadlocks"
+	rd.ReadUnlock()
+}
+
+// deferInside hands off reclamation asynchronously — clean.
+func deferInside(rd *rcu.Reader, dom *rcu.Domain) {
+	rd.ReadLock()
+	dom.Defer(func() {})
+	rd.ReadUnlock()
+}
+
+// crossingInside issues a kernel crossing while pinned.
+func crossingInside(rd *rcu.Reader, ctrl *kernel.Controller) error {
+	rd.ReadLock()
+	defer rd.ReadUnlock()
+	return ctrl.AcquireInode(7) // want "kernel crossing Controller.AcquireInode inside an RCU read-side critical section"
+}
+
+// crossingBefore resolves ownership before pinning: clean.
+func crossingBefore(rd *rcu.Reader, ctrl *kernel.Controller) error {
+	if err := ctrl.AcquireInode(7); err != nil {
+		return err
+	}
+	rd.ReadLock()
+	defer rd.ReadUnlock()
+	probe()
+	return nil
+}
+
+// branchPin pins on one arm only; the join is treated as pinned, so the
+// unpin on both tails keeps every path balanced: clean.
+func branchPin(rd *rcu.Reader, fast bool) {
+	if fast {
+		rd.ReadLock()
+		probe()
+		rd.ReadUnlock()
+		return
+	}
+	probe()
+}
+
+func probe() int { return 1 }

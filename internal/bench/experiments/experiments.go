@@ -31,7 +31,7 @@ var AllSystems = []string{"arckfs", "arckfs+", "nova", "pmfs", "kucofs"}
 type Config struct {
 	// Systems to measure (default AllSystems).
 	Systems []string
-	// Threads is the scalability sweep (default 1,2,4,8,16,32,48).
+	// Threads is the scalability sweep (default 1,2,4,8,16,32,64).
 	Threads []int
 	// TotalOps is the per-cell operation budget, divided across threads.
 	TotalOps int
@@ -52,6 +52,10 @@ type Config struct {
 	// (baselines are unaffected). Used to A/B the sharded control plane;
 	// recorded in the -json output as config.kernel.
 	Serial bool
+	// SerialData runs the ArckFS data plane with its pre-RCU locked read
+	// paths (baselines are unaffected). Used to A/B the lock-free data
+	// plane; recorded in the -json output as config.data.
+	SerialData bool
 	// Out receives rendered tables.
 	Out io.Writer
 	// Rec, when non-nil, accumulates machine-readable cells for the
@@ -64,7 +68,7 @@ func (c *Config) fill() {
 		c.Systems = AllSystems
 	}
 	if len(c.Threads) == 0 {
-		c.Threads = []int{1, 2, 4, 8, 16, 32, 48}
+		c.Threads = []int{1, 2, 4, 8, 16, 32, 64}
 	}
 	if c.TotalOps == 0 {
 		c.TotalOps = 20000
@@ -107,6 +111,9 @@ type FSOpts struct {
 	// Serial runs the ArckFS kernel single-locked and lease-free
 	// (baselines ignore it).
 	Serial bool
+	// SerialData runs the ArckFS data plane with locked read paths
+	// (baselines ignore it).
+	SerialData bool
 }
 
 // MakeFSWith constructs a fresh instance of the named file system under
@@ -116,6 +123,7 @@ func MakeFSWith(name string, o FSOpts) (fsapi.FS, error) {
 		sys, err := core.NewSystem(core.Config{
 			Mode: mode, DevSize: o.DevSize, Cost: o.Cost,
 			EagerPersist: o.Eager, SerialKernel: o.Serial,
+			SerialData: o.SerialData,
 		})
 		if err != nil {
 			return nil, err
@@ -141,6 +149,7 @@ func MakeFSWith(name string, o FSOpts) (fsapi.FS, error) {
 func (c *Config) makeFS(name string) (fsapi.FS, error) {
 	return MakeFSWith(name, FSOpts{
 		DevSize: c.DevSize, Cost: c.cost(), Eager: c.Eager, Serial: c.Serial,
+		SerialData: c.SerialData,
 	})
 }
 
@@ -275,7 +284,7 @@ func Fxmark(cfg Config) error {
 	if trials > 2 {
 		trials = 2
 	}
-	for _, group := range [][]fxmark.Workload{fxmark.Metadata, fxmark.Leases, fxmark.DataOps} {
+	for _, group := range [][]fxmark.Workload{fxmark.Metadata, fxmark.Leases, fxmark.Lookup, fxmark.DataOps} {
 		for _, w := range group {
 			series := harness.NewSeries("FxMark — " + w.Name + ": " + w.Desc + " (ops/sec)")
 			for _, sysName := range cfg.Systems {

@@ -58,6 +58,10 @@ type RunConfig struct {
 	// (lock-striped state plus grant leases, the default) or "serial"
 	// (one exclusive lock per crossing, no leases).
 	Kernel string `json:"kernel"`
+	// Data is the ArckFS data-plane shape the run used: "lockfree"
+	// (RCU-protected read paths, the default) or "serial" (bucket and
+	// per-inode locks on every read).
+	Data string `json:"data"`
 }
 
 // Hash is the deterministic digest trajectory rows are keyed by: two
@@ -108,6 +112,10 @@ func NewRecorder(cfg Config) *Recorder {
 	if cfg.Serial {
 		kern = "serial"
 	}
+	data := "lockfree"
+	if cfg.SerialData {
+		data = "serial"
+	}
 	rc := RunConfig{
 		Systems:   cfg.Systems,
 		Threads:   cfg.Threads,
@@ -117,6 +125,7 @@ func NewRecorder(cfg Config) *Recorder {
 		Trials:    cfg.Trials,
 		Persist:   persist,
 		Kernel:    kern,
+		Data:      data,
 	}
 	return &Recorder{rec: RunRecord{
 		Tool:       "arckbench",
@@ -155,6 +164,12 @@ var perOpKeys = map[string]string{
 	// span.recorded is the tracer's sampled-span gauge: zero whenever
 	// tracing is disabled, which the obs-smoke CI bound pins.
 	"span.recorded": "spans",
+	// htable.read_locks counts read-path bucket-lock acquisitions: zero
+	// under the lock-free data plane, which the benchcheck bound pins.
+	"htable.read_locks": "read_locks",
+	// pmalloc.steals.remote counts pages stolen across NUMA node groups;
+	// node-local allocation paths keep it at zero.
+	"pmalloc.steals.remote": "steals_remote",
 }
 
 // Add records one harness result under the given experiment name.

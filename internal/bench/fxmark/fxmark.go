@@ -436,6 +436,11 @@ func ByName(name string) (Workload, bool) {
 			return w, true
 		}
 	}
+	for _, w := range Lookup {
+		if w.Name == name {
+			return w, true
+		}
+	}
 	return Workload{}, false
 }
 

@@ -72,6 +72,11 @@ type Config struct {
 	// are disabled (libfs.Options.NoLeases). Benchmarks use it as the
 	// A/B baseline for the sharded control plane.
 	SerialKernel bool
+	// SerialData reverts the data plane to its pre-RCU shape: directory
+	// lookups take the bucket lock and file reads take the per-inode
+	// reader-writer lock (libfs.Options.SerialData). Benchmarks use it
+	// as the A/B baseline for the lock-free read paths.
+	SerialData bool
 	// RecoverWorkers bounds the recovery worker pool used by Recover; 0
 	// picks a default from GOMAXPROCS, 1 forces the serial scan.
 	RecoverWorkers int
@@ -198,6 +203,18 @@ func (s *System) initTelemetry() {
 	// per-thread rings; the obs-smoke bench bound pins it at ~0 when
 	// tracing is disabled.
 	s.tel.Gauge("span.recorded", s.tracer.Recorded)
+	// "htable.read_locks" counts bucket-lock acquisitions taken on behalf
+	// of directory lookups, summed across applications. The lock-free
+	// data plane never takes one, which the benchcheck bound pins at 0.
+	s.tel.Gauge("htable.read_locks", func() int64 {
+		s.appsMu.Lock()
+		defer s.appsMu.Unlock()
+		var n int64
+		for _, fs := range s.apps {
+			n += fs.ReadLockCount()
+		}
+		return n
+	})
 }
 
 // Telemetry returns the system-wide counter set.
@@ -278,6 +295,7 @@ func (s *System) NewApp(uid, gid uint32) *libfs.FS {
 		DirBuckets:   s.cfg.DirBuckets,
 		EagerPersist: s.cfg.EagerPersist,
 		NoLeases:     s.cfg.SerialKernel,
+		SerialData:   s.cfg.SerialData,
 	})
 	fs.SetTelemetry(s.tel)
 	fs.SetObservability(s.tracer, s.appDim.Row(int64(app)))

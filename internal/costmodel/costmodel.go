@@ -49,6 +49,11 @@ type Model struct {
 	// inode's core state into a LibFS (page-table manipulation).
 	MapNS   int64
 	UnmapNS int64
+	// NUMARemoteNS is charged per page the allocator steals from a
+	// stripe belonging to a different NUMA node group: remote-socket PM
+	// access pays an interconnect round trip on top of the media
+	// latency.
+	NUMARemoteNS int64
 }
 
 // Zero charges nothing anywhere; useful to name intent at call sites.
@@ -71,6 +76,7 @@ func Default() *Model {
 		VerifyPageNS:   120,
 		MapNS:          400,
 		UnmapNS:        300,
+		NUMARemoteNS:   130,
 	}
 }
 
@@ -188,5 +194,13 @@ func (m *Model) Map() {
 func (m *Model) Unmap() {
 	if m != nil {
 		Spin(m.UnmapNS)
+	}
+}
+
+// NUMARemote charges the interconnect cost of pulling n pages from a
+// remote NUMA node's stripe group.
+func (m *Model) NUMARemote(n int) {
+	if m != nil && m.NUMARemoteNS > 0 && n > 0 {
+		Spin(m.NUMARemoteNS * int64(n))
 	}
 }

@@ -90,5 +90,16 @@ func Campaign() []Config {
 			Warmup: warm,
 			Ops:    mixed,
 		},
+		{
+			// The locked data plane must be crash-equivalent to the
+			// lock-free default: the read discipline changes no write path,
+			// so this run must stay clean over the same schedule (and
+			// TestSerialDataCrashStatesMatchLockFree pins the state sets as
+			// identical, not merely both clean).
+			Name:       "mixed-ops/serial-data",
+			SerialData: true,
+			Warmup:     warm,
+			Ops:        mixed,
+		},
 	}
 }

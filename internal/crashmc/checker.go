@@ -18,6 +18,12 @@ type Config struct {
 	Name string
 	// Bugs is the LibFS bug set under test (libfs.BugsNone = ArckFS+).
 	Bugs libfs.Bugs
+	// SerialData runs the workload under the locked data-plane read paths
+	// (libfs.Options.SerialData). The read discipline must not change the
+	// persist schedule, so a SerialData run explores the same crash-state
+	// space as the lock-free default — the campaign carries one such
+	// config as the tripwire.
+	SerialData bool
 	// Interleave optionally names an extra instrumented observation
 	// point. "marker-window" observes inside the §4.2 commit window
 	// (after the marker's flush is queued, before the final fence),
@@ -253,6 +259,7 @@ func newChecker(cfg Config) (*checker, error) {
 		GrantInoBatch:  32,
 		GrantPageBatch: 32,
 		DirBuckets:     8,
+		SerialData:     cfg.SerialData,
 	})
 	// Trace every op (sample=1): a counterexample ships with the span
 	// history of the run as its flight record.

@@ -1,0 +1,110 @@
+package crashmc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"arckfs/internal/kernel"
+	"arckfs/internal/libfs"
+	"arckfs/internal/pmem"
+)
+
+// dataPlaneCrashStates replays one mixed metadata+data schedule under the
+// given read discipline and returns the set of crash states admitted at
+// every fence (keyed by image digest), plus the final durable image's
+// digest. At each fence the first few dirty lines are enumerated through
+// every keep-subset — the truncation is deterministic, so it cuts both
+// disciplines identically and cannot mask a divergence by itself.
+func dataPlaneCrashStates(t *testing.T, serialData bool) (states map[string]bool, final string) {
+	t.Helper()
+	const long = "-0123456789-0123456789-0123456789-0123456789-0123456789"
+	dev := pmem.New(4<<20, nil)
+	ctrl, err := kernel.Format(dev, kernel.Options{InodeCap: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := libfs.New(ctrl, ctrl.RegisterApp(0, 0), libfs.Options{
+		GrantInoBatch:  32,
+		GrantPageBatch: 32,
+		DirBuckets:     8,
+		SerialData:     serialData,
+	})
+	th := fs.NewThread(0)
+	if err := th.Create("/warmup" + long); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.ReleaseAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	digest := func(img []byte) string {
+		h := fnv.New64a()
+		h.Write(img)
+		return fmt.Sprintf("%016x", h.Sum64())
+	}
+	states = map[string]bool{}
+	dev.EnableTracking()
+	const maxEnum = 6
+	dev.SetFenceObserver(func() {
+		dirty := dev.DirtyLines()
+		n := len(dirty)
+		if n > maxEnum {
+			n = maxEnum
+		}
+		for mask := 0; mask < 1<<n; mask++ {
+			var keep []int64
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					keep = append(keep, dirty[i])
+				}
+			}
+			states[digest(dev.CrashImage(pmem.CrashKeepLines(keep...)))] = true
+		}
+	})
+
+	file, moved, doomed := "/dir/file"+long, "/dir/moved"+long, "/doomed"+long
+	step := func(name string, err error) {
+		if err != nil {
+			t.Fatalf("%s (serialData=%v): %v", name, serialData, err)
+		}
+	}
+	step("mkdir", th.Mkdir("/dir"))
+	step("create", th.Create(file))
+	fd, err := th.Open(file)
+	step("open", err)
+	_, err = th.WriteAt(fd, make([]byte, 300), 0)
+	step("write", err)
+	step("close", th.Close(fd))
+	step("release", fs.ReleaseAll())
+	step("rename", th.Rename(file, moved))
+	step("truncate", th.Truncate(moved, 64))
+	step("create2", th.Create(doomed))
+	step("unlink", th.Unlink(doomed))
+	step("release2", fs.ReleaseAll())
+
+	dev.SetFenceObserver(nil)
+	return states, digest(dev.CrashImage(pmem.CrashDropAll))
+}
+
+// TestSerialDataCrashStatesMatchLockFree pins the data-plane invariant
+// the lock-free read paths rely on: the read discipline touches no write
+// path, so the locked and lock-free configurations admit exactly the
+// same crash-state set over an identical schedule and end on the same
+// durable image. A divergence means a read path started mutating persist
+// ordering — the regression this test exists to catch.
+func TestSerialDataCrashStatesMatchLockFree(t *testing.T) {
+	lockfree, lfFinal := dataPlaneCrashStates(t, false)
+	locked, lkFinal := dataPlaneCrashStates(t, true)
+	if lfFinal != lkFinal {
+		t.Fatal("final durable images differ between lock-free and serial-data runs")
+	}
+	if len(lockfree) != len(locked) {
+		t.Fatalf("crash-state count differs: lock-free %d, serial-data %d", len(lockfree), len(locked))
+	}
+	for k := range lockfree {
+		if !locked[k] {
+			t.Fatal("lock-free run admits a crash state the serial-data run does not")
+		}
+	}
+}

@@ -74,6 +74,12 @@ type Options struct {
 	// RecoverWorkers bounds the recovery worker pool (Mount/Fsck).
 	// 0 = min(GOMAXPROCS, 8); 1 = serial.
 	RecoverWorkers int
+	// NUMANodes groups the page allocator's stripes into this many NUMA
+	// node groups: refill and free stay node-local, and cross-node
+	// stealing (which pays the modeled interconnect cost) happens only
+	// when the local group is dry. 0 = 2 groups, the paper testbed's
+	// dual-socket shape; 1 = a single group (no NUMA modeling).
+	NUMANodes int
 	// AppDim, when set, receives per-application crossing counts: every
 	// syscall is charged to the calling app's row, so involuntary work
 	// (lease reclaims triggered by a competitor) is attributed too.
@@ -98,6 +104,9 @@ func (o *Options) fill() {
 	}
 	if o.TraceCap == 0 {
 		o.TraceCap = 1024
+	}
+	if o.NUMANodes == 0 {
+		o.NUMANodes = 2
 	}
 }
 
@@ -320,6 +329,7 @@ func Format(dev *pmem.Device, opts Options) (*Controller, error) {
 	// tail-set belongs to the root inode and is excluded from the free
 	// pool.
 	c.alloc = pmalloc.NewExcluding(g, rootIn.DataRoot)
+	c.alloc.ConfigureNUMA(opts.NUMANodes, c.cost)
 	c.pages[rootIn.DataRoot] = ownIno(layout.RootIno)
 	// Inode free list (descending so grants ascend).
 	for ino := g.InodeCap - 1; ino >= 2; ino-- {
@@ -380,6 +390,8 @@ func (c *Controller) RegisterTelemetry(set *telemetry.Set) {
 	set.Gauge("kernel.epoch_exclusive", c.Stats.EpochExclusive.Load)
 	set.Gauge("kernel.shard.acquisitions", func() int64 { return c.shardTelemetry(false) })
 	set.Gauge("kernel.shard.contended", func() int64 { return c.shardTelemetry(true) })
+	set.Gauge("pmalloc.steals.local", func() int64 { return c.alloc.StealsLocal() })
+	set.Gauge("pmalloc.steals.remote", func() int64 { return c.alloc.StealsRemote() })
 	set.Gauge("verifier.dentries", c.ver.Stats.Dentries.Load)
 	set.Gauge("verifier.pages", c.ver.Stats.Pages.Load)
 }

@@ -95,7 +95,8 @@ func (t *Thread) CreateBatch(dir string, names []string) (n int, err error) {
 func (fs *FS) finishBatch(t *Thread, dmi *minode, pending []pendingCreate) {
 	fs.commitBatch(t, pending)
 	for _, pc := range pending {
-		mi := &minode{ino: pc.ino, typ: layout.TypeFile, file: &fileState{}}
+		mi := &minode{ino: pc.ino, typ: layout.TypeFile}
+		mi.file.Store(&fileState{})
 		mi.parent.Store(dmi.ino)
 		mi.fresh.Store(true)
 		mi.cacheAttrs(0, 1, fs.clock.Load())

@@ -62,8 +62,8 @@ func (p *delegatePool) run(fns []func()) {
 }
 
 // delegatedCopyOut reads the block range [firstBlock, len(chunks)) of st
-// into the chunk buffers in parallel. Caller holds the file read lock, so
-// the block index is stable.
+// into the chunk buffers in parallel. The published block index is
+// immutable once loaded, so workers need no lock of their own.
 func (fs *FS) delegatedCopyOut(st *fileState, off int64, p []byte) {
 	const chunk = 64 * layout.PageSize
 	var fns []func()
@@ -80,8 +80,11 @@ func (fs *FS) delegatedCopyOut(st *fileState, off int64, p []byte) {
 	fs.delegates.run(fns)
 }
 
-// copyOutRange is the synchronous read loop over one byte range.
+// copyOutRange is the synchronous read loop over one byte range. An
+// out-of-range or zero index entry is a hole and reads as zeroes (a
+// truncate-grown file's size can exceed its published index).
 func (fs *FS) copyOutRange(st *fileState, off int64, p []byte) {
+	arr := st.blockArr()
 	read := 0
 	for read < len(p) {
 		bi := int((off + int64(read)) / layout.PageSize)
@@ -90,8 +93,12 @@ func (fs *FS) copyOutRange(st *fileState, off int64, p []byte) {
 		if n > len(p)-read {
 			n = len(p) - read
 		}
-		if bi < len(st.blocks) && st.blocks[bi] != 0 {
-			fs.dev.Read(int64(st.blocks[bi]*layout.PageSize)+bo, p[read:read+n])
+		var b uint64
+		if bi < len(arr) {
+			b = arr[bi].Load()
+		}
+		if b != 0 {
+			fs.dev.Read(int64(b*layout.PageSize)+bo, p[read:read+n])
 		} else {
 			for i := read; i < read+n; i++ {
 				p[i] = 0
@@ -128,6 +135,7 @@ func (fs *FS) delegatedCopyIn(st *fileState, off int64, p []byte) {
 // back to store+flush. With b nil (delegate workers) every span flushes
 // eagerly on the device.
 func (fs *FS) copyInRange(b *pmem.Batch, st *fileState, off int64, p []byte) {
+	arr := st.blockArr()
 	written := 0
 	for written < len(p) {
 		bi := int((off + int64(written)) / layout.PageSize)
@@ -136,7 +144,7 @@ func (fs *FS) copyInRange(b *pmem.Batch, st *fileState, off int64, p []byte) {
 		if n > len(p)-written {
 			n = len(p) - written
 		}
-		dst := int64(st.blocks[bi]*layout.PageSize) + bo
+		dst := int64(arr[bi].Load()*layout.PageSize) + bo
 		switch {
 		case b != nil && dst%pmem.LineSize == 0 && n%pmem.LineSize == 0:
 			b.WriteStream(dst, p[written:written+n])

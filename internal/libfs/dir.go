@@ -362,7 +362,8 @@ func (t *Thread) Create(path string) (err error) {
 		fs.recycleIno(ino)
 		return err
 	}
-	mi := &minode{ino: ino, typ: layout.TypeFile, file: &fileState{}}
+	mi := &minode{ino: ino, typ: layout.TypeFile}
+	mi.file.Store(&fileState{})
 	mi.parent.Store(dir.ino)
 	mi.fresh.Store(true)
 	mi.cacheAttrs(0, 1, in.MTime)
@@ -477,10 +478,11 @@ func (fs *FS) destroyFile(t *Thread, child *minode) {
 	fs.mtab.Delete(child.ino)
 	if child.fresh.Load() {
 		var pages []uint64
-		if child.file != nil {
-			pages = append(pages, child.file.mapPages...)
-			for _, b := range child.file.blocks {
-				if b != 0 {
+		if st := child.file.Load(); st != nil {
+			pages = append(pages, st.mapPages...)
+			arr := st.blockArr()
+			for bi := 0; bi < st.nblocks && bi < len(arr); bi++ {
+				if b := arr[bi].Load(); b != 0 {
 					pages = append(pages, b)
 				}
 			}

@@ -33,6 +33,10 @@ func (t *Thread) ReadAt(fd fsapi.FD, p []byte, off int64) (n int, err error) {
 	return n, err
 }
 
+// readAt dispatches to the configured data-plane read discipline. The
+// reacquire of a released inode happens before either path so the
+// lock-free variant never crosses into the kernel inside its RCU
+// critical section.
 func (t *Thread) readAt(mi *minode, p []byte, off int64) (int, error) {
 	if mi.typ != layout.TypeFile {
 		return 0, fsapi.ErrIsDir
@@ -42,21 +46,47 @@ func (t *Thread) readAt(mi *minode, p []byte, off int64) (int, error) {
 			return 0, err
 		}
 	}
+	if t.fs.opts.SerialData {
+		return t.readAtLocked(mi, p, off)
+	}
+	return t.readAtLockFree(mi, p, off)
+}
+
+// readAtLocked is the serialized baseline: the per-inode reader-writer
+// lock excludes concurrent writers for the whole copy.
+func (t *Thread) readAtLocked(mi *minode, p []byte, off int64) (int, error) {
 	mi.lock.RLock()
 	defer mi.lock.RUnlock()
+	return t.readAtCommon(mi, p, off)
+}
+
+// readAtLockFree walks the published block index inside an RCU read-side
+// critical section, taking no lock at all. Bytes that overlap a
+// concurrent write to the same region are unspecified (the serialized
+// discipline's whole-read atomicity is not preserved); the index walk
+// itself is always safe because writers publish entries before the size
+// that makes them reachable.
+func (t *Thread) readAtLockFree(mi *minode, p []byte, off int64) (int, error) {
+	t.rd.ReadLock()
+	defer t.rd.ReadUnlock()
+	return t.readAtCommon(mi, p, off)
+}
+
+func (t *Thread) readAtCommon(mi *minode, p []byte, off int64) (int, error) {
 	if err := t.fs.checkMapped(mi); err != nil {
 		return 0, err
 	}
-	st := mi.file
+	st := mi.file.Load()
 	if off < 0 {
 		return 0, fsapi.ErrInval
 	}
-	if uint64(off) >= st.size {
+	size := st.size.Load()
+	if uint64(off) >= size {
 		return 0, nil
 	}
 	n := len(p)
-	if uint64(off)+uint64(n) > st.size {
-		n = int(st.size - uint64(off))
+	if uint64(off)+uint64(n) > size {
+		n = int(size - uint64(off))
 	}
 	if n >= DelegationThreshold {
 		t.fs.delegatedCopyOut(st, off, p[:n])
@@ -108,7 +138,7 @@ func (fs *FS) writeAt(t *Thread, mi *minode, p []byte, off int64) (int, error) {
 	if err := fs.checkMapped(mi); err != nil {
 		return 0, err
 	}
-	st := mi.file
+	st := mi.file.Load()
 
 	end := uint64(off) + uint64(len(p))
 	needBlocks := layout.BlocksForSize(end)
@@ -118,13 +148,12 @@ func (fs *FS) writeAt(t *Thread, mi *minode, p []byte, off int64) (int, error) {
 	// they are durable at the data barrier (the old code never flushed
 	// them, so a crash could expose garbage through a fenced pointer).
 	var dirtyMap []int
-	for len(st.blocks) < needBlocks {
-		st.blocks = append(st.blocks, 0)
-	}
+	st.ensureBlocks(needBlocks)
+	arr := st.blockArr()
 	firstBlock := int(off / layout.PageSize)
 	lastBlock := int((end - 1) / layout.PageSize)
 	for bi := firstBlock; bi <= lastBlock; bi++ {
-		if st.blocks[bi] != 0 {
+		if arr[bi].Load() != 0 {
 			continue
 		}
 		b, err := fs.allocPage(t, t.cpu)
@@ -136,7 +165,7 @@ func (fs *FS) writeAt(t *Thread, mi *minode, p []byte, off int64) (int, error) {
 		if !fullyCovered {
 			t.pb.ZeroStream(int64(b*layout.PageSize), layout.PageSize)
 		}
-		st.blocks[bi] = b
+		arr[bi].Store(b)
 		dirtyMap = append(dirtyMap, bi)
 	}
 
@@ -154,7 +183,7 @@ func (fs *FS) writeAt(t *Thread, mi *minode, p []byte, off int64) (int, error) {
 	// mode merges data and inode into one ordering epoch (one fence per
 	// op instead of two). Eager mode keeps the unconditional fence of the
 	// pre-batching schedule.
-	if len(dirtyMap) > 0 || end > st.size || t.pb.Eager() {
+	if len(dirtyMap) > 0 || end > st.size.Load() || t.pb.Eager() {
 		t.pb.Barrier()
 	}
 
@@ -165,17 +194,19 @@ func (fs *FS) writeAt(t *Thread, mi *minode, p []byte, off int64) (int, error) {
 	}
 	for _, bi := range dirtyMap {
 		page := st.mapPages[bi/layout.MapEntriesPerPage]
-		layout.SetMapEntry(fs.dev, page, bi%layout.MapEntriesPerPage, st.blocks[bi])
+		layout.SetMapEntry(fs.dev, page, bi%layout.MapEntriesPerPage, arr[bi].Load())
 		// Adjacent 8-byte entries coalesce into single-line flushes in
 		// the batch.
 		t.pb.Flush(int64(page*layout.PageSize)+int64(bi%layout.MapEntriesPerPage)*8, 8)
 	}
-	if end > st.size {
-		st.size = end
+	// Publish the size last: a lock-free reader that observes it also
+	// observes every block pointer stored above.
+	if end > st.size.Load() {
+		st.size.Store(end)
 	}
 	fs.persistFileInode(t.pb, mi)
 	t.pb.Barrier()
-	mi.cacheAttrs(st.size, 1, fs.clock.Load())
+	mi.cacheAttrs(st.size.Load(), 1, fs.clock.Load())
 	return written, nil
 }
 
@@ -183,7 +214,7 @@ func (fs *FS) writeAt(t *Thread, mi *minode, p []byte, off int64) (int, error) {
 // pages are stream-zeroed and fenced before being linked, as the old code
 // did with a full-page flush loop.
 func (fs *FS) ensureMapCapacity(t *Thread, mi *minode, n int) error {
-	st := mi.file
+	st := mi.file.Load()
 	needPages := (n + layout.MapEntriesPerPage - 1) / layout.MapEntriesPerPage
 	for len(st.mapPages) < needPages {
 		p, err := fs.allocPage(t, t.cpu)
@@ -205,14 +236,14 @@ func (fs *FS) ensureMapCapacity(t *Thread, mi *minode, n int) error {
 // persistFileInode streams mi's rewritten inode record (size, mtime, root
 // pointer) into the batch. The caller issues the Barrier.
 func (fs *FS) persistFileInode(b *pmem.Batch, mi *minode) {
-	st := mi.file
+	st := mi.file.Load()
 	var root uint64
 	if len(st.mapPages) > 0 {
 		root = st.mapPages[0]
 	}
 	in := layout.Inode{
 		Type: layout.TypeFile, Perm: layout.PermRead | layout.PermWrite,
-		Nlink: 1, Size: st.size, DataRoot: root, Parent: mi.parent.Load(),
+		Nlink: 1, Size: st.size.Load(), DataRoot: root, Parent: mi.parent.Load(),
 		MTime: fs.now(),
 	}
 	rec := layout.EncodeInode(&in)
@@ -241,37 +272,41 @@ func (t *Thread) Truncate(path string, size uint64) (err error) {
 	if err := fs.checkMapped(mi); err != nil {
 		return err
 	}
-	st := mi.file
-	if size >= st.size {
-		st.size = size
+	st := mi.file.Load()
+	if size >= st.size.Load() {
+		st.size.Store(size)
 		if err := fs.ensureMapCapacity(t, mi, layout.BlocksForSize(size)); err != nil {
 			return err
 		}
 		fs.persistFileInode(t.pb, mi)
 		t.pb.Barrier()
-		mi.cacheAttrs(st.size, 1, fs.clock.Load())
+		mi.cacheAttrs(st.size.Load(), 1, fs.clock.Load())
 		return nil
 	}
 	keep := layout.BlocksForSize(size)
+	// Shrink the readable range before unpublishing the block pointers,
+	// so a concurrent lock-free reader never chases a freed page.
+	st.size.Store(size)
+	arr := st.blockArr()
 	var freed []uint64
-	for bi := keep; bi < len(st.blocks); bi++ {
-		if st.blocks[bi] != 0 {
-			freed = append(freed, st.blocks[bi])
+	for bi := keep; bi < st.nblocks; bi++ {
+		if b := arr[bi].Load(); b != 0 {
+			freed = append(freed, b)
 			page := st.mapPages[bi/layout.MapEntriesPerPage]
 			layout.SetMapEntry(fs.dev, page, bi%layout.MapEntriesPerPage, 0)
 			// Eight adjacent cleared entries share a line; the batch
 			// dedupes them to one write-back.
 			t.pb.Flush(int64(page*layout.PageSize)+int64(bi%layout.MapEntriesPerPage)*8, 8)
+			arr[bi].Store(0)
 		}
 	}
-	st.blocks = st.blocks[:keep]
-	st.size = size
+	st.nblocks = keep
 	fs.persistFileInode(t.pb, mi)
 	t.pb.Barrier()
 	if mi.fresh.Load() {
 		fs.recyclePages(t.cpu, freed)
 	}
-	mi.cacheAttrs(st.size, 1, fs.clock.Load())
+	mi.cacheAttrs(size, 1, fs.clock.Load())
 	return nil
 }
 

@@ -128,6 +128,13 @@ type Options struct {
 	// kernel.Options.Serialize) as the pre-scaling control-plane
 	// baseline.
 	NoLeases bool
+	// SerialData serializes the data plane's read paths: directory
+	// lookups take the bucket lock and file reads take the per-inode
+	// reader-writer lock, restoring the pre-RCU locked implementation.
+	// Benchmarks use it as the baseline side of the data-plane scaling
+	// experiment. Ignored when BugLocklessBucketRead selects the §4.5
+	// undisciplined reader.
+	SerialData bool
 }
 
 func (o *Options) fill() {
@@ -169,6 +176,12 @@ type FS struct {
 
 	nthreads atomic.Int64
 	clock    atomic.Uint64 // logical mtime source
+
+	// readLocks counts bucket-lock acquisitions made on behalf of
+	// directory lookups; only the SerialData discipline increments it,
+	// so the "htable.read_locks" telemetry gauge pins the lock-free read
+	// path at zero.
+	readLocks atomic.Int64
 
 	// Stats counts the LibFS's recovery-path events (telemetry only).
 	Stats Stats
@@ -240,6 +253,10 @@ func (fs *FS) Bugs() Bugs { return fs.opts.Bugs }
 
 // Domain exposes the RCU domain (tests).
 func (fs *FS) Domain() *rcu.Domain { return fs.dom }
+
+// ReadLockCount returns the number of bucket-lock acquisitions taken on
+// behalf of directory lookups — zero unless SerialData is set.
+func (fs *FS) ReadLockCount() int64 { return fs.readLocks.Load() }
 
 func (fs *FS) now() uint64 { return fs.clock.Add(1) }
 

@@ -48,8 +48,11 @@ type minode struct {
 	// re-acquire.
 	released atomic.Bool
 
-	dir  *dirState
-	file *fileState
+	dir *dirState
+	// file is published atomically because the lock-free read path
+	// dereferences it with no lock held; remap/reacquire swap in a fresh
+	// fileState while readers may be mid-walk on the old one.
+	file atomic.Pointer[fileState]
 }
 
 // dirState is a directory's auxiliary state plus its log-append cursors.
@@ -69,11 +72,70 @@ type tailCursor struct {
 	_    [40]byte
 }
 
-// fileState is a file's auxiliary block index. Guarded by minode.lock.
+// fileState is a file's auxiliary block index. Writers mutate it under
+// minode.lock; the lock-free read path walks it with no lock at all,
+// relying on the publication order below.
 type fileState struct {
-	blocks   []uint64 // block k of the file; 0 = hole
-	mapPages []uint64 // the PM map-chain pages backing blocks
-	size     uint64
+	// blocks is the published block index: entry k holds the PM page
+	// backing file block k, 0 = hole. Writers store new entries — and
+	// publish grown arrays — before publishing the size that makes them
+	// reachable, so a lock-free reader that observes a size also
+	// observes every block pointer below it. Superseded arrays are left
+	// to the garbage collector; unlike htable entries they are never
+	// recycled, so no grace period is needed.
+	blocks atomic.Pointer[[]atomic.Uint64]
+	// nblocks is the writer-side logical length of the index (entries at
+	// or beyond it are zero). Guarded by minode.lock.
+	nblocks int
+	// mapPages are the PM map-chain pages backing blocks; writers only.
+	mapPages []uint64
+	size     atomic.Uint64
+}
+
+// newFileState builds a published index from recovered state.
+func newFileState(size uint64, blocks, mapPages []uint64) *fileState {
+	st := &fileState{nblocks: len(blocks), mapPages: mapPages}
+	st.size.Store(size)
+	if len(blocks) > 0 {
+		arr := make([]atomic.Uint64, len(blocks))
+		for i, b := range blocks {
+			arr[i].Store(b)
+		}
+		st.blocks.Store(&arr)
+	}
+	return st
+}
+
+// blockArr returns the current published index (nil-tolerant).
+func (st *fileState) blockArr() []atomic.Uint64 {
+	if p := st.blocks.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// ensureBlocks grows the published index to hold at least n entries and
+// raises the logical length. Caller holds minode.lock; in-flight readers
+// keep walking the old array, which remains intact.
+func (st *fileState) ensureBlocks(n int) {
+	arr := st.blockArr()
+	if n > len(arr) {
+		grow := len(arr) * 2
+		if grow < 8 {
+			grow = 8
+		}
+		for grow < n {
+			grow *= 2
+		}
+		fresh := make([]atomic.Uint64, grow)
+		for i := range arr {
+			fresh[i].Store(arr[i].Load())
+		}
+		st.blocks.Store(&fresh)
+	}
+	if n > st.nblocks {
+		st.nblocks = n
+	}
 }
 
 // checkMapped returns the §4.3 simulated bus error if the inode's core
@@ -154,7 +216,7 @@ func (fs *FS) remap(t *Thread, mi *minode) error {
 	}
 	mi.mapping = m
 	mi.dir = fresh.dir
-	mi.file = fresh.file
+	mi.file.Store(fresh.file.Load())
 	mi.attrs.Store(fresh.attrs.Load())
 	mi.released.Store(false)
 	return nil
@@ -209,7 +271,7 @@ func (fs *FS) reacquire(t *Thread, mi *minode) error {
 	}
 	mi.mapping = m
 	mi.dir = fresh.dir
-	mi.file = fresh.file
+	mi.file.Store(fresh.file.Load())
 	mi.attrs.Store(fresh.attrs.Load())
 	mi.released.Store(false)
 	return nil
@@ -259,13 +321,12 @@ func (fs *FS) buildMinode(ino uint64, m *kernel.Mapping) (*minode, error) {
 		mi.dir = ds
 		mi.cacheAttrs(uint64(ds.ht.Len()), in.Nlink, in.MTime)
 	case layout.TypeFile:
-		st := &fileState{size: in.Size}
-		need := layout.BlocksForSize(in.Size)
+		var blocks, mapPages []uint64
 		if in.DataRoot != 0 {
-			st.mapPages = layout.MapChainPages(fs.dev, in.DataRoot)
-			st.blocks = layout.WalkBlockMap(fs.dev, in.DataRoot, need)
+			mapPages = layout.MapChainPages(fs.dev, in.DataRoot)
+			blocks = layout.WalkBlockMap(fs.dev, in.DataRoot, layout.BlocksForSize(in.Size))
 		}
-		mi.file = st
+		mi.file.Store(newFileState(in.Size, blocks, mapPages))
 		mi.cacheAttrs(in.Size, in.Nlink, in.MTime)
 	default:
 		return nil, fsapi.ErrStale
@@ -273,14 +334,26 @@ func (fs *FS) buildMinode(ino uint64, m *kernel.Mapping) (*minode, error) {
 	return mi, nil
 }
 
-// newDirTable builds a directory hash table honoring the §4.5 bug flag.
+// newDirTable builds a directory hash table honoring the §4.5 bug flag
+// and the data-plane A/B switch: buggy mode reads with no discipline at
+// all, SerialData takes the bucket lock per lookup (counted in
+// fs.readLocks), and the default is the RCU-protected lock-free path.
 func (fs *FS) newDirTable() *htable.Table {
-	t := htable.New(htable.Options{
-		RCUReaders:     !fs.opts.Bugs.Has(BugLocklessBucketRead),
-		Dom:            fs.dom,
+	opts := htable.Options{
 		InitialBuckets: fs.opts.DirBuckets,
 		StrictUAF:      fs.opts.StrictUAF,
-	})
+		ReadLocks:      &fs.readLocks,
+	}
+	switch {
+	case fs.opts.Bugs.Has(BugLocklessBucketRead):
+		// §4.5 as shipped: lockless and unprotected.
+	case fs.opts.SerialData:
+		opts.SerialReaders = true
+	default:
+		opts.RCUReaders = true
+		opts.Dom = fs.dom
+	}
+	t := htable.New(opts)
 	// Indirect through the Hooks struct so tests can arm the window after
 	// tables already exist.
 	t.TraverseHook = func() {

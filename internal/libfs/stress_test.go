@@ -1,0 +1,136 @@
+package libfs
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"arckfs/internal/kernel"
+	"arckfs/internal/pmem"
+)
+
+// TestLockFreeReadersVsDirectoryWriters is the data-plane stress test the
+// RCU read paths are gated on: reader threads open, stat, and read a set
+// of stable files while writer threads create, rename, and unlink other
+// names in the same directory — so every lookup races bucket mutations on
+// the chains it traverses. The stable files' contents are never written
+// during the run, making every read byte-deterministic (concurrent
+// same-region writes are allowed to return unspecified bytes, so the
+// stress keeps them out of scope). Run under -race this covers both read
+// disciplines; the lock-free one is the subtest that exercises the RCU
+// machinery.
+func TestLockFreeReadersVsDirectoryWriters(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		name := "lockfree"
+		if serial {
+			name = "serialdata"
+		}
+		t.Run(name, func(t *testing.T) {
+			// Built directly rather than via newFS: the discipline must be
+			// fixed at construction, before the root directory table exists.
+			dev := pmem.New(64<<20, nil)
+			ctrl, err := kernel.Format(dev, kernel.Options{InodeCap: 1 << 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs := New(ctrl, ctrl.RegisterApp(0, 0), Options{SerialData: serial})
+			setup := th(t, fs)
+			if err := setup.Mkdir("/shared"); err != nil {
+				t.Fatal(err)
+			}
+			const stable = 8
+			want := make([][]byte, stable)
+			for i := 0; i < stable; i++ {
+				p := fmt.Sprintf("/shared/stable%d", i)
+				if err := setup.Create(p); err != nil {
+					t.Fatal(err)
+				}
+				fd, err := setup.Open(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = []byte(fmt.Sprintf("payload-%d-0123456789", i))
+				if _, err := setup.WriteAt(fd, want[i], 0); err != nil {
+					t.Fatal(err)
+				}
+				if err := setup.Close(fd); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			errs := make(chan error, 8)
+			for r := 0; r < 3; r++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					rt := fs.NewThread(tid).(*Thread)
+					rng := rand.New(rand.NewSource(int64(tid)*131 + 17))
+					buf := make([]byte, 64)
+					for !stop.Load() {
+						k := rng.Intn(stable)
+						p := fmt.Sprintf("/shared/stable%d", k)
+						if _, err := rt.Stat(p); err != nil {
+							errs <- fmt.Errorf("stat %s: %w", p, err)
+							return
+						}
+						fd, err := rt.Open(p)
+						if err != nil {
+							errs <- fmt.Errorf("open %s: %w", p, err)
+							return
+						}
+						n, err := rt.ReadAt(fd, buf, 0)
+						if err != nil {
+							errs <- fmt.Errorf("read %s: %w", p, err)
+							return
+						}
+						if n != len(want[k]) || string(buf[:n]) != string(want[k]) {
+							errs <- fmt.Errorf("read %s: got %q, want %q", p, buf[:n], want[k])
+							return
+						}
+						if err := rt.Close(fd); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(1 + r)
+			}
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					wt := fs.NewThread(10 + w).(*Thread)
+					for i := 0; i < 400; i++ {
+						a := fmt.Sprintf("/shared/w%d-a%d", w, i%32)
+						b := fmt.Sprintf("/shared/w%d-b%d", w, i%32)
+						if err := wt.Create(a); err != nil {
+							errs <- fmt.Errorf("create %s: %w", a, err)
+							return
+						}
+						if err := wt.Rename(a, b); err != nil {
+							errs <- fmt.Errorf("rename %s: %w", a, err)
+							return
+						}
+						if err := wt.Unlink(b); err != nil {
+							errs <- fmt.Errorf("unlink %s: %w", b, err)
+							return
+						}
+					}
+					stop.Store(true)
+				}(w)
+			}
+			wg.Wait()
+			stop.Store(true)
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+			// Drain deferred bucket-entry reclamation before the device goes
+			// away with the test.
+			fs.Domain().Barrier()
+		})
+	}
+}
