@@ -1,0 +1,30 @@
+package crashmc
+
+import "testing"
+
+// TestCrashStateEnumerationDeterministic pins the property the
+// discipline-equivalence gate stands on: replaying the same schedule
+// twice yields the same crash-state set and final image. The enumeration
+// samples a truncated prefix of the dirty-line list at every fence, so
+// any map-iteration order leaking into DirtyLines, verification results,
+// or release order shows up here as a run-to-run diff long before it
+// makes TestSerialDataCrashStatesMatchLockFree flake.
+func TestCrashStateEnumerationDeterministic(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		a, af := dataPlaneCrashStates(t, serial)
+		b, bf := dataPlaneCrashStates(t, serial)
+		if af != bf {
+			t.Errorf("serialData=%v: final images differ between identical runs", serial)
+		}
+		if len(a) != len(b) {
+			t.Errorf("serialData=%v: crash-state count differs between identical runs: %d vs %d",
+				serial, len(a), len(b))
+		}
+		for k := range a {
+			if !b[k] {
+				t.Errorf("serialData=%v: crash state admitted by run A is missing from run B", serial)
+				break
+			}
+		}
+	}
+}

@@ -471,6 +471,10 @@ func (t *Thread) Unlink(path string) (err error) {
 
 // destroyFile tears down an unlinked file: zero the inode record and,
 // when the kernel never learned of the inode, recycle its resources.
+// The resources are retired through the RCU domain, not recycled in
+// place: child.lock excludes only SerialData readers, so on the
+// lock-free plane a thread with an open FD can be mid-copyOutRange on
+// these very pages, and reuse must wait out its read-side section.
 func (fs *FS) destroyFile(t *Thread, child *minode) {
 	child.lock.Lock()
 	layout.FreeInode(fs.dev, fs.geo, child.ino)
@@ -487,8 +491,8 @@ func (fs *FS) destroyFile(t *Thread, child *minode) {
 				}
 			}
 		}
-		fs.recyclePages(t.cpu, pages)
-		fs.recycleIno(child.ino)
+		fs.retirePages(t, pages)
+		fs.retireIno(t, child.ino)
 	}
 	child.lock.Unlock()
 }
@@ -535,8 +539,10 @@ func (t *Thread) Rmdir(path string) (err error) {
 			}
 			_ = tc
 		}
-		fs.recyclePages(t.cpu, pages)
-		fs.recycleIno(child.ino)
+		// Same grace-period discipline as destroyFile: a lock-free
+		// lookup may still be scanning these log pages.
+		fs.retirePages(t, pages)
+		fs.retireIno(t, child.ino)
 	}
 	child.lock.Unlock()
 	dir.cacheAttrs(uint64(dir.dir.ht.Len()), 2, fs.clock.Load())

@@ -150,6 +150,7 @@ func (fs *FS) writeAt(t *Thread, mi *minode, p []byte, off int64) (int, error) {
 	var dirtyMap []int
 	st.ensureBlocks(needBlocks)
 	arr := st.blockArr()
+	curSize := st.size.Load()
 	firstBlock := int(off / layout.PageSize)
 	lastBlock := int((end - 1) / layout.PageSize)
 	for bi := firstBlock; bi <= lastBlock; bi++ {
@@ -162,7 +163,16 @@ func (fs *FS) writeAt(t *Thread, mi *minode, p []byte, off int64) (int, error) {
 		}
 		fullyCovered := int64(bi)*layout.PageSize >= off &&
 			uint64(bi+1)*layout.PageSize <= end
-		if !fullyCovered {
+		// Zero the fresh page before publishing its pointer when (a) the
+		// write covers it only partially — the gap bytes must be durable
+		// zeroes at the data barrier — or (b) the block sits below the
+		// published size (a hole being filled): that pointer is reachable
+		// the instant it is stored, before pass 2 copies the data, and a
+		// lock-free reader must find zeroes there, never the recycled
+		// page's previous contents. Blocks at or beyond curSize stay
+		// unzeroed when fully covered — the publish-size-last ordering
+		// keeps them invisible until the copy lands.
+		if !fullyCovered || uint64(bi)*layout.PageSize < curSize {
 			t.pb.ZeroStream(int64(b*layout.PageSize), layout.PageSize)
 		}
 		arr[bi].Store(b)
@@ -304,7 +314,10 @@ func (t *Thread) Truncate(path string, size uint64) (err error) {
 	fs.persistFileInode(t.pb, mi)
 	t.pb.Barrier()
 	if mi.fresh.Load() {
-		fs.recyclePages(t.cpu, freed)
+		// A lock-free reader that loaded the old size before the store
+		// above can still chase the unpublished block pointers, so the
+		// pages must wait out a grace period before they are reusable.
+		fs.retirePages(t, freed)
 	}
 	mi.cacheAttrs(size, 1, fs.clock.Load())
 	return nil

@@ -12,6 +12,7 @@
 package libfs
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,6 +100,13 @@ type Hooks struct {
 	// BugMissingFence the dentry body is still unfenced at this point,
 	// so the marker may persist without it.
 	CreateBeforeMarkerFence func()
+	// FileReadBlock runs in the file read path after a block pointer has
+	// been loaded from the published index, before its page is copied —
+	// the data-plane reclamation window: a truncate or unlink that
+	// unpublishes the block here must not let the page be reused until
+	// the reader leaves its read-side section. The reclamation stress
+	// test widens the window with it.
+	FileReadBlock func()
 }
 
 // Options configures a LibFS instance.
@@ -272,6 +280,22 @@ func (fs *FS) allocIno(t *Thread) (uint64, error) {
 		begin := t.crossStart()
 		batch, err := fs.ctrl.GrantInodes(fs.app, fs.opts.GrantInoBatch)
 		t.crossEnd(telemetry.EvGrantInodes, begin)
+		if err != nil && fs.reclaimRetired() {
+			// Retired inode numbers may be parked behind a grace period;
+			// as in allocPage, drain the retire queue on the failure path
+			// only and retry before reporting exhaustion.
+			fs.inoMu.Lock()
+			if len(fs.inoPool) > 0 {
+				ino := fs.inoPool[len(fs.inoPool)-1]
+				fs.inoPool = fs.inoPool[:len(fs.inoPool)-1]
+				fs.inoMu.Unlock()
+				return ino, nil
+			}
+			fs.inoMu.Unlock()
+			begin = t.crossStart()
+			batch, err = fs.ctrl.GrantInodes(fs.app, fs.opts.GrantInoBatch)
+			t.crossEnd(telemetry.EvGrantInodes, begin)
+		}
 		if err != nil {
 			return 0, err
 		}
@@ -320,6 +344,24 @@ func (fs *FS) allocPage(t *Thread, cpu int) (uint64, error) {
 	if len(fs.pagePool[s]) == 0 {
 		fs.pageMu[s].Unlock()
 		batch, reserve, err := fs.grantPageBatch(t, cpu)
+		if err != nil && fs.reclaimRetired() {
+			// The device may look exhausted only because retired pages
+			// are parked behind a grace period: drain the retire queue,
+			// retry the pool, and only then re-try the kernel. This wait
+			// must stay on the failure path — a pinned reader parked in a
+			// test hook can be blocked on this very writer's progress, so
+			// waiting for grace on every dry stripe would deadlock the
+			// deterministic interleaving tests.
+			fs.pageMu[s].Lock()
+			if n := len(fs.pagePool[s]); n > 0 {
+				p := fs.pagePool[s][n-1]
+				fs.pagePool[s] = fs.pagePool[s][:n-1]
+				fs.pageMu[s].Unlock()
+				return p, nil
+			}
+			fs.pageMu[s].Unlock()
+			batch, reserve, err = fs.grantPageBatch(t, cpu)
+		}
 		if err != nil {
 			return 0, err
 		}
@@ -375,6 +417,53 @@ func (fs *FS) recyclePages(cpu int, pages []uint64) {
 	fs.pageMu[s].Lock()
 	fs.pagePool[s] = append(fs.pagePool[s], pages...)
 	fs.pageMu[s].Unlock()
+}
+
+// retirePages returns pages a writer has just unpublished (truncate
+// shrink, unlink teardown) to the allocator pool. Under the SerialData
+// discipline the caller's inode lock excluded every reader, so the pages
+// recycle immediately; on the lock-free data plane a reader inside an
+// RCU read-side section may still hold a block pointer it loaded before
+// the unpublish, so recycling waits out a grace period through the FS's
+// domain — the same retire path htable uses for unlinked bucket entries.
+func (fs *FS) retirePages(t *Thread, pages []uint64) {
+	if len(pages) == 0 {
+		return
+	}
+	if fs.opts.SerialData {
+		fs.recyclePages(t.cpu, pages)
+		return
+	}
+	cpu := t.cpu
+	fs.dom.Defer(func() { fs.recyclePages(cpu, pages) })
+}
+
+// reclaimRetired drains the retire queue — including callbacks an
+// in-flight background grace period has already reaped but not yet run —
+// so a failed kernel grant can be retried against recycled resources.
+// It reports whether anything was (or may have been) reclaimed. Blocking
+// on grace periods is legal here only because this runs on allocation-
+// failure paths; see allocPage for why it must stay off the common
+// dry-stripe path.
+func (fs *FS) reclaimRetired() bool {
+	drained := false
+	for fs.dom.Pending() > 0 {
+		fs.dom.Synchronize()
+		drained = true
+		runtime.Gosched()
+	}
+	return drained
+}
+
+// retireIno parallels retirePages for a destroyed file's never-committed
+// inode number: reuse waits until no reader can still be acting on the
+// stale minode.
+func (fs *FS) retireIno(t *Thread, ino uint64) {
+	if fs.opts.SerialData {
+		fs.recycleIno(ino)
+		return
+	}
+	fs.dom.Defer(func() { fs.recycleIno(ino) })
 }
 
 // --- Threads ---------------------------------------------------------------

@@ -137,6 +137,13 @@ func (fs *FS) ReleaseInode(ino uint64) error {
 // their parent's release and commit at their own). It returns the first
 // error encountered, after attempting everything.
 func (fs *FS) ReleaseAll() error {
+	// Quiesce the data plane before handing ownership back: retired
+	// pages and inode numbers parked behind grace periods land in the
+	// allocator pools now, so resource reuse from here on is identical
+	// under both read disciplines — the crashmc equivalence gate compares
+	// whole device images, which makes allocation order part of the
+	// invariant, not just the persist schedule.
+	fs.dom.Barrier()
 	type ent struct {
 		mi    *minode
 		depth int
@@ -158,7 +165,16 @@ func (fs *FS) ReleaseAll() error {
 		ents = append(ents, ent{mi, depth})
 		return true
 	})
-	sort.Slice(ents, func(i, j int) bool { return ents[i].depth < ents[j].depth })
+	// Total order: depth ties broken by inode number, because mtab is a
+	// sync.Map whose Range order varies run to run — and release order
+	// decides the persist schedule the crash-state enumeration sees, so
+	// it must be deterministic.
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].depth != ents[j].depth {
+			return ents[i].depth < ents[j].depth
+		}
+		return ents[i].mi.ino < ents[j].mi.ino
+	})
 	var firstErr error
 	for _, e := range ents {
 		if err := fs.ReleaseInode(e.mi.ino); err != nil && firstErr == nil {

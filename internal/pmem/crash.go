@@ -122,8 +122,10 @@ func (d *Device) DirtyLineStates() []LineState {
 }
 
 // DirtyLines returns the offsets of all cache lines with unpersisted
-// store history, in unspecified order. Useful for exhaustive small-scope
-// crash enumeration in tests.
+// store history, sorted ascending. Useful for exhaustive small-scope
+// crash enumeration in tests: enumerators routinely truncate this list,
+// so its order must not depend on Go map iteration or the sampled
+// crash-state set varies run to run.
 func (d *Device) DirtyLines() []int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -131,6 +133,7 @@ func (d *Device) DirtyLines() []int64 {
 	for l := range d.lines {
 		offs = append(offs, l*LineSize)
 	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
 	return offs
 }
 

@@ -25,6 +25,7 @@ type Domain struct {
 
 	cbMu      sync.Mutex
 	callbacks []deferred
+	inflight  atomic.Int64 // reaped callbacks not yet executed
 
 	// AutoReclaimThreshold triggers an asynchronous grace period once
 	// this many callbacks are queued, bounding deferred memory the way
@@ -158,29 +159,38 @@ func (d *Domain) reap(now uint64) {
 		}
 	}
 	d.callbacks = rest
+	d.inflight.Add(int64(len(ripe)))
 	d.cbMu.Unlock()
 	for _, cb := range ripe {
 		cb.fn()
+		d.inflight.Add(-1)
 	}
 }
 
 // Barrier runs grace periods until every callback registered before the
-// call has executed.
+// call has executed — including callbacks a concurrent grace period had
+// already reaped but not yet run.
 func (d *Domain) Barrier() {
 	for {
 		d.cbMu.Lock()
-		n := len(d.callbacks)
+		n := len(d.callbacks) + int(d.inflight.Load())
 		d.cbMu.Unlock()
 		if n == 0 {
 			return
 		}
 		d.Synchronize()
+		runtime.Gosched()
 	}
 }
 
-// Pending returns the number of queued callbacks (for tests and metrics).
+// Pending returns the number of callbacks queued or currently executing
+// (for tests, metrics, and reclaim-aware allocators). A callback counts
+// until its effects are visible: reaped-but-not-yet-run callbacks are
+// included, so a caller that spins until Pending reaches zero observes
+// everything a concurrent grace period was still releasing.
 func (d *Domain) Pending() int {
 	d.cbMu.Lock()
-	defer d.cbMu.Unlock()
-	return len(d.callbacks)
+	n := len(d.callbacks) + int(d.inflight.Load())
+	d.cbMu.Unlock()
+	return n
 }

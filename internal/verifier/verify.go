@@ -2,9 +2,32 @@ package verifier
 
 import (
 	"fmt"
+	"sort"
 
 	"arckfs/internal/layout"
 )
+
+// Verification results feed kernel-side frees, grants, and shadow writes,
+// so their order must not depend on Go map iteration: a nondeterministic
+// persist schedule would make crash-state enumeration (crashmc) flaky.
+// sortedEntryNames and sortedPageSet pin the iteration orders.
+func sortedEntryNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedPageSet(m map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // ChildAction classifies a verified change to a directory's children.
 type ChildAction int
@@ -105,7 +128,8 @@ func (v *V) VerifyDir(app int64, ino uint64, old *DirOld, kv KernelView) (*DirRe
 	}
 
 	// Additions and replacements.
-	for name, d := range dv.Entries {
+	for _, name := range sortedEntryNames(dv.Entries) {
+		d := dv.Entries[name]
 		oldIno, existed := old.Entries[name]
 		if existed && oldIno == d.Ino {
 			continue
@@ -164,7 +188,8 @@ func (v *V) VerifyDir(app int64, ino uint64, old *DirOld, kv KernelView) (*DirRe
 	}
 
 	// Removals.
-	for name, oldIno := range old.Entries {
+	for _, name := range sortedEntryNames(old.Entries) {
+		oldIno := old.Entries[name]
 		if d, still := dv.Entries[name]; still && d.Ino == oldIno {
 			continue
 		}
@@ -191,7 +216,7 @@ func (v *V) VerifyDir(app int64, ino uint64, old *DirOld, kv KernelView) (*DirRe
 			res.NewPages = append(res.NewPages, p)
 		}
 	}
-	for p := range old.Pages {
+	for _, p := range sortedPageSet(old.Pages) {
 		if !cur[p] {
 			res.FreedPages = append(res.FreedPages, p)
 		}
@@ -296,12 +321,12 @@ func (v *V) VerifyFile(app int64, ino uint64, old *FileOld, kv KernelView) (*Fil
 			res.NewPages = append(res.NewPages, b)
 		}
 	}
-	for p := range old.MapPages {
+	for _, p := range sortedPageSet(old.MapPages) {
 		if !cur[p] {
 			res.FreedPages = append(res.FreedPages, p)
 		}
 	}
-	for b := range old.Blocks {
+	for _, b := range sortedPageSet(old.Blocks) {
 		if !cur[b] {
 			res.FreedPages = append(res.FreedPages, b)
 		}
@@ -373,7 +398,8 @@ func (v *V) VerifyNewInode(app int64, ino, parent uint64, kv KernelView) (*NewIn
 			}
 			res.Pages = append(res.Pages, p)
 		}
-		for name, d := range dv.Entries {
+		for _, name := range sortedEntryNames(dv.Entries) {
+			d := dv.Entries[name]
 			if !kv.InodeGrantedTo(app, d.Ino) {
 				return nil, fail(ino, "entry %q links inode %d not granted to the LibFS", name, d.Ino)
 			}
