@@ -1,12 +1,13 @@
 // Package analysis implements arcklint, a suite of static analyzers that
-// enforce the repository's persist-ordering and crash-consistency
-// discipline at compile time.
+// enforce the repository's persist-ordering, crash-consistency, and
+// lock-free-data-plane discipline at compile time.
 //
 // Every one of the paper's six ArckFS bugs is a discipline violation
 // visible in source code; the checkers here turn the rules PR 2 made
 // machine-checkable at runtime (Batch ordering epochs, exhaustive crash
-// enumeration) into intraprocedural static rules, so a future hot path
-// cannot silently reintroduce a §4.2-class mistake:
+// enumeration) — and the use-after-free classes PR 7's lock-free plane
+// introduced and fixed — into static rules, so a future hot path cannot
+// silently reintroduce a §4.2-class mistake or a pre-PR7 direct-free:
 //
 //   - persistorder: a commit-marker persist must be dominated by a
 //     Batch.Barrier since the last dentry-body store on every path.
@@ -15,11 +16,32 @@
 //   - epochdrain: a pmem.Batch obtained in a function reaches Barrier or
 //     is handed off on every return path, including early error returns.
 //   - lockorder: hlock acquisition in libfs/kernel follows the declared
-//     partial order.
+//     partial order, and the whole-program acquisition graph is acyclic.
 //   - rcusection: RCU read-side critical sections take no blocking lock,
 //     issue no kernel crossing, and unpin on every return path.
+//   - retirecheck: reader-reachable pages and inode numbers go through
+//     rcu retire (grace period), never straight back to an allocator
+//     pool — the PR 7 Truncate-shrink use-after-free class.
+//   - publishorder: a page published into a lock-free block array is
+//     zeroed (or guarded by a published-size check) before the pointer
+//     store, and published before the size store that exposes it.
+//   - graceblock: no call that can wait for a grace period
+//     (Domain.Synchronize/Barrier, transitively) while holding an hlock
+//     or while RCU-pinned — the retire-vs-reclaim deadlock class.
 //   - counterreg: telemetry counters are registered once and every
 //     namespaced counter-name literal refers to a registered counter.
+//
+// Since v2 the suite is interprocedural: before any checker runs, the
+// engine in summary.go computes one effect Summary per function — locks
+// it may acquire, whether it can leave a body store unbarriered, its
+// RCU pin balance, whether it can block a grace period or recycle
+// reader-reachable resources, which batch parameters it drains — bottom-
+// up over the call graph's strongly connected components to a
+// conservative fixpoint. Checkers stay flow-sensitive walks of a single
+// function body but see every call through the callee's summary, so a
+// violation assembled across two, three, or N frames (writeAt holding an
+// inode lock calling a helper that calls a helper that waits for grace)
+// is reported at the outermost call site with the via-chain named.
 //
 // The suite is built on the standard library only (go/parser, go/ast,
 // go/types), so it runs offline with no module dependencies. Each checker
@@ -32,7 +54,13 @@
 //	//arcklint:allow <checker> <reason>
 //
 // on the flagged line or the line directly above it. The reason is
-// mandatory: an allow directive without one is itself reported.
+// mandatory: an allow directive without one is itself reported. A
+// suppression placed at a primitive site is honored by the summary
+// engine too: the excused effect does not propagate, so one allow at the
+// choke point covers the whole call tree above it. AuditSuppressions
+// (arcklint -suppressions) lists every directive and marks the ones that
+// no longer suppress anything, so stale allows cannot linger and mask a
+// future, real finding.
 package analysis
 
 import (
@@ -75,6 +103,9 @@ func Analyzers() []*Analyzer {
 		epochDrainAnalyzer,
 		lockOrderAnalyzer,
 		rcuSectionAnalyzer,
+		retireCheckAnalyzer,
+		publishOrderAnalyzer,
+		graceBlockAnalyzer,
 		counterRegAnalyzer,
 	}
 }
@@ -175,22 +206,48 @@ func collectAllows(prog *Program) (map[string]map[int][]allowDirective, []Findin
 	return allows, bad
 }
 
+// ensureAllows parses and caches the program's allow directives
+// (idempotent, like ensureSummaries: the directive set is a property of
+// the loaded source).
+func (prog *Program) ensureAllows() (map[string]map[int][]allowDirective, []Finding) {
+	if prog.allows == nil {
+		prog.allows, prog.allowsBad = collectAllows(prog)
+		prog.allowsUsed = make(map[token.Position]bool)
+	}
+	return prog.allows, prog.allowsBad
+}
+
+// suppressedAt reports whether pos is covered by an allow directive for
+// checker, recording the directive as live for the -suppressions audit.
+// This is the callback the summary engine consults when deciding whether
+// a primitive's effect propagates to callers.
+func (prog *Program) suppressedAt(pos token.Position, checker string) bool {
+	for _, d := range prog.allows[pos.Filename][pos.Line] {
+		if d.checker == checker {
+			prog.allowsUsed[d.pos] = true
+			return true
+		}
+	}
+	return false
+}
+
 // Run executes the given analyzers over the program and returns the
 // deduplicated, suppression-annotated findings in file/line order.
 // Directive problems (malformed allows) are always included, whichever
 // checkers were selected.
 func Run(prog *Program, analyzers []*Analyzer) []Finding {
-	allows, findings := collectAllows(prog)
+	allows, bad := prog.ensureAllows()
+	prog.ensureSummaries(prog.suppressedAt)
+	findings := append([]Finding(nil), bad...)
 	for _, a := range analyzers {
 		for _, f := range a.Run(prog) {
 			f.Checker = a.Name
-			if ds := allows[f.Pos.Filename][f.Pos.Line]; ds != nil {
-				for _, d := range ds {
-					if d.checker == a.Name {
-						f.Suppressed = true
-						f.Reason = d.reason
-						break
-					}
+			for _, d := range allows[f.Pos.Filename][f.Pos.Line] {
+				if d.checker == a.Name {
+					f.Suppressed = true
+					f.Reason = d.reason
+					prog.allowsUsed[d.pos] = true
+					break
 				}
 			}
 			findings = append(findings, f)
@@ -219,6 +276,56 @@ func Run(prog *Program, analyzers []*Analyzer) []Finding {
 		out = append(out, f)
 	}
 	return out
+}
+
+// SuppressionEntry is one //arcklint:allow directive as reported by the
+// -suppressions audit.
+type SuppressionEntry struct {
+	Pos     token.Position `json:"pos"`
+	Checker string         `json:"checker"`
+	Reason  string         `json:"reason"`
+	// Stale marks a directive that suppressed no finding and gated no
+	// summary propagation in a full run: the code it excused has changed
+	// (or the checker has improved past the false positive), and the
+	// directive should be deleted before it hides a real finding at the
+	// same line later.
+	Stale bool `json:"stale"`
+}
+
+// AuditSuppressions runs the full suite and reports every well-formed
+// allow directive in file/line order, marking stale ones. The returned
+// findings are the full run's output (malformed directives included), so
+// callers can report both without running the suite twice.
+func AuditSuppressions(prog *Program) ([]SuppressionEntry, []Finding) {
+	findings := Run(prog, Analyzers())
+	allows, _ := prog.ensureAllows()
+	seen := make(map[token.Position]bool)
+	var entries []SuppressionEntry
+	for _, byLine := range allows {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if seen[d.pos] {
+					// Each directive is registered under two lines.
+					continue
+				}
+				seen[d.pos] = true
+				entries = append(entries, SuppressionEntry{
+					Pos:     d.pos,
+					Checker: d.checker,
+					Reason:  d.reason,
+					Stale:   !prog.allowsUsed[d.pos],
+				})
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return entries, findings
 }
 
 // eachFunc invokes fn for every function or method body in the program.

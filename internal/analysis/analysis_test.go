@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -70,6 +72,10 @@ func TestGolden(t *testing.T) {
 		{"lockorder", "lockorder", 0},
 		{"rcusection", "rcusection", 0},
 		{"counterreg", "counterreg", 0},
+		{"retirecheck", "retirecheck", 1},
+		{"publishorder", "publishorder", 0},
+		{"graceblock", "graceblock", 0},
+		{"lockcycle", "lockorder", 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -178,8 +184,8 @@ func TestMalformedAllows(t *testing.T) {
 // TestSelect covers the checker-selection surface the CLI exposes.
 func TestSelect(t *testing.T) {
 	all, err := Select("")
-	if err != nil || len(all) != 6 {
-		t.Fatalf("Select(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want 9, nil", len(all), err)
 	}
 	two, err := Select("persistorder, lockorder")
 	if err != nil || len(two) != 2 {
@@ -187,6 +193,103 @@ func TestSelect(t *testing.T) {
 	}
 	if _, err := Select("nosuch"); err == nil {
 		t.Fatal("Select(nosuch): expected error")
+	}
+}
+
+// TestLockCycles pins the whole-program acquisition-graph rule: the
+// seeded two-function cycle in the lockcycle fixture must produce a
+// cycle finding naming both classes (the pairwise inversion alone is
+// checked by TestGolden).
+func TestLockCycles(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	prog, err := LoadDirs(root, []string{filepath.Join(root, "lockcycle")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers, err := Select("lockorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := 0
+	for _, f := range Run(prog, analyzers) {
+		if strings.Contains(f.Message, "lock-order cycle among classes") {
+			cycles++
+			if want := "libfs/diridx, libfs/dirtail"; !strings.Contains(f.Message, want) {
+				t.Errorf("cycle finding %q does not name %q", f.Message, want)
+			}
+		}
+	}
+	if cycles != 1 {
+		t.Errorf("lock-order cycle findings = %d, want 1", cycles)
+	}
+}
+
+// TestSummaryDeterminism loads the same fixtures twice from scratch and
+// requires byte-identical JSON for the full finding set: the summary
+// engine's SCC order, fixpoint, and via-chain strings must not depend on
+// map iteration order.
+func TestSummaryDeterminism(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	dirs := []string{
+		filepath.Join(root, "retirecheck"),
+		filepath.Join(root, "graceblock"),
+		filepath.Join(root, "lockorder"),
+	}
+	run := func() []byte {
+		t.Helper()
+		prog, err := LoadDirs(root, dirs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		findings := Run(prog, Analyzers())
+		// Strip absolute paths so the comparison covers content, not cwd.
+		for i := range findings {
+			findings[i].Pos.Filename = filepath.Base(findings[i].Pos.Filename)
+		}
+		data, err := json.Marshal(findings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if next := run(); !bytes.Equal(first, next) {
+			t.Fatalf("run %d differs from run 0:\n%s\nvs\n%s", i+1, first, next)
+		}
+	}
+}
+
+// TestSuppressionAudit covers the -suppressions surface: the live
+// directive (gating a summary propagation) and the stale one must be
+// told apart.
+func TestSuppressionAudit(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	prog, err := LoadDirs(root, []string{filepath.Join(root, "retirecheck")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, findings := AuditSuppressions(prog)
+	for _, f := range findings {
+		if f.Checker == "arcklint" {
+			t.Errorf("unexpected malformed directive: %s", f)
+		}
+	}
+	if len(entries) != 2 {
+		t.Fatalf("suppression entries = %d, want 2: %v", len(entries), entries)
+	}
+	// Entries are sorted by line: poolPrimitive's live allow first, then
+	// staleAllowed's leftover.
+	if entries[0].Stale {
+		t.Errorf("poolPrimitive directive reported stale; it suppresses a finding and gates MayRecycle")
+	}
+	if !entries[1].Stale {
+		t.Errorf("staleAllowed directive not reported stale; it covers a retire call that cannot fire")
+	}
+	for _, e := range entries {
+		if e.Checker != "retirecheck" || e.Reason == "" {
+			t.Errorf("bad entry: %+v", e)
+		}
 	}
 }
 

@@ -60,6 +60,10 @@ type edClient struct {
 	pkg      *Package
 	prog     *Program
 	findings *[]Finding
+	// held marks batch identifiers passed to a callee whose summary
+	// proves the corresponding parameter is neither drained nor handed
+	// off: that use is not an escape, the obligation stays here.
+	held map[*ast.Ident]bool
 }
 
 // newBatchCall reports whether the call mints a fresh *pmem.Batch.
@@ -111,6 +115,29 @@ func (c *edClient) onAssign(w *flowWalker, st flowState, as *ast.AssignStmt) {
 
 func (c *edClient) onCall(w *flowWalker, st flowState, call *ast.CallExpr) {
 	s := st.(*edState)
+	// Interprocedural: passing a tracked batch to a callee whose summary
+	// proves the parameter reaches no drain point and no handoff keeps
+	// the obligation in this function — the use below must not count as
+	// an escape. (An opaque or draining callee keeps the v1 behavior:
+	// the use is a handoff.)
+	if sum := c.prog.summaryFor(c.pkg, call); sum != nil {
+		for i, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := c.pkg.Info.Uses[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			if _, tracked := s.batches[v]; !tracked {
+				continue
+			}
+			if drained, known := sum.BatchParamDrained[i]; known && !drained {
+				c.held[id] = true
+			}
+		}
+	}
 	fn := calleeFunc(c.pkg, call)
 	if fn == nil {
 		return
@@ -142,6 +169,9 @@ func (c *edClient) onCall(w *flowWalker, st flowState, call *ast.CallExpr) {
 
 func (c *edClient) onIdent(st flowState, id *ast.Ident) {
 	s := st.(*edState)
+	if c.held[id] {
+		return
+	}
 	if v, ok := c.pkg.Info.Uses[id].(*types.Var); ok {
 		if e, tracked := s.batches[v]; tracked {
 			// The batch escapes (argument, return value, struct field,
@@ -170,7 +200,7 @@ func runEpochDrain(prog *Program) []Finding {
 		if pkgPathHasSuffix(pkg.Path, "internal/pmem") {
 			return
 		}
-		c := &edClient{pkg: pkg, prog: prog, findings: &findings}
+		c := &edClient{pkg: pkg, prog: prog, findings: &findings, held: make(map[*ast.Ident]bool)}
 		walkFunc(pkg, decl.Body, c, &edState{batches: make(map[*types.Var]edEntry)})
 	})
 	return findings

@@ -26,10 +26,13 @@ import (
 //   - go statements and break/continue/goto are treated conservatively:
 //     the spawned or jumping path simply stops contributing state.
 //
-// The analysis is intraprocedural by design — the repository's persist
-// discipline is expressed operation-locally (every operation ends on an
-// epoch boundary), which is what makes function-local rules sound enough
-// to be useful.
+// Each walk covers a single function body; calls are not inlined.
+// Interprocedural facts arrive through the effect summaries of
+// summary.go instead: a checker's onCall consults the callee's
+// precomputed Summary (may it store body bytes? acquire a lock class?
+// wait for grace?) rather than walking into it, which keeps every walk
+// linear in the function's size while still catching violations
+// assembled across call boundaries.
 
 // flowState is a checker's abstract state. Merge folds another state into
 // the receiver as a least upper bound; Copy returns an independent clone.
@@ -59,6 +62,15 @@ type identClient interface {
 // statements are delivered whole instead of being scanned generically.
 type assignClient interface {
 	onAssign(w *flowWalker, st flowState, as *ast.AssignStmt)
+}
+
+// branchClient is an optional extension: onBranch fires on the state copy
+// entering each arm of an if statement, with the controlling condition
+// and which arm (taken=true for the then branch). Checkers use it to
+// model guard conditions — a SerialData branch excludes lock-free
+// readers, a size-comparing branch legitimizes an unzeroed publish.
+type branchClient interface {
+	onBranch(st flowState, cond ast.Expr, taken bool)
 }
 
 type flowWalker struct {
@@ -138,8 +150,16 @@ func (w *flowWalker) stmt(s ast.Stmt, st flowState) flowState {
 			return nil
 		}
 		w.scan(st, s.Cond)
-		then := w.block(s.Body, st.Copy())
+		bc, branching := w.client.(branchClient)
+		thenIn := st.Copy()
+		if branching {
+			bc.onBranch(thenIn, s.Cond, true)
+		}
+		then := w.block(s.Body, thenIn)
 		els := st.Copy()
+		if branching {
+			bc.onBranch(els, s.Cond, false)
+		}
 		if s.Else != nil {
 			els = w.stmt(s.Else, els)
 		}
@@ -272,18 +292,66 @@ func (w *flowWalker) scan(st flowState, n ast.Node) {
 
 // --- Symbol matching -------------------------------------------------------
 
-// calleeFunc resolves a call expression to the *types.Func it invokes,
-// or nil for calls through variables, type conversions, and builtins.
+// calleeFunc resolves a call expression to the *types.Func it invokes.
+// Direct identifier and selector calls resolve through the type
+// checker's Uses map; a call through a local variable resolves when the
+// variable is bound exactly once to a method value or a named function
+// (f := b.Barrier; ...; f()). It returns nil for calls through
+// multiply-assigned variables, type conversions, builtins, and function
+// literals (resolveCallee handles the literal case).
 func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
 	var obj types.Object
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
 		obj = pkg.Info.Uses[fun]
+		if v, ok := obj.(*types.Var); ok {
+			if bound, ok := pkg.bindings[v]; ok {
+				switch bound := bound.(type) {
+				case *ast.SelectorExpr:
+					obj = pkg.Info.Uses[bound.Sel]
+				case *ast.Ident:
+					obj = pkg.Info.Uses[bound]
+				}
+			}
+		}
 	case *ast.SelectorExpr:
 		obj = pkg.Info.Uses[fun.Sel]
 	}
 	fn, _ := obj.(*types.Func)
 	return fn
+}
+
+// resolveCallee resolves a call to its target more aggressively than
+// calleeFunc: a call through a single-assignment local bound to a
+// function literal yields the literal; a direct literal call
+// (func(){...}()) likewise; and a call through an interface method with
+// exactly one module-local implementation resolves to that concrete
+// method. Exactly one of the results is non-nil when resolution
+// succeeds.
+func resolveCallee(prog *Program, pkg *Package, call *ast.CallExpr) (*types.Func, *ast.FuncLit) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return nil, fun
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[fun].(*types.Var); ok {
+			if lit, ok := pkg.bindings[v].(*ast.FuncLit); ok {
+				return nil, lit
+			}
+		}
+	}
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return nil, nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if types.IsInterface(recv) {
+			if impl := prog.index().impl[fn]; impl != nil {
+				return impl, nil
+			}
+		}
+	}
+	return fn, nil
 }
 
 // pkgPathHasSuffix reports whether path is suffix or ends in "/"+suffix,

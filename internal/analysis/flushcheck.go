@@ -56,21 +56,28 @@ type fcClient struct {
 
 func (c *fcClient) onCall(w *flowWalker, st flowState, call *ast.CallExpr) {
 	s := st.(*fcState)
-	fn := calleeFunc(c.pkg, call)
-	if fn == nil {
-		return
+	fn, _ := resolveCallee(c.prog, c.pkg, call)
+	if fn != nil {
+		switch {
+		case isMethod(fn, "internal/pmem", "Device", "Write"),
+			isMethod(fn, "internal/pmem", "Device", "Zero"),
+			isMethod(fn, "internal/pmem", "Device", "Store8"),
+			isMethod(fn, "internal/pmem", "Device", "Store16"),
+			isMethod(fn, "internal/pmem", "Device", "Store32"),
+			isMethod(fn, "internal/pmem", "Device", "Store64"):
+			s.pending[call.Pos()] = true
+			return
+		case isMethod(fn, "internal/pmem", "Batch", "Flush"),
+			isMethod(fn, "internal/pmem", "Device", "Flush"),
+			isMethod(fn, "internal/pmem", "Device", "Persist"):
+			clear(s.pending)
+			return
+		}
 	}
-	switch {
-	case isMethod(fn, "internal/pmem", "Device", "Write"),
-		isMethod(fn, "internal/pmem", "Device", "Zero"),
-		isMethod(fn, "internal/pmem", "Device", "Store8"),
-		isMethod(fn, "internal/pmem", "Device", "Store16"),
-		isMethod(fn, "internal/pmem", "Device", "Store32"),
-		isMethod(fn, "internal/pmem", "Device", "Store64"):
-		s.pending[call.Pos()] = true
-	case isMethod(fn, "internal/pmem", "Batch", "Flush"),
-		isMethod(fn, "internal/pmem", "Device", "Flush"),
-		isMethod(fn, "internal/pmem", "Device", "Persist"):
+	// A callee that flushes on every path (a Barrier-terminated helper,
+	// say) discharges this function's raw stores just as a direct flush
+	// would.
+	if sum := c.prog.summaryFor(c.pkg, call); sum != nil && sum.FlushesAll {
 		clear(s.pending)
 	}
 }

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// graceblock polices the third PR 7 hazard, retire-vs-reclaim deadlock:
+// waiting for an RCU grace period (rcu.Domain.Synchronize or Barrier)
+// while holding a spinlock, or while pinned as a reader. The grace
+// period ends only when every pinned reader unpins; a reader that needs
+// the held lock to make progress — or the waiting thread's own pin —
+// turns the wait into a deadlock. rcusection already flags a *direct*
+// pinned Synchronize; graceblock closes the interprocedural half: a call
+// into any function whose effect summary says it may wait for grace
+// (allocPage's reclaim-retired failure path, say) is flagged at the call
+// site when a classified hlock is held or a pin is open there.
+//
+// A deliberate, justified wait is suppressed at its source: an
+// //arcklint:allow graceblock directive on the Synchronize/Barrier line
+// stops the MaySync effect from propagating to callers at all, so one
+// reasoned exemption at the primitive covers the whole call tree above
+// it (see ensureSummaries).
+var graceBlockAnalyzer = &Analyzer{
+	Name: "graceblock",
+	Doc: "no rcu.Domain grace-period wait while holding a spinlock or " +
+		"inside an RCU read-side section, directly or through callees",
+	Run: runGraceBlock,
+}
+
+type gbState struct {
+	held  map[string]lockClass
+	depth int
+}
+
+func (s *gbState) Copy() flowState {
+	c := &gbState{held: make(map[string]lockClass, len(s.held)), depth: s.depth}
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+func (s *gbState) Merge(o flowState) {
+	os := o.(*gbState)
+	for k, v := range os.held {
+		s.held[k] = v
+	}
+	if os.depth > s.depth {
+		s.depth = os.depth
+	}
+}
+
+type gbClient struct {
+	pkg      *Package
+	prog     *Program
+	findings *[]Finding
+}
+
+// heldList renders the held set deterministically for messages.
+func heldList(held map[string]lockClass) string {
+	names := make([]string, 0, len(held))
+	for n := range held {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+func (c *gbClient) check(s *gbState, pos token.Pos, what string) {
+	if len(s.held) > 0 {
+		*c.findings = append(*c.findings, Finding{
+			Pos: c.prog.Fset.Position(pos),
+			Message: fmt.Sprintf("%s while holding %s: a pinned reader that needs "+
+				"the lock deadlocks the grace period", what, heldList(s.held)),
+		})
+	}
+	if s.depth > 0 {
+		*c.findings = append(*c.findings, Finding{
+			Pos: c.prog.Fset.Position(pos),
+			Message: fmt.Sprintf("%s inside an RCU read-side critical section: the "+
+				"grace period waits on this very reader", what),
+		})
+	}
+}
+
+func (c *gbClient) onCall(w *flowWalker, st flowState, call *ast.CallExpr) {
+	s := st.(*gbState)
+	fn, _ := resolveCallee(c.prog, c.pkg, call)
+	if fn != nil {
+		if isMethod(fn, "internal/rcu", "Reader", "ReadLock") {
+			s.depth++
+			return
+		}
+		if isMethod(fn, "internal/rcu", "Reader", "ReadUnlock") {
+			if s.depth > 0 {
+				s.depth--
+			}
+			return
+		}
+		if isMethod(fn, "internal/rcu", "Domain", "Synchronize") ||
+			isMethod(fn, "internal/rcu", "Domain", "Barrier") {
+			c.check(s, call.Pos(), "grace-period wait (Domain."+fn.Name()+")")
+			return
+		}
+		if isMethod(fn, "internal/htable", "Table", "WithBucket") {
+			if len(call.Args) == 2 {
+				if lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit); ok {
+					inner := s.Copy().(*gbState)
+					inner.held[bucketClass.name] = bucketClass
+					w.block(lit.Body, inner)
+					return
+				}
+			}
+			return
+		}
+		if isMethod(fn, "internal/htable", "Table", "LockAll") {
+			s.held[bucketClass.name] = bucketClass
+			return
+		}
+		recvPkg, _ := recvTypeOf(fn)
+		if pkgPathHasSuffix(recvPkg, "internal/hlock") {
+			cl, ok := classOfReceiver(c.pkg, call)
+			if !ok {
+				return
+			}
+			switch fn.Name() {
+			case "Lock", "RLock":
+				s.held[cl.name] = cl
+			case "Unlock", "RUnlock":
+				delete(s.held, cl.name)
+			}
+			return
+		}
+	}
+	if sum := c.prog.summaryFor(c.pkg, call); sum != nil {
+		if sum.MaySync && (len(s.held) > 0 || s.depth > 0) {
+			c.check(s, call.Pos(), fmt.Sprintf("call to %s, which can wait for grace (%s),",
+				calleeName(c.prog, c.pkg, call), sum.SyncVia))
+		}
+		s.depth += sum.PinDelta
+		if s.depth < 0 {
+			s.depth = 0
+		}
+	}
+}
+
+func (c *gbClient) onReturn(flowState, token.Pos) {}
+
+func runGraceBlock(prog *Program) []Finding {
+	var findings []Finding
+	eachFunc(prog, func(pkg *Package, decl *ast.FuncDecl) {
+		if pkgPathHasSuffix(pkg.Path, "internal/rcu") {
+			// The domain implementation waits on itself by design.
+			return
+		}
+		c := &gbClient{pkg: pkg, prog: prog, findings: &findings}
+		walkFunc(pkg, decl.Body, c, &gbState{held: make(map[string]lockClass)})
+	})
+	return findings
+}

@@ -26,6 +26,12 @@ type Package struct {
 	// external packages are expected and harmless: every checker matches
 	// only module-local symbols, which resolve fully.
 	TypeErrors []error
+	// bindings maps single-assignment local variables to the function
+	// value they hold — a method value (f := b.Barrier), a named function
+	// (f := helper), or a function literal. calleeFunc and resolveCallee
+	// consult it so a call through such a variable resolves to its target
+	// instead of being opaque. Built once per package by buildBindings.
+	bindings map[*types.Var]ast.Expr
 }
 
 // Program is the unit the analyzers run over: the requested packages plus
@@ -34,6 +40,21 @@ type Package struct {
 type Program struct {
 	Fset *token.FileSet
 	Pkgs []*Package
+
+	// idx caches whole-program resolution facts (single-implementation
+	// interface methods); sums caches the per-function effect summaries.
+	// Both are built lazily and shared by every checker in a Run.
+	idx  *progIndex
+	sums *summarySet
+
+	// allows caches the parsed //arcklint:allow directives (filename ->
+	// covered line -> directives), allowsBad the malformed ones, and
+	// allowsUsed the directives (by their own position) that suppressed a
+	// finding or gated a summary propagation — the liveness bit the
+	// -suppressions audit reads.
+	allows     map[string]map[int][]allowDirective
+	allowsBad  []Finding
+	allowsUsed map[token.Position]bool
 }
 
 // FindModuleRoot walks upward from dir to the directory holding go.mod
@@ -171,8 +192,84 @@ func (l *loader) load(importPath string) (*Package, error) {
 	// Check continues past errors (stubbed imports produce some); the
 	// partial Info it leaves behind is complete for module-local symbols.
 	p.Types, _ = conf.Check(importPath, l.fset, files, p.Info)
+	p.buildBindings()
 	l.pkgs[importPath] = p
 	return p, nil
+}
+
+// buildBindings records, for every local variable in the package that is
+// assigned exactly once, the function-valued expression it is bound to (a
+// method value, a named function, or a function literal). Variables
+// written more than once are dropped: a rebinding would make the call
+// target path-dependent, which the checkers do not model.
+func (p *Package) buildBindings() {
+	p.bindings = make(map[*types.Var]ast.Expr)
+	writes := make(map[*types.Var]int)
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return
+		}
+		writes[v]++
+		if rhs == nil {
+			return
+		}
+		switch fn := ast.Unparen(rhs).(type) {
+		case *ast.FuncLit:
+			p.bindings[v] = fn
+		case *ast.SelectorExpr:
+			if _, ok := p.Info.Uses[fn.Sel].(*types.Func); ok {
+				p.bindings[v] = fn
+			}
+		case *ast.Ident:
+			if _, ok := p.Info.Uses[fn].(*types.Func); ok {
+				p.bindings[v] = fn
+			}
+		}
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						bind(n.Lhs[i], n.Rhs[i])
+					}
+				} else {
+					for _, lhs := range n.Lhs {
+						bind(lhs, nil)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						bind(name, n.Values[i])
+					} else {
+						bind(name, nil)
+					}
+				}
+			case *ast.RangeStmt:
+				bind(n.Key, nil)
+				bind(n.Value, nil)
+			case *ast.IncDecStmt:
+				bind(n.X, nil)
+			}
+			return true
+		})
+	}
+	for v, n := range writes {
+		if n != 1 {
+			delete(p.bindings, v)
+		}
+	}
 }
 
 // goFilesIn lists the non-test Go files of dir, sorted.

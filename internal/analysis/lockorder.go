@@ -5,6 +5,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
+	"strings"
 )
 
 // lockorder enforces the declared partial order on hlock acquisition in
@@ -29,14 +31,23 @@ import (
 // deadlock and are ignored, as are locks outside the class table (e.g.
 // sync.Mutex fields, which stubbed imports keep invisible anyway).
 //
-// The check is intraprocedural: nestings created across call boundaries
-// (appendDentry's tail lock around ensureTailSpace's index lock, say) are
-// invisible to it. The class table is still the single written form of
-// the intended order, and any same-function inversion is caught.
+// Nestings created across call boundaries (appendDentry's tail lock
+// around ensureTailSpace's index lock, say) are seen through callee
+// effect summaries: a call into a function whose summary says it may
+// acquire a class ranked above a held class is flagged at the call site.
+// Same-class interprocedural nesting is deliberately not flagged — the
+// summary cannot distinguish instances, and the address-ordered
+// double-lock idiom (rename, unlink's parent/child pair) is legitimate.
+//
+// On top of the pairwise checks, every held-then-acquired pair — direct
+// or through a summary — feeds a whole-program acquisition graph, and
+// any cycle in that graph (a potential deadlock no pairwise rank check
+// implies by itself) is reported once, at the first edge that closes it.
 var lockOrderAnalyzer = &Analyzer{
 	Name: "lockorder",
 	Doc: "hlock acquisition in libfs/kernel must follow the declared " +
-		"partial order (outermost first)",
+		"partial order (outermost first); the whole-program acquisition " +
+		"graph must be acyclic",
 	Run: runLockOrder,
 }
 
@@ -86,10 +97,26 @@ func (s *loState) Merge(o flowState) {
 	}
 }
 
+// lockEdges accumulates the whole-program acquisition graph: an edge
+// from->to means some path acquires class "to" while holding class
+// "from". Each edge keeps the first position that created it (the walk
+// order over packages, files, and declarations is deterministic).
+type lockEdges struct {
+	pos map[[2]string]token.Pos
+}
+
+func (e *lockEdges) add(from, to string, pos token.Pos) {
+	k := [2]string{from, to}
+	if _, ok := e.pos[k]; !ok {
+		e.pos[k] = pos
+	}
+}
+
 type loClient struct {
 	pkg      *Package
 	prog     *Program
 	findings *[]Finding
+	edges    *lockEdges
 }
 
 func (c *loClient) acquire(s *loState, cl lockClass, pos token.Pos) {
@@ -108,14 +135,20 @@ func (c *loClient) acquire(s *loState, cl lockClass, pos token.Pos) {
 					"is %s before %s", cl.name, h.name, cl.name, h.name),
 			})
 		}
+		if h.rank != cl.rank {
+			c.edges.add(h.name, cl.name, pos)
+		}
 	}
 	s.held[cl.name] = cl
 }
 
 func (c *loClient) onCall(w *flowWalker, st flowState, call *ast.CallExpr) {
 	s := st.(*loState)
-	fn := calleeFunc(c.pkg, call)
+	fn, _ := resolveCallee(c.prog, c.pkg, call)
 	if fn == nil {
+		// A function literal bound to a local still has a summary; fall
+		// through to the interprocedural check below.
+		c.checkSummary(s, call)
 		return
 	}
 	if isMethod(fn, "internal/htable", "Table", "WithBucket") {
@@ -142,18 +175,51 @@ func (c *loClient) onCall(w *flowWalker, st flowState, call *ast.CallExpr) {
 		return
 	}
 	recvPkg, _ := recvTypeOf(fn)
-	if !pkgPathHasSuffix(recvPkg, "internal/hlock") {
+	if pkgPathHasSuffix(recvPkg, "internal/hlock") {
+		cl, ok := classOfReceiver(c.pkg, call)
+		if !ok {
+			return
+		}
+		switch fn.Name() {
+		case "Lock", "RLock":
+			c.acquire(s, cl, call.Pos())
+		case "Unlock", "RUnlock":
+			delete(s.held, cl.name)
+		}
 		return
 	}
-	cl, ok := classOfReceiver(c.pkg, call)
-	if !ok {
-		return
-	}
-	switch fn.Name() {
-	case "Lock", "RLock":
-		c.acquire(s, cl, call.Pos())
-	case "Unlock", "RUnlock":
-		delete(s.held, cl.name)
+	c.checkSummary(s, call)
+}
+
+// checkSummary performs the interprocedural half of the check: the
+// classes the callee can acquire against the held set. Same-class pairs
+// are skipped — the summary cannot tell instances apart, and the
+// address-ordered double-lock idiom is legitimate — but cross-class
+// pairs are rank-checked and feed the acquisition graph.
+func (c *loClient) checkSummary(s *loState, call *ast.CallExpr) {
+	if sum := c.prog.summaryFor(c.pkg, call); sum != nil && len(sum.MayAcquire) > 0 {
+		names := make([]string, 0, len(sum.MayAcquire))
+		for n := range sum.MayAcquire {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			cl := sum.MayAcquire[n]
+			for _, h := range s.held {
+				if h.rank == cl.rank {
+					continue
+				}
+				if h.rank > cl.rank {
+					*c.findings = append(*c.findings, Finding{
+						Pos: c.prog.Fset.Position(call.Pos()),
+						Message: fmt.Sprintf("call to %s can acquire %s while %s is held: "+
+							"the declared order is %s before %s",
+							calleeName(c.prog, c.pkg, call), cl.name, h.name, cl.name, h.name),
+					})
+				}
+				c.edges.add(h.name, cl.name, call.Pos())
+			}
+		}
 	}
 }
 
@@ -192,9 +258,118 @@ func classOfReceiver(pkg *Package, call *ast.CallExpr) (lockClass, bool) {
 
 func runLockOrder(prog *Program) []Finding {
 	var findings []Finding
+	edges := &lockEdges{pos: make(map[[2]string]token.Pos)}
 	eachFunc(prog, func(pkg *Package, decl *ast.FuncDecl) {
-		c := &loClient{pkg: pkg, prog: prog, findings: &findings}
+		c := &loClient{pkg: pkg, prog: prog, findings: &findings, edges: edges}
 		walkFunc(pkg, decl.Body, c, &loState{held: make(map[string]lockClass)})
 	})
+	findings = append(findings, lockCycles(prog, edges)...)
 	return findings
+}
+
+// lockCycles reports each strongly connected component of the
+// acquisition graph with more than one class: a set of lock classes
+// that can each be held while acquiring the next is a deadlock waiting
+// for the right interleaving, whatever their declared ranks say.
+func lockCycles(prog *Program, edges *lockEdges) []Finding {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for k := range edges.pos {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		nodes[k[0]], nodes[k[1]] = true, true
+	}
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sort.Strings(adj[n])
+	}
+
+	// Tarjan over the class graph (tiny: one node per lock class).
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	counter := 0
+	var connect func(n string)
+	connect = func(n string) {
+		index[n] = counter
+		low[n] = counter
+		counter++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, m := range adj[n] {
+			if _, seen := index[m]; !seen {
+				connect(m)
+				if low[m] < low[n] {
+					low[n] = low[m]
+				}
+			} else if onStack[m] && index[m] < low[n] {
+				low[n] = index[m]
+			}
+		}
+		if low[n] == index[n] {
+			var scc []string
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == n {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, n := range names {
+		if _, seen := index[n]; !seen {
+			connect(n)
+		}
+	}
+
+	rankOf := make(map[string]int, len(lockClasses)+1)
+	for _, cl := range lockClasses {
+		rankOf[cl.name] = cl.rank
+	}
+	rankOf[bucketClass.name] = bucketClass.rank
+
+	var out []Finding
+	for _, scc := range sccs {
+		sort.Strings(scc)
+		in := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			in[n] = true
+		}
+		// Anchor the finding at the first rank-inversion edge inside the
+		// component — the acquisition that closes the cycle (a cycle over
+		// totally ranked classes must contain at least one inversion).
+		var pos, anyPos token.Pos
+		for k, p := range edges.pos {
+			if !in[k[0]] || !in[k[1]] {
+				continue
+			}
+			if anyPos == token.NoPos || p < anyPos {
+				anyPos = p
+			}
+			if rankOf[k[0]] > rankOf[k[1]] && (pos == token.NoPos || p < pos) {
+				pos = p
+			}
+		}
+		if pos == token.NoPos {
+			pos = anyPos
+		}
+		out = append(out, Finding{
+			Pos: prog.Fset.Position(pos),
+			Message: fmt.Sprintf("lock-order cycle among classes %s: each can be held "+
+				"while acquiring the next, so a deadlock needs only the right interleaving",
+				strings.Join(scc, ", ")),
+		})
+	}
+	return out
 }

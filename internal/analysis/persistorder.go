@@ -42,25 +42,37 @@ type poClient struct {
 
 func (c *poClient) onCall(w *flowWalker, st flowState, call *ast.CallExpr) {
 	s := st.(*poState)
-	fn := calleeFunc(c.pkg, call)
-	if fn == nil {
-		return
-	}
-	switch {
-	case isPkgFunc(fn, "internal/layout", "CommitDentry"):
-		if s.dirty {
-			*c.findings = append(*c.findings, Finding{
-				Pos: c.prog.Fset.Position(call.Pos()),
-				Message: "commit marker set with body stores possibly still in the ordering " +
-					"epoch: no Batch.Barrier dominates this call since the last body store (§4.2)",
-			})
+	fn, _ := resolveCallee(c.prog, c.pkg, call)
+	if fn != nil {
+		switch {
+		case isPkgFunc(fn, "internal/layout", "CommitDentry"):
+			if s.dirty {
+				*c.findings = append(*c.findings, Finding{
+					Pos: c.prog.Fset.Position(call.Pos()),
+					Message: "commit marker set with body stores possibly still in the ordering " +
+						"epoch: no Batch.Barrier dominates this call since the last body store (§4.2)",
+				})
+			}
+			return
+		case isMethod(fn, "internal/pmem", "Batch", "Barrier"):
+			// Only Barrier orders: Drain issues the write-backs but no fence,
+			// so a later marker clwb could still overtake them.
+			s.dirty = false
+			return
+		case isBodyStore(c.pkg, fn, call):
+			s.dirty = true
+			return
 		}
-	case isMethod(fn, "internal/pmem", "Batch", "Barrier"):
-		// Only Barrier orders: Drain issues the write-backs but no fence,
-		// so a later marker clwb could still overtake them.
-		s.dirty = false
-	case isBodyStore(c.pkg, fn, call):
-		s.dirty = true
+	}
+	// Other module-local callees are seen through their effect summary: a
+	// helper that can leave a body store in the epoch dirties the caller,
+	// one that ends every path on a Barrier cleans it.
+	if sum := c.prog.summaryFor(c.pkg, call); sum != nil {
+		if sum.MayStoreBody {
+			s.dirty = true
+		} else if sum.AlwaysClean {
+			s.dirty = false
+		}
 	}
 }
 

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// publishorder enforces the two store-ordering rules that keep the
+// lock-free read path from ever observing garbage through a valid block
+// pointer (the second PR 7 use-after-free class, the unzeroed hole
+// fill):
+//
+//  1. Zero before publish. An indexed atomic store that makes a page
+//     reachable (arr[bi].Store(b) with non-zero b) must be dominated on
+//     its path by a zeroing write (Batch.ZeroStream, Device.Zero/ZeroNT)
+//     or sit on a path that branched on the published size: a block at
+//     or beyond the published size is invisible until the size store, so
+//     skipping the zero is legal exactly when the code checked. The
+//     pre-fix bug stored a recycled page's pointer into a hole below the
+//     published size without zeroing it first — a concurrent reader saw
+//     the previous file's bytes.
+//
+//  2. Size publishes last. Once a path stores the size field
+//     (st.size.Store), no further block pointer may be published on it —
+//     a reader that observes the new size must already observe every
+//     pointer below it. This holds for helper calls too: a callee whose
+//     effect summary says it may publish block pointers is flagged when
+//     called after the size store.
+//
+// Stores into function-private arrays (locals created by make and not
+// yet published themselves) are construction, not publication, and are
+// exempt from both rules; so are stores of the literal 0, which
+// unpublish.
+var publishOrderAnalyzer = &Analyzer{
+	Name: "publishorder",
+	Doc: "block-pointer publishes must be zeroed-or-size-checked and must " +
+		"precede the size store on every path (PR 7 unzeroed-publish class)",
+	Run: runPublishOrder,
+}
+
+type puState struct {
+	// zeroed: a zeroing write is queued on this path and not yet consumed
+	// by a publish.
+	zeroed bool
+	// sizeChecked: this path branched on a condition consulting the
+	// published size.
+	sizeChecked bool
+	// sizeStored: the size field has been stored on this path.
+	sizeStored bool
+	// private marks locals holding arrays created in this function that
+	// are not yet reachable by readers.
+	private map[*types.Var]bool
+}
+
+func (s *puState) Copy() flowState {
+	c := &puState{zeroed: s.zeroed, sizeChecked: s.sizeChecked, sizeStored: s.sizeStored,
+		private: make(map[*types.Var]bool, len(s.private))}
+	for k, v := range s.private {
+		c.private[k] = v
+	}
+	return c
+}
+
+func (s *puState) Merge(o flowState) {
+	os := o.(*puState)
+	// Safety claims intersect; the hazard (size already stored) unions.
+	s.zeroed = s.zeroed && os.zeroed
+	s.sizeChecked = s.sizeChecked && os.sizeChecked
+	s.sizeStored = s.sizeStored || os.sizeStored
+	for k := range s.private {
+		if !os.private[k] {
+			delete(s.private, k)
+		}
+	}
+}
+
+type puClient struct {
+	pkg      *Package
+	prog     *Program
+	findings *[]Finding
+}
+
+func (c *puClient) flag(pos token.Pos, format string, args ...any) {
+	*c.findings = append(*c.findings, Finding{
+		Pos:     c.prog.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *puClient) onBranch(st flowState, cond ast.Expr, _ bool) {
+	if mentionsSize(cond) {
+		st.(*puState).sizeChecked = true
+	}
+}
+
+// makesSlice reports whether the expression is a make(...) call.
+func makesSlice(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "make"
+}
+
+func (c *puClient) onAssign(w *flowWalker, st flowState, as *ast.AssignStmt) {
+	s := st.(*puState)
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, rhs := range as.Rhs {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				obj := c.pkg.Info.Defs[id]
+				if obj == nil {
+					obj = c.pkg.Info.Uses[id]
+				}
+				if v, ok := obj.(*types.Var); ok {
+					if makesSlice(rhs) {
+						s.private[v] = true
+						continue
+					}
+					delete(s.private, v)
+				}
+			}
+		}
+	}
+	w.scan(st, as)
+}
+
+// publishBase returns the base variable of an indexed atomic store
+// (arr in arr[i].Store(v)), when the base is a plain identifier.
+func publishBase(pkg *Package, call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	ix, ok := ast.Unparen(sel.X).(*ast.IndexExpr)
+	if !ok {
+		return nil
+	}
+	if id, ok := ast.Unparen(ix.X).(*ast.Ident); ok {
+		v, _ := pkg.Info.Uses[id].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+func (c *puClient) onCall(w *flowWalker, st flowState, call *ast.CallExpr) {
+	s := st.(*puState)
+	fn, _ := resolveCallee(c.prog, c.pkg, call)
+	if fn != nil {
+		switch {
+		case isMethod(fn, "internal/pmem", "Batch", "ZeroStream"),
+			isMethod(fn, "internal/pmem", "Device", "Zero"),
+			isMethod(fn, "internal/pmem", "Device", "ZeroNT"):
+			s.zeroed = true
+			return
+		}
+	}
+	if _, ok := indexedAtomicStore(call); ok {
+		if v := publishBase(c.pkg, call); v != nil && s.private[v] {
+			return // construction of a not-yet-published array
+		}
+		if s.sizeStored {
+			c.flag(call.Pos(), "block pointer published after the size store on this path: "+
+				"a reader observing the size must already observe every pointer below it")
+		}
+		if !s.zeroed && !s.sizeChecked {
+			c.flag(call.Pos(), "block pointer published with no dominating zeroing write "+
+				"and no published-size check on this path: a lock-free reader below the "+
+				"size would see the page's previous contents")
+		}
+		s.zeroed = false // consumed; the next publish needs its own proof
+		return
+	}
+	if sizeFieldStore(call) {
+		s.sizeStored = true
+		return
+	}
+	if sum := c.prog.summaryFor(c.pkg, call); sum != nil && sum.MayPublish && s.sizeStored {
+		c.flag(call.Pos(), "call to %s can publish block pointers after the size store "+
+			"on this path", calleeName(c.prog, c.pkg, call))
+	}
+}
+
+func (c *puClient) onReturn(flowState, token.Pos) {}
+
+func runPublishOrder(prog *Program) []Finding {
+	var findings []Finding
+	for _, pkg := range prog.Pkgs {
+		// The telemetry rings use indexed atomic stores as sequence
+		// counters with their own validation discipline; they publish no
+		// pmem pages.
+		if containsSegment(pkg.Path, "telemetry") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				c := &puClient{pkg: pkg, prog: prog, findings: &findings}
+				walkFunc(pkg, fd.Body, c, &puState{private: make(map[*types.Var]bool)})
+				ast.Inspect(fd, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						c := &puClient{pkg: pkg, prog: prog, findings: &findings}
+						walkFunc(pkg, lit.Body, c, &puState{private: make(map[*types.Var]bool)})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return findings
+}

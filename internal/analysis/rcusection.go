@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // rcusection polices the RCU read-side critical sections the lock-free
@@ -26,11 +27,12 @@ import (
 //  4. No kernel.Controller method call while pinned — a crossing
 //     serializes on kernel locks the reader must not hold up.
 //
-// Calls that take locks transitively (checkMapped's mapping spinlock,
-// say) are invisible by design, the same trade every flow checker here
-// makes: the rule is cheap, the read paths are short, and the reviewable
-// discipline is "the pinned region calls nothing that blocks in its own
-// body".
+// Calls are seen through their effect summaries: a call into a function
+// that can block a grace period anywhere down its call tree (acquire a
+// blocking hlock, drain persistence, wait for grace, cross into the
+// kernel) is flagged when it happens inside a pinned section, and a
+// callee with a non-zero pin balance (a pin-helper) opens or closes the
+// section for its caller.
 var rcuSectionAnalyzer = &Analyzer{
 	Name: "rcusection",
 	Doc: "RCU read-side critical sections take no blocking lock, issue no " +
@@ -64,6 +66,10 @@ type rsClient struct {
 	pkg      *Package
 	prog     *Program
 	findings *[]Finding
+	// pinHelper marks a function whose own summary has a consistent
+	// non-zero pin balance: it opens (or closes) the section for its
+	// caller by design, so exiting pinned is not a leak.
+	pinHelper bool
 }
 
 func (c *rsClient) flag(pos token.Pos, format string, args ...any) {
@@ -75,26 +81,49 @@ func (c *rsClient) flag(pos token.Pos, format string, args ...any) {
 
 func (c *rsClient) onCall(w *flowWalker, st flowState, call *ast.CallExpr) {
 	s := st.(*rsState)
-	fn := calleeFunc(c.pkg, call)
-	if fn == nil {
-		return
-	}
-	if isMethod(fn, "internal/rcu", "Reader", "ReadLock") {
-		if s.depth == 0 {
-			s.pinPos = call.Pos()
+	fn, _ := resolveCallee(c.prog, c.pkg, call)
+	if fn != nil {
+		if isMethod(fn, "internal/rcu", "Reader", "ReadLock") {
+			if s.depth == 0 {
+				s.pinPos = call.Pos()
+			}
+			s.depth++
+			return
 		}
-		s.depth++
-		return
-	}
-	if isMethod(fn, "internal/rcu", "Reader", "ReadUnlock") {
-		// Clamp rather than go negative: deferred unlocks are replayed on
-		// every path, including ones that never pinned.
-		if s.depth > 0 {
-			s.depth--
+		if isMethod(fn, "internal/rcu", "Reader", "ReadUnlock") {
+			// Clamp rather than go negative: deferred unlocks are replayed on
+			// every path, including ones that never pinned.
+			if s.depth > 0 {
+				s.depth--
+			}
+			return
 		}
-		return
 	}
 	if s.depth == 0 {
+		// Not pinned here — but the callee may pin (or unpin) on the
+		// caller's behalf; its balance opens or closes the section.
+		if sum := c.prog.summaryFor(c.pkg, call); sum != nil && sum.PinDelta > 0 {
+			s.pinPos = call.Pos()
+			s.depth += sum.PinDelta
+		}
+		return
+	}
+	if sum := c.prog.summaryFor(c.pkg, call); sum != nil {
+		if sum.MayBlockPinned {
+			c.flag(call.Pos(),
+				"call to %s inside an RCU read-side critical section can block the grace period (%s)",
+				calleeName(c.prog, c.pkg, call), sum.BlockVia)
+			return
+		}
+		if sum.PinDelta != 0 {
+			s.depth += sum.PinDelta
+			if s.depth < 0 {
+				s.depth = 0
+			}
+			return
+		}
+	}
+	if fn == nil {
 		return
 	}
 	recvPkg, recvType := recvTypeOf(fn)
@@ -123,7 +152,7 @@ func (c *rsClient) onCall(w *flowWalker, st flowState, call *ast.CallExpr) {
 
 func (c *rsClient) onReturn(st flowState, _ token.Pos) {
 	s := st.(*rsState)
-	if s.depth > 0 {
+	if s.depth > 0 && !c.pinHelper {
 		c.flag(s.pinPos,
 			"RCU read-side section entered here is not exited on every return path")
 	}
@@ -138,6 +167,13 @@ func runRCUSection(prog *Program) []Finding {
 			return
 		}
 		c := &rsClient{pkg: pkg, prog: prog, findings: &findings}
+		if prog.sums != nil {
+			if fn, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+				if n := prog.sums.byFunc[fn]; n != nil && n.sum.PinDelta != 0 {
+					c.pinHelper = true
+				}
+			}
+		}
 		walkFunc(pkg, decl.Body, c, &rsState{})
 	})
 	return findings

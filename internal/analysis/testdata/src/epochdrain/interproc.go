@@ -1,0 +1,58 @@
+// Interprocedural variants: v1 treated any pass of a batch to a callee
+// as a handoff; with summaries the checker keeps the obligation in the
+// caller when the callee provably neither drains nor hands off its
+// parameter.
+package epochdrain
+
+import "fixture/internal/pmem"
+
+// fillOnly queues lines on the caller's batch and returns with the
+// obligation untouched: BatchParamDrained[0] = false.
+func fillOnly(b *pmem.Batch) {
+	b.Flush(0, 64)
+}
+
+func fillDeep(b *pmem.Batch) { fillOnly(b) }
+
+// passedButNotDrained: the summary proves fillOnly is not a handoff, so
+// the batch is still pending at return.
+func passedButNotDrained(dev *pmem.Device) {
+	b := dev.NewBatch() // want "without Barrier/Drain or a handoff"
+	fillOnly(b)
+}
+
+// passedTwoDeep proves the fact survives two calls.
+func passedTwoDeep(dev *pmem.Device) {
+	b := dev.NewBatch() // want "without Barrier/Drain or a handoff"
+	fillDeep(b)
+}
+
+// sealer drains its parameter on every path; passing to it discharges.
+func sealer(b *pmem.Batch) { b.Barrier() }
+
+func drainedByHelper(dev *pmem.Device) {
+	b := dev.NewBatch()
+	b.Flush(0, 64)
+	sealer(b)
+}
+
+type filler interface {
+	fill(b *pmem.Batch)
+}
+
+type lineFiller struct{}
+
+func (lineFiller) fill(b *pmem.Batch) { b.Flush(64, 64) }
+
+// viaInterface: the single implementation fills without draining.
+func viaInterface(f filler, dev *pmem.Device) {
+	b := dev.NewBatch() // want "without Barrier/Drain or a handoff"
+	f.fill(b)
+}
+
+// viaClosure: same through a bound function literal.
+func viaClosure(dev *pmem.Device) {
+	fill := func(x *pmem.Batch) { x.Flush(0, 64) }
+	b := dev.NewBatch() // want "without Barrier/Drain or a handoff"
+	fill(b)
+}

@@ -1,0 +1,57 @@
+// Interprocedural variants: a helper that flushes on every path
+// discharges the caller's raw stores; one that only sometimes flushes
+// does not.
+package flushcheck
+
+import "fixture/internal/pmem"
+
+// flushAll ends on a flush on every path: FlushesAll.
+func flushAll(dev *pmem.Device) { dev.Flush(0, 64) }
+
+func flushAllDeep(dev *pmem.Device) { flushAll(dev) }
+
+// dischargedByHelper: the helper's flush covers the raw store.
+func dischargedByHelper(dev *pmem.Device) {
+	dev.Store64(0, 1)
+	flushAll(dev)
+}
+
+// dischargedTwoDeep covers it through two calls.
+func dischargedTwoDeep(dev *pmem.Device) {
+	dev.Store64(8, 2)
+	flushAllDeep(dev)
+}
+
+// halfFlush flushes on one branch only: not FlushesAll.
+func halfFlush(dev *pmem.Device, cond bool) {
+	if cond {
+		dev.Flush(0, 64)
+	}
+}
+
+// notDischarged: the maybe-flushing helper must not clear the store.
+func notDischarged(dev *pmem.Device, cond bool) {
+	dev.Store32(16, 3) // want "never flushed"
+	halfFlush(dev, cond)
+}
+
+type flusher interface {
+	flush(dev *pmem.Device)
+}
+
+type lineFlusher struct{}
+
+func (lineFlusher) flush(dev *pmem.Device) { dev.Flush(0, 64) }
+
+// viaInterface discharges through the interface's single implementation.
+func viaInterface(f flusher, dev *pmem.Device) {
+	dev.Store16(24, 4)
+	f.flush(dev)
+}
+
+// viaClosure discharges through a bound function literal.
+func viaClosure(dev *pmem.Device) {
+	sync := func() { dev.Persist(32, 8) }
+	dev.Store8(32, 5)
+	sync()
+}

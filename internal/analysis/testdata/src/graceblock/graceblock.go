@@ -1,0 +1,99 @@
+// Package graceblock exercises the retire-vs-reclaim deadlock rule:
+// no waiting for an RCU grace period — directly or through any callee —
+// while holding a classified hlock or while pinned as a reader.
+package graceblock
+
+import (
+	"fixture/internal/hlock"
+	"fixture/internal/rcu"
+)
+
+type minode struct{ lock hlock.RWSpin }
+
+type FS struct {
+	inoMu hlock.SpinLock
+	dom   *rcu.Domain
+}
+
+// reclaim waits out every in-flight reader before reusing retired pages;
+// its summary carries MaySync.
+func (fs *FS) reclaim() {
+	for fs.dom.Pending() > 0 {
+		fs.dom.Synchronize()
+	}
+}
+
+// unheldWait drops the lock before waiting: clean.
+func unheldWait(fs *FS) {
+	fs.inoMu.Lock()
+	fs.inoMu.Unlock()
+	fs.reclaim()
+}
+
+// directHeld waits for grace under the inode-table lock: a pinned reader
+// that needs the lock can never unpin, so the grace period never ends.
+func directHeld(fs *FS) {
+	fs.inoMu.Lock()
+	fs.dom.Synchronize() // want "while holding libfs/inomu"
+	fs.inoMu.Unlock()
+}
+
+// oneDeep hides the wait one call down.
+func oneDeep(fs *FS, mi *minode) {
+	mi.lock.Lock()
+	fs.reclaim() // want "can wait for grace"
+	mi.lock.Unlock()
+}
+
+func reclaimStep(fs *FS) { fs.reclaim() }
+
+// twoDeep hides it two calls down.
+func twoDeep(fs *FS) {
+	fs.inoMu.Lock()
+	reclaimStep(fs) // want "can wait for grace"
+	fs.inoMu.Unlock()
+}
+
+// pinnedWait reaches the wait while pinned: the grace period waits on
+// this very reader.
+func pinnedWait(fs *FS, rd *rcu.Reader) {
+	rd.ReadLock()
+	fs.reclaim() // want "can wait for grace"
+	rd.ReadUnlock()
+}
+
+type drainer interface {
+	drain(fs *FS)
+}
+
+type graceDrainer struct{}
+
+func (graceDrainer) drain(fs *FS) { fs.dom.Synchronize() }
+
+// viaInterface resolves through the interface's single implementation.
+func viaInterface(d drainer, fs *FS) {
+	fs.inoMu.Lock()
+	d.drain(fs) // want "can wait for grace"
+	fs.inoMu.Unlock()
+}
+
+// viaClosure reaches the wait through a bound function literal.
+func viaClosure(fs *FS) {
+	wait := func() { fs.dom.Synchronize() }
+	fs.inoMu.Lock()
+	wait() // want "can wait for grace"
+	fs.inoMu.Unlock()
+}
+
+// allowedWait carries a reasoned exemption at the wait site: MaySync must
+// not propagate, so auditedWait below stays clean even under a lock.
+func allowedWait(fs *FS) {
+	//arcklint:allow graceblock failure path only: the caller excludes readers before entering
+	fs.dom.Synchronize()
+}
+
+func auditedWait(fs *FS) {
+	fs.inoMu.Lock()
+	allowedWait(fs)
+	fs.inoMu.Unlock()
+}

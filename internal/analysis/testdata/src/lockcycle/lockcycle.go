@@ -1,0 +1,29 @@
+// Package lockcycle seeds a two-class cycle in the whole-program
+// acquisition graph: tail-then-index in one function, index-then-tail in
+// another. Each function alone is a local ordering fact; only the graph
+// view sees that together they deadlock under the right interleaving.
+package lockcycle
+
+import "fixture/internal/hlock"
+
+type tailCursor struct{ mu hlock.SpinLock }
+
+type dirState struct{ idxMu hlock.SpinLock }
+
+// tailThenIdx follows the declared order (dirtail before diridx): clean
+// pairwise, but it contributes the forward edge of the cycle.
+func tailThenIdx(tc *tailCursor, ds *dirState) {
+	tc.mu.Lock()
+	ds.idxMu.Lock()
+	ds.idxMu.Unlock()
+	tc.mu.Unlock()
+}
+
+// idxThenTail closes the cycle: the pairwise inversion fires here, and
+// the whole-program cycle report anchors at this same edge.
+func idxThenTail(tc *tailCursor, ds *dirState) {
+	ds.idxMu.Lock()
+	tc.mu.Lock() // want "while holding|lock-order cycle among classes libfs/diridx, libfs/dirtail"
+	tc.mu.Unlock()
+	ds.idxMu.Unlock()
+}

@@ -1,0 +1,64 @@
+// Interprocedural variants: a held class checked against the classes a
+// callee's summary says it may acquire, one or two calls down, through
+// an interface, and through a bound function literal.
+package lockorder
+
+// lockIno acquires and releases the inode-table lock; its summary
+// carries MayAcquire{libfs/inomu}.
+func lockIno(fs *FS) {
+	fs.inoMu.Lock()
+	fs.inoMu.Unlock()
+}
+
+func lockInoDeep(fs *FS) { lockIno(fs) }
+
+// upOrder holds the outermost class across the helper: in order, clean.
+func upOrder(mi *minode, fs *FS) {
+	mi.lock.Lock()
+	lockIno(fs)
+	mi.lock.Unlock()
+}
+
+// downOrder holds a page lock (rank 5) across a helper that takes the
+// inode lock (rank 4): an inversion assembled across the call boundary.
+func downOrder(fs *FS) {
+	fs.pageMu[0].Lock()
+	lockIno(fs) // want "can acquire libfs/inomu while libfs/pagemu is held"
+	fs.pageMu[0].Unlock()
+}
+
+// downOrderDeep hides the acquisition two calls down.
+func downOrderDeep(fs *FS) {
+	fs.pageMu[1].Lock()
+	lockInoDeep(fs) // want "can acquire libfs/inomu while libfs/pagemu is held"
+	fs.pageMu[1].Unlock()
+}
+
+type inoLocker interface {
+	lockIno(fs *FS)
+}
+
+type tableLocker struct{}
+
+func (tableLocker) lockIno(fs *FS) {
+	fs.inoMu.Lock()
+	fs.inoMu.Unlock()
+}
+
+// viaInterface resolves through the interface's single implementation.
+func viaInterface(l inoLocker, fs *FS) {
+	fs.pageMu[2].Lock()
+	l.lockIno(fs) // want "can acquire libfs/inomu while libfs/pagemu is held"
+	fs.pageMu[2].Unlock()
+}
+
+// viaClosure reaches the acquisition through a bound function literal.
+func viaClosure(fs *FS) {
+	lock := func() {
+		fs.inoMu.Lock()
+		fs.inoMu.Unlock()
+	}
+	fs.pageMu[3].Lock()
+	lock() // want "can acquire libfs/inomu while libfs/pagemu is held"
+	fs.pageMu[3].Unlock()
+}

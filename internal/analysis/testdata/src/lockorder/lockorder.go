@@ -36,7 +36,7 @@ func inOrder(mi *minode, tc *tailCursor, ds *dirState, fs *FS) {
 // two-thread deadlock against any inOrder caller.
 func inverted(mi *minode, tc *tailCursor) {
 	tc.mu.Lock()
-	mi.lock.RLock() // want "while holding"
+	mi.lock.RLock() // want "while holding|lock-order cycle among classes"
 	mi.lock.RUnlock()
 	tc.mu.Unlock()
 }

@@ -1,0 +1,126 @@
+// Package publishorder exercises the store-ordering rules of the
+// lock-free read path: a block pointer published through an indexed
+// atomic store must be zeroed (or guarded by a published-size check)
+// first, and no pointer may be published after the size store that
+// exposes it. word stands in for the stubbed atomic.Uint64.
+package publishorder
+
+import "fixture/internal/pmem"
+
+type word struct{ v uint64 }
+
+func (w *word) Store(v uint64) { w.v = v }
+func (w *word) Load() uint64   { return w.v }
+
+type fileState struct{ size word }
+
+// holeFill is the pre-fix bug: a recycled page's pointer stored into a
+// hole below the published size without zeroing it first.
+func holeFill(arr []word, p uint64) {
+	arr[0].Store(p) // want "no dominating zeroing write"
+}
+
+// zeroedFill queues the zero before the publish: clean.
+func zeroedFill(b *pmem.Batch, arr []word, p uint64) {
+	b.ZeroStream(0, 4096)
+	arr[0].Store(p)
+}
+
+// deviceZeroedFill uses the eager device-side zero: clean.
+func deviceZeroedFill(dev *pmem.Device, arr []word, p uint64) {
+	dev.Zero(0, 4096)
+	arr[1].Store(p)
+}
+
+// sizeGuardedFill skips the zero only after comparing against the
+// published size: a fully covered block at or beyond the size stays
+// invisible until the size store, so the unzeroed publish is legal.
+func sizeGuardedFill(arr []word, off, curSize uint64, p uint64) {
+	if off >= curSize {
+		arr[2].Store(p)
+	}
+}
+
+// zeroConsumed: one zero covers one publish; the second needs its own.
+func zeroConsumed(b *pmem.Batch, arr []word, p, q uint64) {
+	b.ZeroStream(0, 4096)
+	arr[0].Store(p)
+	arr[1].Store(q) // want "no dominating zeroing write"
+}
+
+// unpublish stores the literal 0, which hides the slot: exempt.
+func unpublish(arr []word) {
+	arr[0].Store(0)
+}
+
+// construction fills a function-private array no reader can reach yet.
+func construction(p uint64) []word {
+	arr := make([]word, 8)
+	arr[0].Store(p)
+	return arr
+}
+
+// sizeLast publishes every pointer before the size store: clean.
+func sizeLast(st *fileState, b *pmem.Batch, arr []word, p uint64) {
+	b.ZeroStream(0, 4096)
+	arr[0].Store(p)
+	st.size.Store(8)
+}
+
+// publishAfterSize inverts the order: a reader that observes the new
+// size must already observe every pointer below it.
+func publishAfterSize(st *fileState, b *pmem.Batch, arr []word, p uint64) {
+	st.size.Store(8)
+	b.ZeroStream(0, 4096)
+	arr[0].Store(p) // want "published after the size store"
+}
+
+// publishHelper zeroes then publishes: clean standalone, but its summary
+// carries MayPublish for callers that have already stored the size.
+func publishHelper(b *pmem.Batch, arr []word, p uint64) {
+	b.ZeroStream(0, 4096)
+	arr[3].Store(p)
+}
+
+func publishDeep(b *pmem.Batch, arr []word, p uint64) {
+	publishHelper(b, arr, p)
+}
+
+// helperAfterSize hides the post-size publish one call down.
+func helperAfterSize(st *fileState, b *pmem.Batch, arr []word, p uint64) {
+	st.size.Store(1)
+	publishHelper(b, arr, p) // want "can publish block pointers after the size store"
+}
+
+// helperAfterSizeDeep hides it two calls down.
+func helperAfterSizeDeep(st *fileState, b *pmem.Batch, arr []word, p uint64) {
+	st.size.Store(2)
+	publishDeep(b, arr, p) // want "can publish block pointers after the size store"
+}
+
+type publisher interface {
+	publish(arr []word, p uint64)
+}
+
+type wordPublisher struct{ b *pmem.Batch }
+
+func (w *wordPublisher) publish(arr []word, p uint64) {
+	w.b.ZeroStream(0, 4096)
+	arr[2].Store(p)
+}
+
+// viaInterface resolves through the interface's single implementation.
+func viaInterface(st *fileState, pub publisher, arr []word, p uint64) {
+	st.size.Store(2)
+	pub.publish(arr, p) // want "can publish block pointers after the size store"
+}
+
+// viaClosure reaches the publish through a bound function literal.
+func viaClosure(st *fileState, b *pmem.Batch, arr []word, p uint64) {
+	pub := func() {
+		b.ZeroStream(0, 4096)
+		arr[5].Store(p)
+	}
+	st.size.Store(1)
+	pub() // want "can publish block pointers after the size store"
+}

@@ -1,0 +1,89 @@
+// Interprocedural variants: pin helpers open and close the read-side
+// section for their caller via PinDelta, and a callee that can block the
+// grace period anywhere down its call tree is flagged at the pinned
+// call site.
+package rcusection
+
+import (
+	"fixture/internal/hlock"
+	"fixture/internal/rcu"
+)
+
+type tailCursor struct{ mu hlock.SpinLock }
+
+// pin/unpin are the pin-helper pair: PinDelta +1 / -1.
+func pin(rd *rcu.Reader) { rd.ReadLock() }
+
+func unpin(rd *rcu.Reader) { rd.ReadUnlock() }
+
+// pairedHelpers opens and closes the section through helpers: clean.
+func pairedHelpers(rd *rcu.Reader) int {
+	pin(rd)
+	v := probe()
+	unpin(rd)
+	return v
+}
+
+// leakyPin opens through the helper and misses the close on the error
+// path: the section entered at the pin call never exits there.
+func leakyPin(rd *rcu.Reader, fail bool) int {
+	pin(rd) // want "not exited on every return path"
+	if fail {
+		return -1
+	}
+	v := probe()
+	unpin(rd)
+	return v
+}
+
+// lockTail acquires a classified blocking lock; its summary carries
+// MayBlockPinned.
+func lockTail(tc *tailCursor) {
+	tc.mu.Lock()
+	tc.mu.Unlock()
+}
+
+func lockTailDeep(tc *tailCursor) { lockTail(tc) }
+
+// oneDeep blocks the grace period one call down from the pin.
+func oneDeep(rd *rcu.Reader, tc *tailCursor) {
+	rd.ReadLock()
+	lockTail(tc) // want "can block the grace period"
+	rd.ReadUnlock()
+}
+
+// twoDeep blocks it two calls down.
+func twoDeep(rd *rcu.Reader, tc *tailCursor) {
+	rd.ReadLock()
+	lockTailDeep(tc) // want "can block the grace period"
+	rd.ReadUnlock()
+}
+
+type tailLocker interface {
+	lock(tc *tailCursor)
+}
+
+type spinLocker struct{}
+
+func (spinLocker) lock(tc *tailCursor) {
+	tc.mu.Lock()
+	tc.mu.Unlock()
+}
+
+// viaInterface resolves through the interface's single implementation.
+func viaInterface(rd *rcu.Reader, l tailLocker, tc *tailCursor) {
+	rd.ReadLock()
+	l.lock(tc) // want "can block the grace period"
+	rd.ReadUnlock()
+}
+
+// viaClosure blocks through a bound function literal.
+func viaClosure(rd *rcu.Reader, tc *tailCursor) {
+	grab := func() {
+		tc.mu.Lock()
+		tc.mu.Unlock()
+	}
+	rd.ReadLock()
+	grab() // want "can block the grace period"
+	rd.ReadUnlock()
+}

@@ -299,7 +299,7 @@ func (c *Controller) groupTransfer(se *shadowEnt, appID AppID) *Mapping {
 	if len(se.groupMappings) == 0 && se.mapping != nil {
 		se.groupMappings = append(se.groupMappings, se.mapping)
 	}
-	m := &Mapping{ino: se.info.Ino, app: appID, ok: true}
+	m := newMapping(se.info.Ino, appID)
 	se.groupMappings = append(se.groupMappings, m)
 	se.owner = appID
 	se.mapping = m
@@ -319,7 +319,7 @@ func (c *Controller) establish(se *shadowEnt, appID AppID) error {
 	}
 	se.snap = snap
 	se.owner = appID
-	se.mapping = &Mapping{ino: se.info.Ino, app: appID, ok: true}
+	se.mapping = newMapping(se.info.Ino, appID)
 	se.lease = c.now().Add(c.opts.LeaseTTL)
 	c.cost.Map()
 	c.trace.Record(telemetry.EvMap, appID, se.info.Ino, 0, 0)
@@ -686,7 +686,7 @@ func (c *Controller) applyDir(se *shadowEnt, appID AppID, res *verifier.DirResul
 				inode: cin,
 				owner: appID,
 			}
-			child.mapping = &Mapping{ino: ch.Ino, app: appID, ok: true}
+			child.mapping = newMapping(ch.Ino, appID)
 			child.lease = c.now().Add(c.opts.LeaseTTL)
 			c.shadowPut(ch.Ino, child, nil)
 		case verifier.RelocateIn:
@@ -735,7 +735,7 @@ func (c *Controller) applyNewInode(se *shadowEnt, appID AppID, res *verifier.New
 			inode: cin,
 			owner: appID,
 		}
-		child.mapping = &Mapping{ino: ch.Ino, app: appID, ok: true}
+		child.mapping = newMapping(ch.Ino, appID)
 		child.lease = c.now().Add(c.opts.LeaseTTL)
 		c.shadowPut(ch.Ino, child, held)
 	}

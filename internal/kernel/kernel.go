@@ -225,8 +225,14 @@ type app struct {
 type Mapping struct {
 	ino uint64
 	app AppID
-	mu  hlock.SpinLock
-	ok  bool
+	// ok is atomic rather than lock-protected: Valid sits on the
+	// lock-free read path (readAt -> checkMapped), where a spinlock —
+	// even uncontended — would put a blocking acquisition inside every
+	// RCU-pinned section and stall writers' grace periods for nothing.
+	// Revocation needs no stronger ordering than the Store/Load pair:
+	// a reader that loads true just before revoke flips it is the same
+	// reader that raced the revocation under the old lock.
+	ok atomic.Bool
 	// dormant marks a mapping whose holder voluntarily released the
 	// inode under a grant lease (ReleaseLeased): the kernel keeps the
 	// mapping established but may reclaim it at any time. The flag is
@@ -241,10 +247,14 @@ func (m *Mapping) Ino() uint64 { return m.ino }
 
 // Valid reports whether the mapping is still established.
 func (m *Mapping) Valid() bool {
-	m.mu.Lock()
-	ok := m.ok
-	m.mu.Unlock()
-	return ok
+	return m.ok.Load()
+}
+
+// newMapping returns an established mapping for app on ino.
+func newMapping(ino uint64, app AppID) *Mapping {
+	m := &Mapping{ino: ino, app: app}
+	m.ok.Store(true)
+	return m
 }
 
 // Reactivate attempts to take a dormant mapping back into active use
@@ -262,9 +272,7 @@ func (m *Mapping) Reactivate() bool {
 }
 
 func (m *Mapping) revoke() {
-	m.mu.Lock()
-	m.ok = false
-	m.mu.Unlock()
+	m.ok.Store(false)
 }
 
 type clockFn func() time.Time

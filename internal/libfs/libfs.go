@@ -448,6 +448,7 @@ func (fs *FS) retirePages(t *Thread, pages []uint64) {
 func (fs *FS) reclaimRetired() bool {
 	drained := false
 	for fs.dom.Pending() > 0 {
+		//arcklint:allow graceblock allocation-failure path only: serial mode never defers (so never waits here), and lock-free readers take no inode or pool lock, so no pinned reader can be stalled behind the locks our callers hold
 		fs.dom.Synchronize()
 		drained = true
 		runtime.Gosched()
