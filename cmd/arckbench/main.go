@@ -37,6 +37,14 @@
 // that comparison, and its per-op read_locks delta pins the lock-free
 // path at zero bucket-lock acquisitions.
 //
+// -faults attaches a seeded device lie plan to the ArckFS systems
+// (dropped flushes, lying fences, torn lines — see internal/pmem
+// FaultMode). Lies change only which crash states are reachable, never
+// what reads observe, so a -faults sweep should match the honest run's
+// throughput; the pmem.lies.* counters in the -json output record how
+// often the device lied. Crash-consistency under the same lies is
+// cmd/arckcrash's job.
+//
 // -exp crashmc runs the crash-state model-checking campaign instead of
 // a benchmark (not part of "all"); the process exits non-zero on any
 // oracle mismatch, which is how CI uses it as a smoke gate.
@@ -54,6 +62,7 @@ import (
 	"strings"
 
 	"arckfs/internal/bench/experiments"
+	"arckfs/internal/pmem"
 )
 
 func main() {
@@ -72,10 +81,17 @@ func main() {
 	persist := flag.String("persist", "batched", "ArckFS persist schedule: batched or eager")
 	serial := flag.Bool("serial-kernel", false, "run the ArckFS kernels single-locked and lease-free (control-plane A/B baseline)")
 	serialData := flag.Bool("serial-data", false, "run the ArckFS data plane with locked read paths (data-plane A/B baseline)")
+	faults := flag.String("faults", "", "device lie modes for the ArckFS systems: drop-flush, drop-fence, torn-line (comma mix; throughput should be unaffected)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the device lie plan")
 	flag.Parse()
 
 	if *persist != "batched" && *persist != "eager" {
 		fmt.Fprintf(os.Stderr, "bad -persist %q (want batched or eager)\n", *persist)
+		os.Exit(2)
+	}
+	faultModes, err := pmem.ParseFaultModes(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *exp != "all" && !isKnown(*exp) {
@@ -106,6 +122,8 @@ func main() {
 		Eager:      *persist == "eager",
 		Serial:     *serial,
 		SerialData: *serialData,
+		Faults:     faultModes,
+		FaultSeed:  *faultSeed,
 		Out:        os.Stdout,
 	}
 	if *jsonOut != "" {

@@ -1,0 +1,161 @@
+// Command arckcrash runs continuous randomized crash loops against any
+// system configuration: seeded workloads, crashes at random fences and
+// named whitebox killpoints, recovery, and verification against an
+// incrementally-maintained expected-state oracle — with optional device
+// lie modes (-faults) that drop flushes, break fences, or tear lines.
+//
+// Usage:
+//
+//	arckcrash [-iters N] [-seed S] [-ops N] [-configs a,b] [-artifacts dir] [-v]
+//	arckcrash -system arck|nova|pmfs|kucofs [-bugs hex] [-faults modes] ...
+//	arckcrash -replay artifact.json
+//	arckcrash -killpoints
+//
+// With no -system, the standard campaign (internal/crashloop.Campaign)
+// runs: ArckFS+ and the baseline soak must stay clean, each buggy or
+// lying config must breach its expected invariants. -configs filters
+// the campaign by name. Every breach writes a replayable artifact into
+// $ARCK_FLIGHT_DIR (default artifacts/); -replay re-runs one
+// deterministically. Exit status 1 on any oracle mismatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"arckfs/internal/crashloop"
+	"arckfs/internal/libfs"
+	"arckfs/internal/pmem"
+)
+
+func main() {
+	iters := flag.Int("iters", 40, "iterations per configuration")
+	seed := flag.Int64("seed", 1, "campaign seed (iteration seeds derive from it)")
+	ops := flag.Int("ops", 48, "workload ops per iteration")
+	configs := flag.String("configs", "", "comma-separated campaign config names (default: all)")
+	system := flag.String("system", "", "ad-hoc mode: run one config against this system (arck, nova, pmfs, kucofs)")
+	bugs := flag.Uint("bugs", 0, "ad-hoc mode: injected LibFS bug set (hex bitmask, arck only)")
+	faults := flag.String("faults", "", "device lie modes: none, drop-flush, drop-fence, torn-line (comma mix)")
+	artifacts := flag.String("artifacts", "", "breach artifact directory (default $ARCK_FLIGHT_DIR or artifacts/)")
+	replay := flag.String("replay", "", "replay a breach artifact and exit")
+	killpoints := flag.Bool("killpoints", false, "list whitebox killpoint sites and exit")
+	verbose := flag.Bool("v", false, "print each breach as it is found")
+	flag.Parse()
+
+	if *killpoints {
+		for _, s := range pmem.KillpointSites() {
+			fmt.Println(s)
+		}
+		return
+	}
+	if *replay != "" {
+		runReplay(*replay)
+		return
+	}
+
+	var cfgs []crashloop.Config
+	if *system != "" {
+		fm, err := pmem.ParseFaultModes(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		name := *system
+		if fm != pmem.FaultsNone {
+			name += "+" + fm.String()
+		}
+		cfgs = []crashloop.Config{{
+			Name:   name,
+			System: *system,
+			Bugs:   libfs.Bugs(*bugs),
+			Faults: fm,
+		}}
+	} else {
+		cfgs = crashloop.Campaign()
+		if *configs != "" {
+			want := map[string]bool{}
+			for _, n := range strings.Split(*configs, ",") {
+				want[strings.TrimSpace(n)] = true
+			}
+			var filtered []crashloop.Config
+			for _, c := range cfgs {
+				if want[c.Name] {
+					filtered = append(filtered, c)
+					delete(want, c.Name)
+				}
+			}
+			if len(want) > 0 {
+				fmt.Fprintf(os.Stderr, "unknown config(s): %v\n", keys(want))
+				os.Exit(2)
+			}
+			cfgs = filtered
+		}
+		if *faults != "" {
+			fmt.Fprintln(os.Stderr, "-faults requires -system (campaign configs fix their own fault modes)")
+			os.Exit(2)
+		}
+	}
+
+	fail := false
+	for _, cfg := range cfgs {
+		cfg.Iters = *iters
+		cfg.Seed = *seed
+		cfg.OpsPerIter = *ops
+		cfg.ArtifactDir = *artifacts
+		if *verbose {
+			cfg.Log = os.Stderr
+		}
+		res, err := crashloop.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Summary())
+		if !*verbose {
+			for _, b := range res.Breaches {
+				if b.Artifact != "" {
+					fmt.Printf("  breach artifact: %s\n", b.Artifact)
+				}
+			}
+		}
+		if !res.OK() {
+			fail = true
+		}
+	}
+	if fail {
+		fmt.Println("ORACLE MISS: at least one configuration did not match its expected outcome")
+		os.Exit(1)
+	}
+}
+
+func runReplay(path string) {
+	b, err := crashloop.LoadBreach(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("replaying %s\n", b)
+	out, err := crashloop.Replay(b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, rb := range out.Breaches {
+		fmt.Printf("  found %s: %s (%s)\n", rb.Invariant, rb.Detail, rb.Crash)
+	}
+	if !out.Reproduced {
+		fmt.Println("NOT REPRODUCED: replay did not re-find the artifact's breach")
+		os.Exit(1)
+	}
+	fmt.Println("reproduced")
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

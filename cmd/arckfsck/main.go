@@ -19,10 +19,10 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"arckfs"
 	"arckfs/internal/crashmc"
@@ -85,8 +85,9 @@ func main() {
 	}
 }
 
-// writeFlight dumps a flight record next to a flagged image
-// (<image>.flight.json): the image is re-mounted with every-operation
+// writeFlight dumps a flight record for a flagged image into the shared
+// artifact directory ($ARCK_FLIGHT_DIR, default artifacts/) as
+// <image-base>.flight.json: the image is re-mounted with every-operation
 // span tracing, so the record carries the timed recovery passes of the
 // repair attempt alongside the reason the image was flagged.
 func writeFlight(imgPath string, img []byte, reason, detail string) {
@@ -96,13 +97,8 @@ func writeFlight(imgPath string, img []byte, reason, detail string) {
 		return
 	}
 	fr := sys.Tracer().Flight(reason, detail)
-	data, err := json.MarshalIndent(fr, "", "  ")
+	out, err := fr.WriteFile("", filepath.Base(imgPath)+".flight")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "flight record:", err)
-		return
-	}
-	out := imgPath + ".flight.json"
-	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "flight record:", err)
 		return
 	}

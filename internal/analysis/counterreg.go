@@ -21,7 +21,11 @@ import (
 //     (pmem.*, kernel.*, verifier.*, libfs.*, trace.*, htable.*,
 //     pmalloc.*) must match a registered name — the drift that silently
 //     breaks dashboards and bench tooling when a counter is renamed but a
-//     lookup key is not.
+//     lookup key is not. Whitebox killpoint sites (pmem.Killpoint /
+//     ArmKillpoint names like "libfs.create.marker") share the dotted
+//     vocabulary but are not counters: any value that appears as a
+//     Killpoint argument somewhere in the program is exempt from the
+//     drift rule everywhere (site lists, arming calls).
 //
 // The registry is program-wide: run the checker over the whole module
 // (./...) or registrations in unloaded packages will look missing.
@@ -52,6 +56,7 @@ func runCounterReg(prog *Program) []Finding {
 	}
 	var literals []literal
 	regLits := make(map[*ast.BasicLit]bool)
+	killSites := make(map[string]bool)
 
 	for _, pkg := range prog.Pkgs {
 		if pkgPathHasSuffix(pkg.Path, "internal/telemetry") {
@@ -66,6 +71,15 @@ func runCounterReg(prog *Program) []Finding {
 				}
 				fn := calleeFunc(pkg, call)
 				if fn == nil || len(call.Args) == 0 {
+					return true
+				}
+				if isPkgFunc(fn, "internal/pmem", "Killpoint") ||
+					isPkgFunc(fn, "internal/pmem", "ArmKillpoint") {
+					if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						if site, err := strconv.Unquote(lit.Value); err == nil {
+							killSites[site] = true
+						}
+					}
 					return true
 				}
 				if !isMethod(fn, "internal/telemetry", "Set", "Counter") &&
@@ -134,7 +148,7 @@ func runCounterReg(prog *Program) []Finding {
 
 	// Rule 3: namespaced literals must refer to registered counters.
 	for _, l := range literals {
-		if !counterNameRe.MatchString(l.value) {
+		if !counterNameRe.MatchString(l.value) || killSites[l.value] {
 			continue
 		}
 		if _, ok := registered[l.value]; !ok {

@@ -20,6 +20,7 @@ import (
 	"arckfs/internal/fsapi"
 	"arckfs/internal/harness"
 	"arckfs/internal/kv"
+	"arckfs/internal/pmem"
 )
 
 // AllSystems lists every file system the evaluation compares. The
@@ -56,6 +57,15 @@ type Config struct {
 	// paths (baselines are unaffected). Used to A/B the lock-free data
 	// plane; recorded in the -json output as config.data.
 	SerialData bool
+	// Faults attaches a seeded device lie plan to the ArckFS systems
+	// (pmem.FaultPlan; baselines are unaffected). Lies never change what
+	// reads observe, so throughput is expected to be unchanged — running
+	// a sweep under -faults checks exactly that, and the pmem.lies.*
+	// counters in -counters output show how often the device lied.
+	// Recorded in the -json output as config.faults. FaultSeed seeds the
+	// plan.
+	Faults    pmem.FaultMode
+	FaultSeed int64
 	// Out receives rendered tables.
 	Out io.Writer
 	// Rec, when non-nil, accumulates machine-readable cells for the
@@ -114,6 +124,9 @@ type FSOpts struct {
 	// SerialData runs the ArckFS data plane with locked read paths
 	// (baselines ignore it).
 	SerialData bool
+	// Faults attaches a seeded device lie plan (baselines ignore it).
+	Faults    pmem.FaultMode
+	FaultSeed int64
 }
 
 // MakeFSWith constructs a fresh instance of the named file system under
@@ -124,6 +137,7 @@ func MakeFSWith(name string, o FSOpts) (fsapi.FS, error) {
 			Mode: mode, DevSize: o.DevSize, Cost: o.Cost,
 			EagerPersist: o.Eager, SerialKernel: o.Serial,
 			SerialData: o.SerialData,
+			Faults:     o.Faults, FaultSeed: o.FaultSeed,
 		})
 		if err != nil {
 			return nil, err
@@ -149,7 +163,7 @@ func MakeFSWith(name string, o FSOpts) (fsapi.FS, error) {
 func (c *Config) makeFS(name string) (fsapi.FS, error) {
 	return MakeFSWith(name, FSOpts{
 		DevSize: c.DevSize, Cost: c.cost(), Eager: c.Eager, Serial: c.Serial,
-		SerialData: c.SerialData,
+		SerialData: c.SerialData, Faults: c.Faults, FaultSeed: c.FaultSeed,
 	})
 }
 

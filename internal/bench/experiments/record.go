@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"arckfs/internal/harness"
+	"arckfs/internal/pmem"
 	"arckfs/internal/telemetry"
 )
 
@@ -62,6 +63,10 @@ type RunConfig struct {
 	// (RCU-protected read paths, the default) or "serial" (bucket and
 	// per-inode locks on every read).
 	Data string `json:"data"`
+	// Faults names the device lie modes the run injected ("drop-flush",
+	// "torn-line", comma mixes). Empty for an honest device — omitempty
+	// keeps historical trajectory config hashes stable.
+	Faults string `json:"faults,omitempty"`
 }
 
 // Hash is the deterministic digest trajectory rows are keyed by: two
@@ -116,6 +121,10 @@ func NewRecorder(cfg Config) *Recorder {
 	if cfg.SerialData {
 		data = "serial"
 	}
+	faults := ""
+	if cfg.Faults != pmem.FaultsNone {
+		faults = cfg.Faults.String()
+	}
 	rc := RunConfig{
 		Systems:   cfg.Systems,
 		Threads:   cfg.Threads,
@@ -126,6 +135,7 @@ func NewRecorder(cfg Config) *Recorder {
 		Persist:   persist,
 		Kernel:    kern,
 		Data:      data,
+		Faults:    faults,
 	}
 	return &Recorder{rec: RunRecord{
 		Tool:       "arckbench",

@@ -88,6 +88,13 @@ type Config struct {
 	// SpanRing caps the number of retained spans per thread (default
 	// span.DefaultRingCap).
 	SpanRing int
+	// Faults attaches a seeded device lie plan (pmem.FaultPlan): dropped
+	// flushes, lying fences, torn lines. Lies never change what reads
+	// observe, only which crash states are reachable — benchmarks run
+	// identically while crash tools (arckcrash) see the misbehaving
+	// device. FaultSeed seeds the plan (0 is a valid seed).
+	Faults    pmem.FaultMode
+	FaultSeed int64
 }
 
 func (c *Config) fill() {
@@ -239,6 +246,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Faults != pmem.FaultsNone {
+		dev.SetFaultPlan(pmem.NewFaultPlan(cfg.Faults, cfg.FaultSeed))
+	}
 	if cfg.Tracking {
 		dev.EnableTracking()
 	}
@@ -252,6 +262,9 @@ func NewSystem(cfg Config) (*System, error) {
 func Recover(img []byte, cfg Config) (*System, *kernel.Report, error) {
 	cfg.fill()
 	dev := pmem.Restore(img, cfg.Cost)
+	if cfg.Faults != pmem.FaultsNone {
+		dev.SetFaultPlan(pmem.NewFaultPlan(cfg.Faults, cfg.FaultSeed))
+	}
 	dim := telemetry.NewAppDim()
 	// Recovery itself is traced: the mount runs under an OpRecover span
 	// whose child events are the per-pass timings the kernel reports.

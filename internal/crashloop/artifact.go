@@ -1,0 +1,79 @@
+package crashloop
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"arckfs/internal/libfs"
+	"arckfs/internal/pmem"
+)
+
+// LoadBreach reads a breach artifact written by Run.
+func LoadBreach(path string) (*Breach, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Breach
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("crashloop: parsing breach artifact %s: %v", path, err)
+	}
+	if b.Tool != "arckcrash" {
+		return nil, fmt.Errorf("crashloop: %s is not an arckcrash breach artifact (tool=%q)", path, b.Tool)
+	}
+	return &b, nil
+}
+
+// ReplayConfig reconstructs the iteration's Config from the artifact
+// alone — no campaign registry needed.
+func (b *Breach) ReplayConfig() (Config, error) {
+	faults, err := pmem.ParseFaultModes(b.Faults)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Name:        b.Config,
+		System:      b.System,
+		Bugs:        libfs.Bugs(b.Bugs),
+		Faults:      faults,
+		Seed:        b.Seed,
+		OpsPerIter:  b.OpsPerIter,
+		DevSize:     b.DevSize,
+		InodeCap:    b.InodeCap,
+		NoArtifacts: true,
+	}, nil
+}
+
+// ReplayOutcome reports what a replayed iteration produced.
+type ReplayOutcome struct {
+	// Reproduced is true when the replay re-found the artifact's
+	// invariant at the artifact's crash point.
+	Reproduced bool
+	// Crash is the replay's crash point (nil for soak-only replays).
+	Crash *CrashPoint
+	// Breaches are every violation the replayed iteration found.
+	Breaches []*Breach
+}
+
+// Replay re-runs the breach's iteration deterministically from the
+// artifact: same seed, same workload, same fault plan, same crash
+// point.
+func Replay(b *Breach) (*ReplayOutcome, error) {
+	cfg, err := b.ReplayConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.fill()
+	ir, err := runIteration(&cfg, b.Iter, b.IterSeed)
+	if err != nil {
+		return nil, err
+	}
+	out := &ReplayOutcome{Crash: ir.Crash, Breaches: ir.Breaches}
+	for _, rb := range ir.Breaches {
+		if rb.Invariant == b.Invariant && rb.Crash == b.Crash {
+			out.Reproduced = true
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package crashloop
+
+import (
+	"arckfs/internal/crashmc"
+	"arckfs/internal/libfs"
+	"arckfs/internal/pmem"
+)
+
+// Campaign returns the standard crash-loop configurations with each
+// one's Expect oracle. Three groups:
+//
+//   - Honest-device injectable bugs: missing-fence must re-find the
+//     §4.2 torn commit (I2) and reserve-len must re-find the
+//     reserveDentry record-length hole (I3), both from their config
+//     flags alone; arckfs-plus must stay clean over the same generator.
+//   - Lying devices against the *patched* system: drop-flush and
+//     drop-fence surface torn commits and verified-state loss on
+//     ArckFS+ (I2/I3) even though crash-only enumeration proves it
+//     clean, and torn-line surfaces mid-line marker tears (I2) that
+//     break the honest model's per-line prefix rule.
+//   - Baseline soaks: no recovery scan to test, so nova runs in
+//     soak-only mode and must match the oracle's live namespace.
+//
+// Expect uses inclusion semantics (Result.OK): a randomized loop must
+// find at least one expected breach and nothing unexpected.
+func Campaign() []Config {
+	return []Config{
+		{
+			Name: "arckfs-plus",
+		},
+		{
+			Name:   "missing-fence",
+			Bugs:   libfs.BugMissingFence,
+			Expect: []string{crashmc.InvNoTornCommit, crashmc.InvVerifiedDurable},
+		},
+		{
+			Name:   "reserve-len",
+			Bugs:   libfs.BugAuxCoreRace | libfs.BugReserveLenUnflushed,
+			Expect: []string{crashmc.InvVerifiedDurable},
+		},
+		{
+			Name:   "lie-drop-flush",
+			Faults: pmem.FaultDropFlush,
+			Expect: []string{crashmc.InvNoTornCommit, crashmc.InvVerifiedDurable},
+		},
+		{
+			Name:   "lie-drop-fence",
+			Faults: pmem.FaultDropFence,
+			Expect: []string{crashmc.InvNoTornCommit, crashmc.InvVerifiedDurable},
+		},
+		{
+			Name:   "lie-torn-line",
+			Faults: pmem.FaultTearLine,
+			Expect: []string{crashmc.InvNoTornCommit, crashmc.InvVerifiedDurable},
+		},
+		{
+			Name:   "soak-nova",
+			System: "nova",
+		},
+	}
+}

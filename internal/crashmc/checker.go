@@ -221,7 +221,7 @@ type checker struct {
 	geo       layout.Geometry
 	fs        *libfs.FS
 	th        fsapi.Thread
-	model     *model
+	model     *Oracle
 	tracer    *span.Tracer
 	inflight  *Op
 	opIdx     int
@@ -275,7 +275,7 @@ func newChecker(cfg Config) (*checker, error) {
 	if err := c.fs.ReleaseAll(); err != nil {
 		return nil, fmt.Errorf("crashmc %s: warmup release: %v", cfg.Name, err)
 	}
-	c.model = newModel(cfg.Warmup)
+	c.model = NewOracle(cfg.Warmup)
 	dev.EnableTracking()
 	dev.SetFenceObserver(func() { c.observe() })
 	return c, nil
@@ -312,7 +312,7 @@ func (c *checker) run() error {
 		}
 		c.inRelease = false
 		c.inflight = nil
-		c.model.apply(op)
+		c.model.Apply(op)
 		c.observe()
 		if c.err != nil {
 			return c.err
@@ -377,7 +377,7 @@ func (c *checker) observe() {
 		c.res.Skipped++
 		return
 	}
-	c.enumerate(states, c.model.expectPresent(c.inflight))
+	c.enumerate(states, c.model.ExpectPresent(c.inflight))
 }
 
 // image materializes the crash image for one assignment over states;

@@ -84,6 +84,17 @@ func (o Op) String() string {
 // apply runs the op against the workload's FS and thread, returning the
 // operation's error.
 func (o Op) apply(fs *libfs.FS, th fsapi.Thread) error {
+	return o.Apply(th, fs.ReleaseAll)
+}
+
+// Apply runs the op against th. release implements OpRelease — the
+// system-specific "return every held inode to the kernel for
+// verification" hook (libfs.FS.ReleaseAll on ArckFS; nil makes OpRelease
+// a no-op for systems without release semantics, such as the baselines,
+// which verify durability at fsync instead). It exists so harnesses
+// outside this package (internal/crashloop) can drive the same op
+// vocabulary against any fsapi.Thread.
+func (o Op) Apply(th fsapi.Thread, release func() error) error {
 	switch o.Kind {
 	case OpCreate:
 		return th.Create(o.Path)
@@ -112,7 +123,10 @@ func (o Op) apply(fs *libfs.FS, th fsapi.Thread) error {
 	case OpRename:
 		return th.Rename(o.Path, o.Path2)
 	case OpRelease:
-		return fs.ReleaseAll()
+		if release == nil {
+			return nil
+		}
+		return release()
 	}
 	return fmt.Errorf("crashmc: unknown op kind %d", int(o.Kind))
 }

@@ -125,6 +125,10 @@ func Mount(dev *pmem.Device, opts Options, repair bool) (*Controller, *Report, e
 			opts.Span.SpanEvent(telemetry.SpanEvRecoveryPass, int64(i),
 				time.Since(passBegin).Nanoseconds())
 		}
+		// Whitebox kill site for crash-during-recovery testing (always on
+		// the mounting goroutine — passes end sequentially even when their
+		// interior parallelizes, so an armed kill unwinds Mount itself).
+		pmem.Killpoint("kernel.recover.pass")
 		passBegin = time.Now()
 	}
 

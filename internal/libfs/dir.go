@@ -148,6 +148,7 @@ func (fs *FS) appendDentry(t *Thread, mi *minode, childIno uint64, name string) 
 	if h := fs.opts.Hooks.CreateBeforeMarkerFence; h != nil {
 		h() // §4.2 crash window: marker flush queued, final fence not yet issued
 	}
+	pmem.Killpoint("libfs.create.marker")
 	t.pb.Barrier()
 
 	tc.off += layout.DentryRecLen(len(name))
@@ -289,6 +290,7 @@ func (fs *FS) fillDentry(t *Thread, mi *minode, r layout.DentryRef, childIno uin
 	if h := fs.opts.Hooks.CreateBeforeMarkerFence; h != nil {
 		h()
 	}
+	pmem.Killpoint("libfs.create.marker")
 	t.pb.Barrier()
 	return nil
 }

@@ -140,6 +140,7 @@ func (b *Batch) Pending() int { return len(b.pending) }
 // issues one fence. Everything flushed or streamed before the Barrier is
 // durable when it returns.
 func (b *Batch) Barrier() {
+	Killpoint("pmem.batch.barrier")
 	drained := int64(len(b.pending))
 	if !b.eager && len(b.pending) > 0 {
 		b.scratch = b.scratch[:0]
@@ -170,6 +171,7 @@ func (b *Batch) Barrier() {
 // to avoid paying a fence in the common already-drained case.
 func (b *Batch) Drain() {
 	if len(b.pending) > 0 {
+		Killpoint("pmem.batch.drain")
 		b.Barrier()
 	}
 }

@@ -77,6 +77,7 @@ func (d *Device) CrashImage(policy CrashPolicy) []byte {
 		order = append(order, l)
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	persisted := make([]int64, 0, len(order))
 	for _, l := range order {
 		lt := d.lines[l]
 		k := policy(l*LineSize, len(lt.versions))
@@ -88,8 +89,10 @@ func (d *Device) CrashImage(policy CrashPolicy) []byte {
 		}
 		if k > 0 {
 			copy(img[l*LineSize:], lt.versions[k-1])
+			persisted = append(persisted, l*LineSize)
 		}
 	}
+	d.applyTear(img, persisted)
 	return img
 }
 

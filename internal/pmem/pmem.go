@@ -54,6 +54,13 @@ type Stats struct {
 	// ordering epoch (see batch.go). Each is one clwb the unbatched code
 	// would have issued.
 	BatchDedup atomic.Int64
+	// LiedFlushes, LiedFences and TornLines count device lies told under
+	// an attached FaultPlan (see fault.go): line write-backs silently
+	// dropped, fences that persisted nothing, and lines torn at a byte
+	// split during crash-image materialization.
+	LiedFlushes atomic.Int64
+	LiedFences  atomic.Int64
+	TornLines   atomic.Int64
 }
 
 // RegisterTelemetry exposes the device's persistence counters in set
@@ -65,6 +72,9 @@ func (d *Device) RegisterTelemetry(set *telemetry.Set) {
 	set.Gauge("pmem.fences", d.Stats.Fences.Load)
 	set.Gauge("pmem.ntstores", d.Stats.NTStores.Load)
 	set.Gauge("pmem.batch_dedup", d.Stats.BatchDedup.Load)
+	set.Gauge("pmem.lies.dropped_flushes", d.Stats.LiedFlushes.Load)
+	set.Gauge("pmem.lies.dropped_fences", d.Stats.LiedFences.Load)
+	set.Gauge("pmem.lies.torn_lines", d.Stats.TornLines.Load)
 }
 
 // lineTrack records the unpersisted store history of one cache line.
@@ -93,6 +103,8 @@ type Device struct {
 	// the epoch's full dirty-line state still enumerable. See
 	// SetFenceObserver.
 	obs func()
+	// fault, when set, is the device's lie schedule (see fault.go).
+	fault *FaultPlan
 
 	Stats Stats
 }
@@ -302,13 +314,21 @@ func (d *Device) ZeroNT(off, n int64) {
 
 // markFlushed records that lines [first, last] have write-back initiated
 // for their entire store history (clwb issued, or a streaming store that
-// bypassed the cache).
+// bypassed the cache). Under a FaultPlan with FaultDropFlush a line with
+// unflushed history is a lie candidate: the write-back silently never
+// initiates and the line stays dirty.
 func (d *Device) markFlushed(first, last int64) {
 	d.mu.Lock()
 	for l := first; l <= last; l++ {
-		if lt := d.lines[l]; lt != nil {
-			lt.flushedVer = len(lt.versions)
+		lt := d.lines[l]
+		if lt == nil || lt.flushedVer == len(lt.versions) {
+			continue
 		}
+		if d.fault.dropFlush(l * LineSize) {
+			d.Stats.LiedFlushes.Add(1)
+			continue
+		}
+		lt.flushedVer = len(lt.versions)
 	}
 	d.mu.Unlock()
 }
@@ -383,6 +403,17 @@ func (d *Device) Fence() {
 		d.obs()
 	}
 	d.mu.Lock()
+	if d.fault.dropFence() {
+		// The fence lies: the epoch's queued write-backs are dropped.
+		// Every flushed-but-unpersisted line reverts to dirty — its clwb
+		// is gone, and the software continues believing it durable.
+		d.Stats.LiedFences.Add(1)
+		for _, lt := range d.lines {
+			lt.flushedVer = 0
+		}
+		d.mu.Unlock()
+		return
+	}
 	for l, lt := range d.lines {
 		if lt.flushedVer == 0 {
 			continue

@@ -26,11 +26,16 @@ func ArtifactDir(dir string) string {
 	return DefaultDir
 }
 
-// WriteFile serializes the record as indented JSON to
+// WriteArtifact serializes v as indented JSON to
 // <ArtifactDir(dir)>/<name>.json, creating the directory as needed. The
 // name is sanitized to a flat file name (path separators and other
 // non-portable runes become '-'). It returns the path written.
-func (fr *FlightRecord) WriteFile(dir, name string) (string, error) {
+//
+// This is the single artifact writer shared by every breach-emitting
+// tool (crashmc counterexamples, arckfsck reports, arckcrash breach
+// artifacts), so all of them honor the same $ARCK_FLIGHT_DIR directory
+// convention.
+func WriteArtifact(dir, name string, v any) (string, error) {
 	dir = ArtifactDir(dir)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
@@ -44,7 +49,7 @@ func (fr *FlightRecord) WriteFile(dir, name string) (string, error) {
 		return '-'
 	}, name)
 	path := filepath.Join(dir, name+".json")
-	data, err := json.MarshalIndent(fr, "", "  ")
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return "", err
 	}
@@ -52,4 +57,9 @@ func (fr *FlightRecord) WriteFile(dir, name string) (string, error) {
 		return "", err
 	}
 	return path, nil
+}
+
+// WriteFile serializes the record via WriteArtifact.
+func (fr *FlightRecord) WriteFile(dir, name string) (string, error) {
+	return WriteArtifact(dir, name, fr)
 }
