@@ -239,6 +239,24 @@ func (s *System) SlowestSpans(n int) []*Span { return s.sys.Tracer().Slowest(n) 
 // app ID.
 func (s *System) AppStats() []AppStat { return s.sys.AppStats() }
 
+// AppUsage is one tenant's live quota/usage snapshot: outstanding page
+// and inode grants against the installed limits.
+type AppUsage = kernel.AppUsage
+
+// Quota bounds one tenant's consumption of the shared substrate (see
+// kernel.Quota; zero fields mean unlimited).
+type Quota = kernel.Quota
+
+// Usage snapshots every registered application's outstanding grants and
+// quota, sorted by app ID (arckshell's `tenants` table).
+func (s *System) Usage() []AppUsage { return s.sys.Ctrl.Usage() }
+
+// SetQuota installs (or, with a zero Quota, clears) an application's
+// grant and crossing quotas at runtime.
+func (s *System) SetQuota(a *App, q Quota) error {
+	return s.sys.Ctrl.SetQuota(a.fs.App(), q)
+}
+
 // DeviceStats returns persistence-event counters (stores, flushes,
 // fences) of the simulated device.
 func (s *System) DeviceStats() (stores, bytes, flushes, fences int64) {

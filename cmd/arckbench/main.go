@@ -49,6 +49,15 @@
 // a benchmark (not part of "all"); the process exits non-zero on any
 // oracle mismatch, which is how CI uses it as a smoke gate.
 //
+// -exp tenants runs the multi-tenant serving ablation (not part of
+// "all"): the tenant-scaling sweep over -tenants population sizes (k
+// suffix allowed: "16,128,1k,4k,10k"), the measured idle-tenant
+// footprint, and the revocation storm (-storm-tenants /
+// -storm-migrations). -max-inflight sizes the crossing admission
+// scheduler; -serial-admission collapses it to one FIFO and -flat-epoch
+// reverts the kernel epoch lock to a single shared counter — the two
+// before/after baselines EXPERIMENTS.md charts.
+//
 // Table 1 (the six bugs and their fixes) is reproduced by the test
 // suite: go test ./internal/libfs -run TestBug -v
 package main
@@ -83,6 +92,12 @@ func main() {
 	serialData := flag.Bool("serial-data", false, "run the ArckFS data plane with locked read paths (data-plane A/B baseline)")
 	faults := flag.String("faults", "", "device lie modes for the ArckFS systems: drop-flush, drop-fence, torn-line (comma mix; throughput should be unaffected)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the device lie plan")
+	tenants := flag.String("tenants", "16,128,1k", "tenant population sweep for -exp tenants (k suffix = x1000)")
+	stormTenants := flag.Int("storm-tenants", 256, "revocation-storm tenant count for -exp tenants")
+	stormMigrations := flag.Int("storm-migrations", 0, "revocation-storm migration count (default 4x tenants)")
+	maxInflight := flag.Int("max-inflight", 0, "admission-scheduler slot count (0 = off; -exp tenants defaults to 4)")
+	serialAdmission := flag.Bool("serial-admission", false, "collapse the admission scheduler to one FIFO (fair-share A/B baseline)")
+	flatEpoch := flag.Bool("flat-epoch", false, "run the kernel epoch lock as a single shared counter (big-reader-lock A/B baseline)")
 	flag.Parse()
 
 	if *persist != "batched" && *persist != "eager" {
@@ -95,7 +110,12 @@ func main() {
 		os.Exit(2)
 	}
 	if *exp != "all" && !isKnown(*exp) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure3, figure4, table2, dataScale, fxmark, filebench, leveldb, table4, crashmc, or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure3, figure4, table2, dataScale, fxmark, filebench, leveldb, table4, crashmc, tenants, or all)\n", *exp)
+		os.Exit(2)
+	}
+	tenantCounts, err := parseTenants(*tenants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -125,6 +145,14 @@ func main() {
 		Faults:     faultModes,
 		FaultSeed:  *faultSeed,
 		Out:        os.Stdout,
+	}
+	if *exp == "tenants" {
+		cfg.TenantCounts = tenantCounts
+		cfg.StormTenants = *stormTenants
+		cfg.StormMigrations = *stormMigrations
+		cfg.MaxInflight = *maxInflight
+		cfg.SerialAdmission = *serialAdmission
+		cfg.FlatEpoch = *flatEpoch
 	}
 	if *jsonOut != "" {
 		cfg.Rec = experiments.NewRecorder(cfg)
@@ -165,6 +193,12 @@ func main() {
 	if *exp == "crashmc" {
 		run("crashmc", func() error { return experiments.Crashmc(cfg) })
 	}
+	// tenants is not part of "all": it measures the multi-tenant serving
+	// path (ArckFS+-only), not a paper figure, and 10k-population sweeps
+	// deserve their own invocation.
+	if *exp == "tenants" {
+		run("tenants", func() error { return experiments.Tenants(cfg) })
+	}
 	if want("dataScale") {
 		run("dataScale", func() error { return experiments.DataScale(cfg) })
 	}
@@ -190,8 +224,26 @@ func main() {
 
 func isKnown(e string) bool {
 	switch e {
-	case "figure3", "figure4", "table2", "dataScale", "fxmark", "filebench", "leveldb", "table4", "crashmc":
+	case "figure3", "figure4", "table2", "dataScale", "fxmark", "filebench", "leveldb", "table4", "crashmc", "tenants":
 		return true
 	}
 	return false
+}
+
+// parseTenants parses a population sweep like "16,128,1k,4k,10k".
+func parseTenants(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		mult := 1
+		if n := strings.TrimSuffix(strings.ToLower(part), "k"); n != part {
+			mult, part = 1000, n
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad tenant count %q", part)
+		}
+		out = append(out, v*mult)
+	}
+	return out, nil
 }

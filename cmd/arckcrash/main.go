@@ -7,7 +7,7 @@
 // Usage:
 //
 //	arckcrash [-iters N] [-seed S] [-ops N] [-configs a,b] [-artifacts dir] [-v]
-//	arckcrash -system arck|nova|pmfs|kucofs [-bugs hex] [-faults modes] ...
+//	arckcrash -system arck|nova|pmfs|kucofs [-bugs hex] [-faults modes] [-tenants N] ...
 //	arckcrash -replay artifact.json
 //	arckcrash -killpoints
 //
@@ -37,6 +37,7 @@ func main() {
 	configs := flag.String("configs", "", "comma-separated campaign config names (default: all)")
 	system := flag.String("system", "", "ad-hoc mode: run one config against this system (arck, nova, pmfs, kucofs)")
 	bugs := flag.Uint("bugs", 0, "ad-hoc mode: injected LibFS bug set (hex bitmask, arck only)")
+	tenants := flag.Int("tenants", 0, "ad-hoc mode: run the workload round-robin across N LibFS tenants with ownership handoffs (arck only)")
 	faults := flag.String("faults", "", "device lie modes: none, drop-flush, drop-fence, torn-line (comma mix)")
 	artifacts := flag.String("artifacts", "", "breach artifact directory (default $ARCK_FLIGHT_DIR or artifacts/)")
 	replay := flag.String("replay", "", "replay a breach artifact and exit")
@@ -66,11 +67,15 @@ func main() {
 		if fm != pmem.FaultsNone {
 			name += "+" + fm.String()
 		}
+		if *tenants > 1 {
+			name += fmt.Sprintf("+t%d", *tenants)
+		}
 		cfgs = []crashloop.Config{{
-			Name:   name,
-			System: *system,
-			Bugs:   libfs.Bugs(*bugs),
-			Faults: fm,
+			Name:    name,
+			System:  *system,
+			Bugs:    libfs.Bugs(*bugs),
+			Faults:  fm,
+			Tenants: *tenants,
 		}}
 	} else {
 		cfgs = crashloop.Campaign()

@@ -26,6 +26,8 @@
 //	                          with their causal event history
 //	top                       per-app attribution: rank tenants by
 //	                          crossings, persist traffic, and p99
+//	tenants                   per-tenant quota/usage table: outstanding
+//	                          page and inode grants against the limits
 //	lint                      run the arcklint checkers over this source tree
 //	crashmc [name]            run the crash-state model-checking campaign
 //	                          (or just the configs whose name contains name)
@@ -78,7 +80,7 @@ func main() {
 		var err error
 		switch cmd {
 		case "help":
-			fmt.Println("mkdir create write cat ls stat rm rmdir mv trunc release fsck crash stats shards trace spans top lint crashmc quit")
+			fmt.Println("mkdir create write cat ls stat rm rmdir mv trunc release fsck crash stats shards trace spans top tenants lint crashmc quit")
 		case "quit", "exit":
 			return
 		case "mkdir":
@@ -180,6 +182,8 @@ func main() {
 			printSpans(sys, n)
 		case "top":
 			printTop(sys)
+		case "tenants":
+			printTenants(sys)
 		default:
 			fmt.Println("  unknown command; try 'help'")
 		}
@@ -290,6 +294,29 @@ func printTop(sys *arckfs.System) {
 	}
 	if len(stats) == 0 {
 		fmt.Println("  (no application activity yet)")
+	}
+}
+
+// printTenants renders the per-tenant quota/usage table: outstanding
+// grants against the installed limits ("-" = unlimited).
+func printTenants(sys *arckfs.System) {
+	usage := sys.Usage()
+	lim := func(v int64) string {
+		if v <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	fmt.Printf("  %4s %10s %10s %10s %10s %10s %6s\n",
+		"app", "pages out", "max pages", "inos out", "max inos", "cross/s", "weight")
+	for _, u := range usage {
+		fmt.Printf("  %4d %10d %10s %10d %10s %10s %6s\n",
+			u.App, u.PagesOut, lim(u.Quota.MaxPages),
+			u.InodesGranted, lim(u.Quota.MaxInodes),
+			lim(u.Quota.CrossingsPerSec), lim(u.Quota.Weight))
+	}
+	if len(usage) == 0 {
+		fmt.Println("  (no applications registered)")
 	}
 }
 

@@ -66,6 +66,21 @@ type Config struct {
 	// plan.
 	Faults    pmem.FaultMode
 	FaultSeed int64
+	// TenantCounts is the population sweep of the tenants experiment
+	// (default 16,128,1024); StormTenants/StormMigrations size its
+	// revocation storm (defaults 256 and 4x tenants). MaxInflight bounds
+	// concurrent kernel crossings via the admission scheduler (the
+	// tenants experiment defaults it to 8 when unset; other experiments
+	// leave admission off at 0). SerialAdmission collapses the scheduler
+	// to one FIFO and FlatEpoch reverts the epoch lock to a single shared
+	// counter — the two bottleneck-fix A/B baselines; recorded in the
+	// -json output as config.admission / config.epoch.
+	TenantCounts    []int
+	StormTenants    int
+	StormMigrations int
+	MaxInflight     int
+	SerialAdmission bool
+	FlatEpoch       bool
 	// Out receives rendered tables.
 	Out io.Writer
 	// Rec, when non-nil, accumulates machine-readable cells for the

@@ -67,6 +67,17 @@ type RunConfig struct {
 	// "torn-line", comma mixes). Empty for an honest device — omitempty
 	// keeps historical trajectory config hashes stable.
 	Faults string `json:"faults,omitempty"`
+	// Admission is the crossing admission scheduler shape: "" (off, the
+	// default outside the tenants experiment), "wdrr" (weighted deficit
+	// round-robin), or "serial" (one FIFO — the A/B baseline).
+	// MaxInflight is its slot count. Epoch is "" (big-reader lock, the
+	// default) or "flat" (single shared reader counter — the A/B
+	// baseline). Tenants echoes the tenants experiment's population
+	// sweep. All omitempty so historical config hashes stay stable.
+	Admission   string `json:"admission,omitempty"`
+	MaxInflight int    `json:"max_inflight,omitempty"`
+	Epoch       string `json:"epoch,omitempty"`
+	Tenants     []int  `json:"tenants,omitempty"`
 }
 
 // Hash is the deterministic digest trajectory rows are keyed by: two
@@ -125,17 +136,32 @@ func NewRecorder(cfg Config) *Recorder {
 	if cfg.Faults != pmem.FaultsNone {
 		faults = cfg.Faults.String()
 	}
+	admission := ""
+	if cfg.MaxInflight > 0 {
+		admission = "wdrr"
+		if cfg.SerialAdmission {
+			admission = "serial"
+		}
+	}
+	epoch := ""
+	if cfg.FlatEpoch {
+		epoch = "flat"
+	}
 	rc := RunConfig{
-		Systems:   cfg.Systems,
-		Threads:   cfg.Threads,
-		TotalOps:  cfg.TotalOps,
-		DevSizeMB: cfg.DevSize >> 20,
-		Realistic: cfg.Realistic,
-		Trials:    cfg.Trials,
-		Persist:   persist,
-		Kernel:    kern,
-		Data:      data,
-		Faults:    faults,
+		Systems:     cfg.Systems,
+		Threads:     cfg.Threads,
+		TotalOps:    cfg.TotalOps,
+		DevSizeMB:   cfg.DevSize >> 20,
+		Realistic:   cfg.Realistic,
+		Trials:      cfg.Trials,
+		Persist:     persist,
+		Kernel:      kern,
+		Data:        data,
+		Faults:      faults,
+		Admission:   admission,
+		MaxInflight: cfg.MaxInflight,
+		Epoch:       epoch,
+		Tenants:     cfg.TenantCounts,
 	}
 	return &Recorder{rec: RunRecord{
 		Tool:       "arckbench",
@@ -180,6 +206,15 @@ var perOpKeys = map[string]string{
 	// pmalloc.steals.remote counts pages stolen across NUMA node groups;
 	// node-local allocation paths keep it at zero.
 	"pmalloc.steals.remote": "steals_remote",
+	// kernel.admission.* meter the fair-share crossing scheduler: how
+	// many crossings were admitted, how many had to queue, their total
+	// queued wait, and how many crossings the per-tenant rate quota
+	// throttled. The tenants benchcheck bounds pin queued and throttled
+	// per-op.
+	"kernel.admission.admitted":  "admitted",
+	"kernel.admission.queued":    "admit_queued",
+	"kernel.admission.wait_ns":   "admit_wait_ns",
+	"kernel.admission.throttled": "throttled",
 }
 
 // Add records one harness result under the given experiment name.
@@ -207,6 +242,17 @@ func (r *Recorder) Add(experiment string, res harness.Result) {
 				c.PerOp[key] = float64(v) / float64(res.Ops)
 			}
 		}
+	}
+	// p99_us is the sampled per-op latency tail, exposed under PerOp so
+	// bounds files can pin it. Unlike the counter-derived metrics it
+	// does depend on host speed, so bounds on it must be loose — they
+	// exist to catch latency that scales with population or backlog
+	// (milliseconds), not percent-level drift.
+	if res.Lat != nil {
+		if c.PerOp == nil {
+			c.PerOp = map[string]float64{}
+		}
+		c.PerOp["p99_us"] = float64(res.Lat.P99NS) / 1e3
 	}
 	r.mu.Lock()
 	r.rec.Cells = append(r.rec.Cells, c)

@@ -95,6 +95,19 @@ type Config struct {
 	// device. FaultSeed seeds the plan (0 is a valid seed).
 	Faults    pmem.FaultMode
 	FaultSeed int64
+	// MaxInflight bounds concurrently-running kernel crossings with the
+	// fair-share admission scheduler (kernel.Options.MaxInflight); 0
+	// leaves admission off. SerialAdmission collapses the scheduler's
+	// per-tenant queues into one FIFO — the `-serial-admission` A/B
+	// baseline.
+	MaxInflight     int
+	SerialAdmission bool
+	// FlatEpoch reverts the kernel's epoch lock to a single shared
+	// reader counter (the pre-big-reader-lock shape; A/B baseline).
+	FlatEpoch bool
+	// ShadowShards overrides the initial shadow-table shard count (0
+	// picks the default; the table regrows with tenant count either way).
+	ShadowShards int
 }
 
 func (c *Config) fill() {
@@ -233,15 +246,19 @@ func NewSystem(cfg Config) (*System, error) {
 	dev := pmem.New(cfg.DevSize, cfg.Cost)
 	dim := telemetry.NewAppDim()
 	ctrl, err := kernel.Format(dev, kernel.Options{
-		Mode:           cfg.verifierMode(),
-		Policy:         cfg.Policy,
-		Cost:           cfg.Cost,
-		InodeCap:       cfg.InodeCap,
-		NTails:         cfg.NTails,
-		LeaseTTL:       cfg.LeaseTTL,
-		RenameLeaseTTL: cfg.RenameLeaseTTL,
-		Serialize:      cfg.SerialKernel,
-		AppDim:         dim,
+		Mode:            cfg.verifierMode(),
+		Policy:          cfg.Policy,
+		Cost:            cfg.Cost,
+		InodeCap:        cfg.InodeCap,
+		NTails:          cfg.NTails,
+		LeaseTTL:        cfg.LeaseTTL,
+		RenameLeaseTTL:  cfg.RenameLeaseTTL,
+		Serialize:       cfg.SerialKernel,
+		AppDim:          dim,
+		MaxInflight:     cfg.MaxInflight,
+		SerialAdmission: cfg.SerialAdmission,
+		FlatEpoch:       cfg.FlatEpoch,
+		ShadowShards:    cfg.ShadowShards,
 	})
 	if err != nil {
 		return nil, err
@@ -276,15 +293,19 @@ func Recover(img []byte, cfg Config) (*System, *kernel.Report, error) {
 		sink = sp
 	}
 	ctrl, rep, err := kernel.Mount(dev, kernel.Options{
-		Mode:           cfg.verifierMode(),
-		Policy:         cfg.Policy,
-		Cost:           cfg.Cost,
-		LeaseTTL:       cfg.LeaseTTL,
-		RenameLeaseTTL: cfg.RenameLeaseTTL,
-		Serialize:      cfg.SerialKernel,
-		RecoverWorkers: cfg.RecoverWorkers,
-		AppDim:         dim,
-		Span:           sink,
+		Mode:            cfg.verifierMode(),
+		Policy:          cfg.Policy,
+		Cost:            cfg.Cost,
+		LeaseTTL:        cfg.LeaseTTL,
+		RenameLeaseTTL:  cfg.RenameLeaseTTL,
+		Serialize:       cfg.SerialKernel,
+		RecoverWorkers:  cfg.RecoverWorkers,
+		AppDim:          dim,
+		Span:            sink,
+		MaxInflight:     cfg.MaxInflight,
+		SerialAdmission: cfg.SerialAdmission,
+		FlatEpoch:       cfg.FlatEpoch,
+		ShadowShards:    cfg.ShadowShards,
 	}, true)
 	rl.End(sp, err)
 	if err != nil {
@@ -317,6 +338,27 @@ func (s *System) NewApp(uid, gid uint32) *libfs.FS {
 	s.apps = append(s.apps, fs)
 	s.appsMu.Unlock()
 	return fs
+}
+
+// RetireApp tears one application down: the LibFS is dropped from the
+// system's telemetry aggregation, the kernel unregisters the app
+// (force-releasing owned inodes and reclaiming every outstanding
+// grant), and the per-app attribution row is evicted so long-lived
+// systems spinning tenants up and down hold state for live tenants
+// only. The caller should stop using fs (and its threads) first;
+// tenancy.Registry wraps the full quiesce-then-retire sequence.
+func (s *System) RetireApp(fs *libfs.FS) error {
+	s.appsMu.Lock()
+	for i, x := range s.apps {
+		if x == fs {
+			s.apps = append(s.apps[:i], s.apps[i+1:]...)
+			break
+		}
+	}
+	s.appsMu.Unlock()
+	err := s.Ctrl.UnregisterApp(fs.App())
+	s.appDim.Evict(int64(fs.App()))
+	return err
 }
 
 // Mode returns the configured preset.

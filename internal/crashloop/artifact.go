@@ -39,6 +39,7 @@ func (b *Breach) ReplayConfig() (Config, error) {
 		Faults:      faults,
 		Seed:        b.Seed,
 		OpsPerIter:  b.OpsPerIter,
+		Tenants:     b.Tenants,
 		DevSize:     b.DevSize,
 		InodeCap:    b.InodeCap,
 		NoArtifacts: true,

@@ -20,6 +20,10 @@ import (
 //     break the honest model's per-line prefix rule.
 //   - Baseline soaks: no recovery scan to test, so nova runs in
 //     soak-only mode and must match the oracle's live namespace.
+//   - Multi-tenant: tenant-storm runs the clean generator round-robin
+//     across eight LibFS instances with an ownership handoff at every
+//     tenant switch, so crashes land mid-revocation-storm; it must stay
+//     as clean as the single-tenant run.
 //
 // Expect uses inclusion semantics (Result.OK): a randomized loop must
 // find at least one expected breach and nothing unexpected.
@@ -27,6 +31,10 @@ func Campaign() []Config {
 	return []Config{
 		{
 			Name: "arckfs-plus",
+		},
+		{
+			Name:    "tenant-storm",
+			Tenants: 8,
 		},
 		{
 			Name:   "missing-fence",

@@ -71,6 +71,16 @@ type Config struct {
 	// it is not serialized into artifacts.
 	FaultFilter func(lineOff int64) bool
 
+	// Tenants, when > 1, runs the workload round-robin across that many
+	// LibFS instances under the one kernel ("arck" only; baselines have
+	// no registration concept). Every tenant switch releases the
+	// outgoing tenant's holdings so the incoming one can re-acquire the
+	// namespace — a continuous revocation storm — and crashes land in
+	// the middle of those ownership transfers, which is the point: the
+	// multi-app release/reacquire protocol is exercised at every kill
+	// site the single-tenant loop covers.
+	Tenants int
+
 	// Iters is the number of iterations (default 40).
 	Iters int
 	// Seed drives everything (default 1): iteration seeds derive from
@@ -111,11 +121,22 @@ func (c *Config) fill() {
 	if c.OpsPerIter == 0 {
 		c.OpsPerIter = 48
 	}
+	if c.Tenants == 0 {
+		c.Tenants = 1
+	}
 	if c.DevSize == 0 {
 		c.DevSize = 4 << 20
+		if c.Tenants > 1 {
+			c.DevSize = 8 << 20
+		}
 	}
 	if c.InodeCap == 0 {
+		// Every tenant parks a full inode-grant batch; scale the cap so
+		// the last tenant's first grant doesn't starve.
 		c.InodeCap = 256
+		if c.Tenants > 1 {
+			c.InodeCap = uint64(256 * c.Tenants)
+		}
 	}
 }
 
@@ -161,6 +182,7 @@ type Breach struct {
 	Iter       int                `json:"iter"`
 	IterSeed   int64              `json:"iter_seed"`
 	OpsPerIter int                `json:"ops_per_iter"`
+	Tenants    int                `json:"tenants,omitempty"`
 	DevSize    int64              `json:"dev_size"`
 	InodeCap   uint64             `json:"inode_cap"`
 	Ops        []crashmc.Op       `json:"ops"` // op log up to the crash
@@ -298,8 +320,11 @@ type iteration struct {
 
 	dev    *pmem.Device
 	geo    layout.Geometry
-	fs     *libfs.FS
-	th     fsapi.Thread
+	fs     *libfs.FS    // current tenant's LibFS
+	th     fsapi.Thread // current tenant's worker
+	fss    []*libfs.FS  // all tenants (len 1 unless cfg.Tenants > 1)
+	ths    []fsapi.Thread
+	cur    int // index of the current tenant in fss/ths
 	tracer *span.Tracer
 	oracle *crashmc.Oracle
 	ops    []crashmc.Op
@@ -346,17 +371,21 @@ func runIteration(cfg *Config, iter int, iterSeed int64) (*iterResult, error) {
 	}
 	it.dev = dev
 	it.geo = ctrl.Geometry()
-	it.fs = libfs.New(ctrl, ctrl.RegisterApp(0, 0), libfs.Options{
-		Bugs:           cfg.Bugs,
-		GrantInoBatch:  32,
-		GrantPageBatch: 32,
-		DirBuckets:     8,
-	})
 	// Trace every op: a breach ships with the run's span history.
 	it.tracer = span.New(span.DefaultRingCap, 1)
 	it.tracer.SetEnabled(true)
-	it.fs.SetObservability(it.tracer, nil)
-	it.th = it.fs.NewThread(0)
+	for k := 0; k < cfg.Tenants; k++ {
+		fs := libfs.New(ctrl, ctrl.RegisterApp(0, 0), libfs.Options{
+			Bugs:           cfg.Bugs,
+			GrantInoBatch:  32,
+			GrantPageBatch: 32,
+			DirBuckets:     8,
+		})
+		fs.SetObservability(it.tracer, nil)
+		it.fss = append(it.fss, fs)
+		it.ths = append(it.ths, fs.NewThread(0))
+	}
+	it.fs, it.th = it.fss[0], it.ths[0]
 
 	warm := warmupOps()
 	for i, op := range warm {
@@ -457,6 +486,27 @@ func (it *iteration) pickKill() killSpec {
 	return k
 }
 
+// switchTenant hands the namespace from the current tenant to tenant
+// k: the outgoing tenant voluntarily releases everything it holds
+// (exclusive ownership means the incoming tenant's next path walk
+// re-acquires — and re-verifies — each component). The release's
+// kernel-protocol fences are skipped like OpRelease's are, but whitebox
+// killpoints still fire, so crashes land mid-transfer.
+func (it *iteration) switchTenant(k int) error {
+	if k == it.cur {
+		return nil
+	}
+	it.inRelease = true
+	err := it.fs.ReleaseAll()
+	it.inRelease = false
+	if err != nil {
+		return err
+	}
+	it.cur = k
+	it.fs, it.th = it.fss[k], it.ths[k]
+	return nil
+}
+
 // runOp applies one op, checking the outcome against WantErr.
 func (it *iteration) runOp(op crashmc.Op) error {
 	var release func() error
@@ -487,6 +537,9 @@ func (it *iteration) runWorkload() (err error) {
 	for i := range it.ops {
 		op := it.ops[i]
 		it.opIdx = i
+		if e := it.switchTenant(i % len(it.fss)); e != nil {
+			return fmt.Errorf("op %d handoff: %v", i, e)
+		}
 		it.inflight = &op
 		it.inRelease = op.Kind == crashmc.OpRelease
 		if e := it.runOp(op); e != nil {
@@ -677,6 +730,7 @@ func (it *iteration) breach(invariant, detail string) *Breach {
 		Iter:       it.iter,
 		IterSeed:   it.seed,
 		OpsPerIter: it.cfg.OpsPerIter,
+		Tenants:    it.cfg.Tenants,
 		DevSize:    it.cfg.DevSize,
 		InodeCap:   it.cfg.InodeCap,
 		Ops:        append([]crashmc.Op(nil), it.ops[:n]...),

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+	"unsafe"
 )
 
 // spinYield backs off after a burst of failed attempts.
@@ -108,6 +109,137 @@ func (l *RWSpin) Unlock() {
 
 // Locked reports a racy snapshot of whether any holder exists.
 func (l *RWSpin) Locked() bool { return l.state.Load() != 0 }
+
+// BRSlots is the number of per-slot reader counters a BRLock stripes
+// readers over. Power of two so the slot pick is a mask.
+const BRSlots = 32
+
+// brSlot is one padded reader counter: readers on different slots touch
+// different cache lines, so shared acquisition scales with core count
+// instead of serializing on one contended line.
+type brSlot struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// BRLock is a big-reader readers-writer spinlock: shared acquisitions
+// increment one of BRSlots cache-line-padded counters (picked by a
+// stack-address hash, so a goroutine keeps reusing its slot), and an
+// exclusive acquisition raises a writer flag and waits for every slot to
+// drain. Compared to RWSpin this trades a costlier exclusive acquisition
+// (a scan over BRSlots counters instead of one CAS) for two properties a
+// many-tenant control plane needs:
+//
+//   - shared mode stops being a single contended cache line, so read-side
+//     throughput no longer collapses as the reader count grows;
+//   - the writer flag gives exclusive mode priority — new readers back
+//     off while a writer waits, bounding enterExcl quiescence by the
+//     in-flight readers instead of starving behind an endless stream of
+//     new ones.
+//
+// RLock returns the slot index; the caller passes it back to RUnlock.
+// The zero value is unlocked.
+type BRLock struct {
+	writer atomic.Int32
+	// flat routes every reader to slot 0, restoring RWSpin's
+	// all-readers-on-one-line behaviour (the A/B baseline for the
+	// tenant-scaling experiment). Writer priority is kept in both modes.
+	flat  atomic.Bool
+	_     [56]byte
+	slots [BRSlots]brSlot
+}
+
+// SetFlat selects the degraded single-counter reader mode (true) or the
+// striped big-reader mode (false). Callers flip it only while the lock
+// is quiescent; in-flight readers are still unlocked correctly either
+// way because RUnlock takes the slot token.
+func (l *BRLock) SetFlat(flat bool) { l.flat.Store(flat) }
+
+// slot picks this goroutine's reader slot from its stack address:
+// stable while the goroutine lives (modulo stack moves, which only cost
+// a slot switch, never correctness — the token travels with the caller).
+func (l *BRLock) slot() int {
+	if l.flat.Load() {
+		return 0
+	}
+	var probe byte
+	p := uintptr(unsafe.Pointer(&probe))
+	return int((p>>10)^(p>>16)) & (BRSlots - 1)
+}
+
+// RLock acquires shared mode and returns the slot token for RUnlock.
+func (l *BRLock) RLock() int {
+	s := l.slot()
+	attempts := 0
+	for {
+		if l.writer.Load() == 0 {
+			l.slots[s].n.Add(1)
+			if l.writer.Load() == 0 {
+				return s
+			}
+			// A writer arrived between the two checks: back out so it
+			// can drain, then retry behind it.
+			l.slots[s].n.Add(-1)
+		}
+		spinYield(&attempts)
+	}
+}
+
+// RUnlock releases shared mode; slot is the token RLock returned.
+func (l *BRLock) RUnlock(slot int) {
+	if l.slots[slot].n.Add(-1) < 0 {
+		panic("hlock: RUnlock without RLock")
+	}
+}
+
+// Lock acquires exclusive mode: raise the writer flag (queueing behind
+// other writers), then wait for every reader slot to drain.
+func (l *BRLock) Lock() {
+	attempts := 0
+	for !l.writer.CompareAndSwap(0, 1) {
+		spinYield(&attempts)
+	}
+	for i := range l.slots {
+		for l.slots[i].n.Load() != 0 {
+			spinYield(&attempts)
+		}
+	}
+}
+
+// TryLock acquires exclusive mode only if no reader or writer holds the
+// lock, without spinning.
+func (l *BRLock) TryLock() bool {
+	if !l.writer.CompareAndSwap(0, 1) {
+		return false
+	}
+	for i := range l.slots {
+		if l.slots[i].n.Load() != 0 {
+			l.writer.Store(0)
+			return false
+		}
+	}
+	return true
+}
+
+// Unlock releases exclusive mode.
+func (l *BRLock) Unlock() {
+	if l.writer.Swap(0) != 1 {
+		panic("hlock: Unlock of BRLock not exclusively held")
+	}
+}
+
+// Locked reports a racy snapshot of whether any holder exists.
+func (l *BRLock) Locked() bool {
+	if l.writer.Load() != 0 {
+		return true
+	}
+	for i := range l.slots {
+		if l.slots[i].n.Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // LeaseLock is a revocable exclusive lock held by a named owner with a
 // deadline. The §4.6 patch uses one as the kernel's global rename lock:

@@ -114,6 +114,109 @@ func TestRWSpinMisuse(t *testing.T) {
 	}
 }
 
+func TestBRLockReadersShareWritersExclude(t *testing.T) {
+	var l BRLock
+	s1 := l.RLock()
+	s2 := l.RLock()
+	if l.TryLock() {
+		t.Fatal("writer acquired with readers present")
+	}
+	l.RUnlock(s1)
+	l.RUnlock(s2)
+	if !l.TryLock() {
+		t.Fatal("writer blocked on free lock")
+	}
+	if !l.Locked() {
+		t.Fatal("Locked() = false while held")
+	}
+	l.Unlock()
+	if l.Locked() {
+		t.Fatal("Locked() = true after unlock")
+	}
+}
+
+func TestBRLockCounter(t *testing.T) {
+	for _, flat := range []bool{false, true} {
+		var l BRLock
+		l.SetFlat(flat)
+		var shared int
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 500; j++ {
+					l.Lock()
+					shared++
+					l.Unlock()
+					s := l.RLock()
+					_ = shared
+					l.RUnlock(s)
+				}
+			}()
+		}
+		wg.Wait()
+		if shared != 4000 {
+			t.Fatalf("flat=%v: shared = %d, want 4000", flat, shared)
+		}
+	}
+}
+
+// TestBRLockWriterNotStarved pins the property BRLock exists for: an
+// exclusive acquisition completes while a stream of readers keeps
+// arriving, because new readers back off behind the writer flag.
+func TestBRLockWriterNotStarved(t *testing.T) {
+	var l BRLock
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := l.RLock()
+				l.RUnlock(s)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			l.Lock()
+			l.Unlock()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("writer starved behind continuous readers")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestBRLockMisuse(t *testing.T) {
+	for name, f := range map[string]func(){
+		"RUnlock": func() { var l BRLock; l.RUnlock(0) },
+		"Unlock":  func() { var l BRLock; l.Unlock() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s of unheld lock did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 func TestLeaseLockBasic(t *testing.T) {
 	var l LeaseLock
 	if !l.TryAcquire(1, time.Minute) {

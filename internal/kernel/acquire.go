@@ -21,7 +21,7 @@ func (c *Controller) lockShard(ino uint64, sink telemetry.SpanSink) *shadowShard
 		if sink != nil {
 			begin := time.Now()
 			sh.mu.Lock()
-			sink.SpanEvent(telemetry.SpanEvShardWait, int64(ino%nShadowShards),
+			sink.SpanEvent(telemetry.SpanEvShardWait, int64(c.shardIndex(ino)),
 				time.Since(begin).Nanoseconds())
 		} else {
 			sh.mu.Lock()
@@ -155,7 +155,7 @@ func (c *Controller) Acquire(appID AppID, ino uint64, write bool) (*Mapping, err
 // the fast path reports a timed shard-wait event to sink (nil = plain
 // Acquire).
 func (c *Controller) AcquireObserved(appID AppID, ino uint64, write bool, sink telemetry.SpanSink) (*Mapping, error) {
-	c.syscall(appID)
+	defer c.syscallObserved(appID, sink)()
 	c.Stats.Acquires.Add(1)
 	var wr int64
 	if write {
@@ -176,8 +176,8 @@ func (c *Controller) AcquireObserved(appID AppID, ino uint64, write bool, sink t
 // all of them except the expired-lease involuntary release, whose
 // verification can span shards. handled=false punts to acquireExcl.
 func (c *Controller) acquireFast(appID AppID, ino uint64, write bool, sink telemetry.SpanSink) (m *Mapping, err error, handled bool) {
-	c.epoch.RLock()
-	defer c.epoch.RUnlock()
+	e := c.epoch.RLock()
+	defer c.epoch.RUnlock(e)
 	sh := c.lockShard(ino, sink)
 	defer sh.mu.Unlock()
 
@@ -396,7 +396,7 @@ func (c *Controller) Release(appID AppID, ino uint64) error {
 // ReleaseObserved is Release with a span sink for timed shard-wait
 // events (nil = plain Release).
 func (c *Controller) ReleaseObserved(appID AppID, ino uint64, sink telemetry.SpanSink) error {
-	c.syscall(appID)
+	defer c.syscallObserved(appID, sink)()
 	c.Stats.Releases.Add(1)
 	c.trace.Record(telemetry.EvRelease, appID, ino, 0, 0)
 	_, err := c.transfer(appID, ino, xferRelease, sink)
@@ -414,7 +414,7 @@ func (c *Controller) Commit(appID AppID, ino uint64) error {
 // CommitObserved is Commit with a span sink for timed shard-wait events
 // (nil = plain Commit).
 func (c *Controller) CommitObserved(appID AppID, ino uint64, sink telemetry.SpanSink) error {
-	c.syscall(appID)
+	defer c.syscallObserved(appID, sink)()
 	c.Stats.Commits.Add(1)
 	c.trace.Record(telemetry.EvCommit, appID, ino, 0, 0)
 	_, err := c.transfer(appID, ino, xferCommit, sink)
@@ -435,7 +435,7 @@ func (c *Controller) ReleaseLeased(appID AppID, ino uint64) (*Mapping, error) {
 // ReleaseLeasedObserved is ReleaseLeased with a span sink for timed
 // shard-wait events (nil = plain ReleaseLeased).
 func (c *Controller) ReleaseLeasedObserved(appID AppID, ino uint64, sink telemetry.SpanSink) (*Mapping, error) {
-	c.syscall(appID)
+	defer c.syscallObserved(appID, sink)()
 	c.Stats.Releases.Add(1)
 	c.Stats.LeasedReleases.Add(1)
 	c.trace.Record(telemetry.EvRelease, appID, ino, 1, 0)
@@ -459,8 +459,8 @@ func (c *Controller) transfer(appID AppID, ino uint64, kind xferKind, sink telem
 // epoch (their commits create, relocate, and free children on other
 // shards).
 func (c *Controller) transferFast(appID AppID, ino uint64, kind xferKind, sink telemetry.SpanSink) (m *Mapping, err error, handled bool) {
-	c.epoch.RLock()
-	defer c.epoch.RUnlock()
+	e := c.epoch.RLock()
+	defer c.epoch.RUnlock(e)
 	sh := c.lockShard(ino, sink)
 	defer sh.mu.Unlock()
 
@@ -545,7 +545,7 @@ func (c *Controller) transferHeld(se *shadowEnt, appID AppID, kind xferKind, vie
 // the involuntary-release path, also used by tests to simulate an
 // application crash.
 func (c *Controller) ForceRelease(ino uint64) error {
-	c.syscall(0)
+	defer c.syscall(0)()
 	c.enterExcl()
 	defer c.exitExcl()
 	se := c.shadowGet(ino, nil)
@@ -617,7 +617,7 @@ func (c *Controller) verifyAndApply(se *shadowEnt, appID AppID, keepHeld bool, v
 			return err
 		}
 		c.trace.Record(telemetry.EvVerifyOK, appID, ino, 0, int64(len(res.View.MapPages)))
-		c.applyFile(se, res)
+		c.applyFile(se, appID, res)
 	default:
 		return fmt.Errorf("inode %d: unknown shadow type %d", ino, se.info.Type)
 	}
@@ -709,22 +709,20 @@ func (c *Controller) applyDir(se *shadowEnt, appID AppID, res *verifier.DirResul
 	}
 	se.inode = res.Inode
 	se.info.ChildCount = uint32(len(res.View.Entries))
-	c.applyPages(se.info.Ino, res.NewPages, res.FreedPages)
+	c.applyPages(se.info.Ino, appID, res.NewPages, res.FreedPages)
 	c.writeShadow(se)
 }
 
-func (c *Controller) applyFile(se *shadowEnt, res *verifier.FileResult) {
+func (c *Controller) applyFile(se *shadowEnt, appID AppID, res *verifier.FileResult) {
 	se.inode = res.Inode
-	c.applyPages(se.info.Ino, res.NewPages, res.FreedPages)
+	c.applyPages(se.info.Ino, appID, res.NewPages, res.FreedPages)
 	c.writeShadow(se)
 }
 
 func (c *Controller) applyNewInode(se *shadowEnt, appID AppID, res *verifier.NewInodeResult, held *shadowShard) {
 	se.inode = res.Inode
 	se.info = shadowInfoOf(se.info.Ino, &res.Inode, res.ChildCount, true)
-	for _, p := range res.Pages {
-		c.setPageOwner(p, ownIno(se.info.Ino))
-	}
+	c.adoptPages(se.info.Ino, appID, res.Pages)
 	// PendingChildren only occur for directories, which commit under the
 	// exclusive epoch (held == nil): the cross-shard shadowPut is safe.
 	for _, ch := range res.PendingChildren {
@@ -742,15 +740,33 @@ func (c *Controller) applyNewInode(se *shadowEnt, appID AppID, res *verifier.New
 	c.writeShadow(se)
 }
 
-func (c *Controller) applyPages(ino uint64, newPages, freed []uint64) {
-	for _, p := range newPages {
-		c.setPageOwner(p, ownIno(ino))
-	}
+func (c *Controller) applyPages(ino uint64, appID AppID, newPages, freed []uint64) {
+	c.adoptPages(ino, appID, newPages)
 	if len(freed) > 0 {
 		for _, p := range freed {
 			c.setPageOwner(p, ownFree)
 		}
 		c.alloc.Free(freed...)
+	}
+}
+
+// adoptPages moves newly referenced pages from app-granted to
+// inode-owned. Pages that were still charged as outstanding grants to
+// appID are uncharged from its page quota — adoption is the moment a
+// grant stops being the app's liability and becomes file-system state.
+func (c *Controller) adoptPages(ino uint64, appID AppID, pages []uint64) {
+	adopted := int64(0)
+	for _, p := range pages {
+		if c.casPageOwner(p, ownApp(appID), ownIno(ino)) {
+			adopted++
+			continue
+		}
+		c.setPageOwner(p, ownIno(ino))
+	}
+	if adopted > 0 {
+		if a := c.lookupApp(appID); a != nil {
+			a.pagesOut.Add(-adopted)
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -71,6 +72,25 @@ type Options struct {
 	// the pre-sharding single-global-lock kernel (the baseline side of
 	// the control-plane scaling experiment).
 	Serialize bool
+	// FlatEpoch degrades the big-reader epoch lock to a single shared
+	// reader counter (every reader on one cache line, no writer
+	// priority) — the pre-tenancy epoch behaviour, kept as the A/B
+	// baseline for the tenant-scaling experiment.
+	FlatEpoch bool
+	// ShadowShards sets the initial shadow-table shard count (rounded up
+	// to a power of two; 0 = 16). The controller grows the shard count
+	// with the registered-app count regardless, so this only matters for
+	// callers that want the final size up front.
+	ShadowShards int
+	// MaxInflight caps concurrently admitted kernel crossings; excess
+	// crossings queue in the fair-share admission scheduler (see
+	// admission.go). 0 disables admission entirely: the only residual
+	// cost is one nil check per crossing.
+	MaxInflight int
+	// SerialAdmission replaces the weighted deficit round-robin handoff
+	// with a single global FIFO queue — the naive admission baseline for
+	// the tenant-scaling A/B (arckbench -serial-admission).
+	SerialAdmission bool
 	// RecoverWorkers bounds the recovery worker pool (Mount/Fsck).
 	// 0 = min(GOMAXPROCS, 8); 1 = serial.
 	RecoverWorkers int
@@ -217,6 +237,21 @@ type app struct {
 	// paths read it without holding appsMu.
 	group       atomic.Int32
 	grantedInos map[uint64]bool
+
+	// Quota state (quota.go). Limits are atomic so SetQuota can raise or
+	// lower them while crossings are in flight; 0 means unlimited.
+	maxPages  atomic.Int64
+	maxInodes atomic.Int64
+	crossRate atomic.Int64 // crossings per second
+	weight    atomic.Int64 // admission fair-share weight (0 = 1)
+	// pagesOut counts outstanding granted pages: charged at GrantPages,
+	// uncharged when a page is adopted by a committed inode, returned, or
+	// reclaimed at unregister. It also lets UnregisterApp skip the
+	// device-wide page-owner scan for tenants that never held a page.
+	pagesOut atomic.Int64
+	// rateTAT is the GCRA theoretical-arrival-time (ns) for the
+	// crossings/sec throttle.
+	rateTAT atomic.Int64
 }
 
 // Mapping is a LibFS's handle on an inode's mapped core state. The
@@ -289,11 +324,27 @@ type Controller struct {
 
 	// epoch is the big-reader lock over the sharded state: shared for
 	// single-inode crossings, exclusive for multi-inode ones (shard.go).
-	epoch      hlock.RWSpin
-	shadowTab  [nShadowShards]shadowShard
-	pages      []pageOwner
-	pageStripe [nPageStripes]pageStripe
-	aclTab     [nACLShards]aclShard
+	epoch hlock.BRLock
+	// shadow is the current shadow-shard generation; it grows with the
+	// registered-app count (maybeGrowShards) and is swapped only under
+	// the exclusive epoch.
+	shadow            atomic.Pointer[shadowGen]
+	shadowRetiredAcq  atomic.Int64
+	shadowRetiredCont atomic.Int64
+	pages             []pageOwner
+	pageStripe        [nPageStripes]pageStripe
+	aclTab            [nACLShards]aclShard
+
+	// adm is the fair-share crossing admission scheduler (admission.go);
+	// nil when Options.MaxInflight is 0.
+	adm *admission
+	// quotaRates indexes apps with a crossings/sec quota so the syscall
+	// hot path stays lock-free: one atomic check when no rate quota
+	// exists anywhere, one sync.Map load otherwise.
+	quotaRates sync.Map // AppID -> *app
+	rateActive atomic.Int32
+	// throttled counts crossings delayed by a crossings/sec quota.
+	throttled atomic.Int64
 
 	// appsMu guards the app table, grantedInos sets, the inode free
 	// list, and the id counters.
@@ -356,11 +407,13 @@ func newController(dev *pmem.Device, g layout.Geometry, opts Options) *Controlle
 		apps:  make(map[AppID]*app),
 		trace: telemetry.NewRing(opts.TraceCap),
 	}
-	for i := range c.shadowTab {
-		c.shadowTab[i].m = make(map[uint64]*shadowEnt)
-	}
+	c.shadow.Store(newShadowGen(shardsFor(opts.ShadowShards)))
 	for i := range c.aclTab {
 		c.aclTab[i].m = make(map[aclKey]uint16)
+	}
+	c.epoch.SetFlat(opts.FlatEpoch)
+	if opts.MaxInflight > 0 {
+		c.adm = newAdmission(opts.MaxInflight, opts.SerialAdmission, opts.AppDim)
 	}
 	now := clockFn(time.Now)
 	c.clock.Store(&now)
@@ -368,12 +421,37 @@ func newController(dev *pmem.Device, g layout.Geometry, opts Options) *Controlle
 	return c
 }
 
+// noRelease is the crossing-end hook when admission is disabled.
+func noRelease() {}
+
 // syscall charges and counts one kernel crossing, attributing it to
-// appID's row of the app dimension (0 = unattributed).
-func (c *Controller) syscall(appID AppID) {
+// appID's row of the app dimension (0 = unattributed). It applies the
+// app's crossings/sec throttle and, when admission is enabled, blocks
+// until the fair-share scheduler admits the crossing. The returned hook
+// ends the crossing; call it deferred so the admission slot is held for
+// the crossing's full duration:
+//
+//	defer c.syscall(appID)()
+func (c *Controller) syscall(appID AppID) func() {
+	return c.syscallObserved(appID, nil)
+}
+
+// syscallObserved is syscall with a span sink: a queued admission wait is
+// reported as a timed SpanEvAdmitWait event.
+func (c *Controller) syscallObserved(appID AppID, sink telemetry.SpanSink) func() {
 	c.Stats.Syscalls.Add(1)
 	c.opts.AppDim.Add(appID, telemetry.AppSyscalls, 1)
 	c.cost.Syscall()
+	if c.rateActive.Load() != 0 {
+		if v, ok := c.quotaRates.Load(appID); ok {
+			c.throttleCrossing(v.(*app))
+		}
+	}
+	if c.adm == nil {
+		return noRelease
+	}
+	c.adm.admit(appID, sink)
+	return c.adm.releaseFn
 }
 
 // Trace returns the kernel-crossing trace ring.
@@ -398,6 +476,13 @@ func (c *Controller) RegisterTelemetry(set *telemetry.Set) {
 	set.Gauge("kernel.epoch_exclusive", c.Stats.EpochExclusive.Load)
 	set.Gauge("kernel.shard.acquisitions", func() int64 { return c.shardTelemetry(false) })
 	set.Gauge("kernel.shard.contended", func() int64 { return c.shardTelemetry(true) })
+	set.Gauge("kernel.shard.count", func() int64 { return int64(len(c.shadow.Load().shards)) })
+	set.Gauge("kernel.admission.admitted", func() int64 { return c.adm.admittedCount() })
+	set.Gauge("kernel.admission.queued", func() int64 { return c.adm.queuedCount() })
+	set.Gauge("kernel.admission.wait_ns", func() int64 { return c.adm.waitNSCount() })
+	set.Gauge("kernel.admission.handoffs", func() int64 { return c.adm.handoffCount() })
+	set.Gauge("kernel.admission.queue_depth", func() int64 { return c.adm.queueDepth() })
+	set.Gauge("kernel.admission.throttled", c.throttled.Load)
 	set.Gauge("pmalloc.steals.local", func() int64 { return c.alloc.StealsLocal() })
 	set.Gauge("pmalloc.steals.remote", func() int64 { return c.alloc.StealsRemote() })
 	set.Gauge("verifier.dentries", c.ver.Stats.Dentries.Load)
@@ -428,29 +513,97 @@ func (c *Controller) SetClock(now func() time.Time) {
 	c.renameLock.SetClock(now)
 }
 
-// RegisterApp creates an application identity.
+// RegisterApp creates an application identity. When the registered-app
+// count outruns the shadow-shard count, the table grows before returning
+// (the tenant-scaling fix: shard counts follow tenant counts).
 func (c *Controller) RegisterApp(uid, gid uint32) AppID {
-	c.syscall(0)
-	c.enterShared()
-	defer c.exitShared()
+	defer c.syscall(0)()
+	e := c.enterShared()
 	if !c.appsMu.TryLock() {
 		c.appsContended.Add(1)
 		c.appsMu.Lock()
 	}
 	c.appsAcquisitions.Add(1)
-	defer c.appsMu.Unlock()
 	c.nextApp++
 	id := c.nextApp
 	c.apps[id] = &app{id: id, uid: uid, gid: gid, grantedInos: make(map[uint64]bool)}
+	napps := len(c.apps)
+	c.appsMu.Unlock()
+	c.exitShared(e)
+	c.maybeGrowShards(napps)
 	return id
+}
+
+// UnregisterApp retires an application identity: every inode it still
+// holds is force-released (verified and returned to the kernel), its
+// unused inode grants go back to the free pool, any still-granted pages
+// are reclaimed, and its telemetry/admission state is dropped. Idle
+// tenants — no held inodes, no outstanding pages — unregister without
+// touching the shadow or page tables beyond the app row itself.
+func (c *Controller) UnregisterApp(appID AppID) error {
+	defer c.syscall(appID)()
+	a := c.lookupApp(appID)
+	if a == nil {
+		return fmt.Errorf("kernel: unknown app %d", appID)
+	}
+	c.trace.Record(telemetry.EvUnregisterApp, appID, 0, 0, 0)
+	c.enterExcl()
+	defer c.exitExcl()
+	// Force-release everything the app still owns. releaseHeld verifies
+	// the holder's state, exactly as an involuntary lease reclaim would.
+	var held []*shadowEnt
+	c.shadowRange(func(ino uint64, se *shadowEnt) {
+		if se.owner == appID {
+			held = append(held, se)
+		}
+	})
+	for _, se := range held {
+		c.Stats.Involuntary.Add(1)
+		if err := c.releaseHeld(se, appID, ctlView{c: c}); err != nil && !IsVerificationError(err) {
+			return err
+		}
+	}
+	// Unused inode grants go back to the free pool.
+	if !c.appsMu.TryLock() {
+		c.appsContended.Add(1)
+		c.appsMu.Lock()
+	}
+	c.appsAcquisitions.Add(1)
+	for ino := range a.grantedInos {
+		c.inoFree = append(c.inoFree, ino)
+	}
+	delete(c.apps, appID)
+	c.appsMu.Unlock()
+	// Reclaim granted pages. The scan is device-wide, so skip it for the
+	// common idle-tenant retire (pagesOut == 0 means no page the app was
+	// granted is still app-owned).
+	if a.pagesOut.Load() > 0 {
+		var back []uint64
+		want := ownApp(appID)
+		for p, o := range c.pages {
+			if o == want {
+				c.pages[p] = ownFree
+				back = append(back, uint64(p))
+			}
+		}
+		c.alloc.Free(back...)
+	}
+	c.quotaRates.Delete(appID)
+	if a.crossRate.Load() > 0 {
+		c.rateActive.Add(-1)
+	}
+	if c.adm != nil {
+		c.adm.evict(appID)
+	}
+	return nil
 }
 
 // NewTrustGroup places the given applications in a fresh trust group:
 // inode ownership moves among them without verification (§5.4).
 func (c *Controller) NewTrustGroup(ids ...AppID) (int, error) {
-	c.syscall(0)
-	c.enterShared()
-	defer c.exitShared()
+	defer c.syscall(0)()
+	e := c.enterShared()
+	defer c.exitShared(e)
 	if !c.appsMu.TryLock() {
 		c.appsContended.Add(1)
 		c.appsMu.Lock()
@@ -471,10 +624,10 @@ func (c *Controller) NewTrustGroup(ids ...AppID) (int, error) {
 // GrantInodes hands n fresh inode numbers to app; the LibFS builds new
 // files and directories in them without further system calls.
 func (c *Controller) GrantInodes(appID AppID, n int) ([]uint64, error) {
-	c.syscall(appID)
+	defer c.syscall(appID)()
 	c.trace.Record(telemetry.EvGrantInodes, appID, 0, int64(n), 0)
-	c.enterShared()
-	defer c.exitShared()
+	e := c.enterShared()
+	defer c.exitShared(e)
 	if !c.appsMu.TryLock() {
 		c.appsContended.Add(1)
 		c.appsMu.Lock()
@@ -484,6 +637,10 @@ func (c *Controller) GrantInodes(appID AppID, n int) ([]uint64, error) {
 	a, ok := c.apps[appID]
 	if !ok {
 		return nil, fmt.Errorf("kernel: unknown app %d", appID)
+	}
+	if max := a.maxInodes.Load(); max > 0 && int64(len(a.grantedInos)+n) > max {
+		return nil, fmt.Errorf("app %d: %d inode grants outstanding, +%d exceeds quota %d: %w",
+			appID, len(a.grantedInos), n, max, ErrQuota)
 	}
 	if len(c.inoFree) < n {
 		return nil, fsapi.ErrNoSpace
@@ -498,17 +655,27 @@ func (c *Controller) GrantInodes(appID AppID, n int) ([]uint64, error) {
 	return out, nil
 }
 
-// GrantPages hands n free pages to app.
+// GrantPages hands n free pages to app, charging them against the app's
+// outstanding-page quota.
 func (c *Controller) GrantPages(appID AppID, cpu, n int) ([]uint64, error) {
-	c.syscall(appID)
+	defer c.syscall(appID)()
 	c.trace.Record(telemetry.EvGrantPages, appID, 0, int64(n), 0)
+	a := c.lookupApp(appID)
+	if a == nil {
+		return nil, fmt.Errorf("kernel: unknown app %d", appID)
+	}
+	if err := a.chargePages(n); err != nil {
+		return nil, err
+	}
 	pages, err := c.alloc.AllocBatch(cpu, n)
 	if err != nil {
+		a.pagesOut.Add(-int64(n))
 		return nil, fsapi.ErrNoSpace
 	}
-	c.enterShared()
-	defer c.exitShared()
+	e := c.enterShared()
+	defer c.exitShared(e)
 	if c.lookupApp(appID) == nil {
+		a.pagesOut.Add(-int64(n))
 		c.alloc.Free(pages...)
 		return nil, fmt.Errorf("kernel: unknown app %d", appID)
 	}
@@ -518,24 +685,30 @@ func (c *Controller) GrantPages(appID AppID, cpu, n int) ([]uint64, error) {
 	return pages, nil
 }
 
-// ReturnPages gives unused granted pages back (LibFS teardown).
+// ReturnPages gives unused granted pages back (LibFS teardown),
+// uncharging them from the app's outstanding-page quota.
 func (c *Controller) ReturnPages(appID AppID, pages []uint64) {
-	c.syscall(appID)
+	defer c.syscall(appID)()
 	c.trace.Record(telemetry.EvReturnPages, appID, 0, int64(len(pages)), 0)
-	c.enterShared()
+	e := c.enterShared()
 	var back []uint64
 	for _, p := range pages {
 		if c.casPageOwner(p, ownApp(appID), ownFree) {
 			back = append(back, p)
 		}
 	}
-	c.exitShared()
-	c.alloc.Free(back...)
+	c.exitShared(e)
+	if len(back) > 0 {
+		if a := c.lookupApp(appID); a != nil {
+			a.pagesOut.Add(-int64(len(back)))
+		}
+		c.alloc.Free(back...)
+	}
 }
 
 // RenameLockAcquire takes the global rename lease for app (§4.6 patch).
 func (c *Controller) RenameLockAcquire(appID AppID) {
-	c.syscall(appID)
+	defer c.syscall(appID)()
 	c.trace.Record(telemetry.EvRenameLockAcquire, appID, 0, 0, 0)
 	c.renameLock.Acquire(appID, c.opts.RenameLeaseTTL)
 }
@@ -543,7 +716,7 @@ func (c *Controller) RenameLockAcquire(appID AppID) {
 // RenameLockRelease returns the lease; false means it had expired and
 // been stolen.
 func (c *Controller) RenameLockRelease(appID AppID) bool {
-	c.syscall(appID)
+	defer c.syscall(appID)()
 	c.trace.Record(telemetry.EvRenameLockRelease, appID, 0, 0, 0)
 	return c.renameLock.Release(appID)
 }
@@ -553,10 +726,10 @@ func (c *Controller) RenameLockRelease(appID AppID) bool {
 // write access on specific inodes. Like every other entry point it
 // models (and charges) a kernel crossing.
 func (c *Controller) SetACL(ino uint64, appID AppID, perm uint16) {
-	c.syscall(appID)
+	defer c.syscall(appID)()
 	c.trace.Record(telemetry.EvSetACL, appID, ino, int64(perm), 0)
-	c.enterShared()
-	defer c.exitShared()
+	e := c.enterShared()
+	defer c.exitShared(e)
 	sh := c.shardOf(ino)
 	if !sh.mu.TryLock() {
 		sh.contended.Add(1)
@@ -596,10 +769,20 @@ func (c *Controller) acl(appID AppID, ino uint64) (uint16, bool) {
 // FreeCount exposes allocator occupancy for tests.
 func (c *Controller) FreeCount() int { return c.alloc.FreeCount() }
 
+// FreePageFraction reports the fraction of data pages still free —
+// the reclaim-pressure signal LibFS lease reserves scale their TTL by.
+func (c *Controller) FreePageFraction() float64 {
+	total := len(c.pages)
+	if total == 0 {
+		return 0
+	}
+	return float64(c.alloc.FreeCount()) / float64(total)
+}
+
 // ShadowOf returns a copy of ino's shadow info (tests and tools).
 func (c *Controller) ShadowOf(ino uint64) (verifier.ShadowInfo, bool) {
-	c.enterShared()
-	defer c.exitShared()
+	e := c.enterShared()
+	defer c.exitShared(e)
 	se := c.shadowGet(ino, nil)
 	if se == nil {
 		return verifier.ShadowInfo{}, false
@@ -612,8 +795,8 @@ func (c *Controller) ShadowOf(ino uint64) (verifier.ShadowInfo, bool) {
 // may reclaim the inode at any time, so it is kernel-held for every
 // observer but the lease holder itself.
 func (c *Controller) OwnerOf(ino uint64) AppID {
-	c.enterShared()
-	defer c.exitShared()
+	e := c.enterShared()
+	defer c.exitShared(e)
 	sh := c.shardOf(ino)
 	if !sh.mu.TryLock() {
 		sh.contended.Add(1)

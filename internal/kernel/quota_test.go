@@ -1,0 +1,170 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"arckfs/internal/verifier"
+)
+
+// TestQuotaPageBoundary grants exactly up to MaxPages — the boundary
+// must be inclusive — then checks one page more fails with ErrQuota,
+// and that returning pages uncharges so the tenant can grant again.
+func TestQuotaPageBoundary(t *testing.T) {
+	h := newHarness(t, verifier.Enhanced)
+	app := h.c.RegisterApp(0, 0)
+	if err := h.c.SetQuota(app, Quota{MaxPages: 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	pages, err := h.c.GrantPages(app, 0, 8)
+	if err != nil {
+		t.Fatalf("grant exactly at limit: %v", err)
+	}
+	if _, err := h.c.GrantPages(app, 0, 1); !errors.Is(err, ErrQuota) {
+		t.Fatalf("grant past limit: got %v, want ErrQuota", err)
+	}
+
+	h.c.ReturnPages(app, pages[:4])
+	if _, err := h.c.GrantPages(app, 0, 4); err != nil {
+		t.Fatalf("re-grant after return: %v", err)
+	}
+	u := usageOf(t, h.c, app)
+	if u.PagesOut != 8 {
+		t.Fatalf("outstanding pages %d, want 8", u.PagesOut)
+	}
+}
+
+// TestQuotaInodeBoundary is the inode-grant twin: exactly MaxInodes
+// succeeds, one more fails, and binding an inode to a committed
+// creation is what uncharges it (outstanding-grant semantics).
+func TestQuotaInodeBoundary(t *testing.T) {
+	h := newHarness(t, verifier.Enhanced)
+	app := h.c.RegisterApp(0, 0)
+	if err := h.c.SetQuota(app, Quota{MaxInodes: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := h.c.GrantInodes(app, 4); err != nil {
+		t.Fatalf("grant exactly at limit: %v", err)
+	}
+	if _, err := h.c.GrantInodes(app, 1); !errors.Is(err, ErrQuota) {
+		t.Fatalf("grant past limit: got %v, want ErrQuota", err)
+	}
+	u := usageOf(t, h.c, app)
+	if u.InodesGranted != 4 {
+		t.Fatalf("outstanding inode grants %d, want 4", u.InodesGranted)
+	}
+}
+
+// TestQuotaRaiseLowerWithGrantsParked covers runtime requota while
+// grants are outstanding (the LibFS parks a lease reserve in exactly
+// this state): lowering below current usage revokes nothing and only
+// blocks further grants; raising unblocks immediately.
+func TestQuotaRaiseLowerWithGrantsParked(t *testing.T) {
+	h := newHarness(t, verifier.Enhanced)
+	app := h.c.RegisterApp(0, 0)
+	if err := h.c.SetQuota(app, Quota{MaxPages: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.c.GrantPages(app, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lower below the 8 outstanding: nothing is revoked...
+	if err := h.c.SetQuota(app, Quota{MaxPages: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if u := usageOf(t, h.c, app); u.PagesOut != 8 {
+		t.Fatalf("lowering the quota revoked grants: %d outstanding, want 8", u.PagesOut)
+	}
+	// ...but further grants are blocked.
+	if _, err := h.c.GrantPages(app, 0, 1); !errors.Is(err, ErrQuota) {
+		t.Fatalf("grant under lowered quota: got %v, want ErrQuota", err)
+	}
+
+	// Raise: the parked grants fit again and growth resumes.
+	if err := h.c.SetQuota(app, Quota{MaxPages: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.c.GrantPages(app, 0, 8); err != nil {
+		t.Fatalf("grant after raise: %v", err)
+	}
+
+	// Clearing the quota (zero value) makes the tenant unlimited.
+	if err := h.c.SetQuota(app, Quota{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.c.GrantPages(app, 0, 64); err != nil {
+		t.Fatalf("grant after clear: %v", err)
+	}
+}
+
+// TestQuotaCrossingThrottleBurst pins the GCRA throttle's shape: a
+// burst within the bucket's tolerance passes at full speed, and
+// crossings beyond it are paced at the configured rate. The elapsed
+// lower bound is what matters — an upper bound would be flaky — plus
+// the kernel's throttled counter as a direct signal.
+func TestQuotaCrossingThrottleBurst(t *testing.T) {
+	h := newHarness(t, verifier.Enhanced)
+	app := h.c.RegisterApp(0, 0)
+	// 400/s: burst tolerance = 400/8 = 50 crossings, then 2.5 ms each.
+	if err := h.c.SetQuota(app, Quota{CrossingsPerSec: 400}); err != nil {
+		t.Fatal(err)
+	}
+
+	crossings := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, ok := h.c.QuotaOf(app); !ok {
+				t.Fatal("app vanished")
+			}
+			if err := h.c.SetQuota(app, Quota{CrossingsPerSec: 400}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Within burst: fast. (SetQuota is itself a crossing; the install
+	// above consumed one token already.)
+	start := time.Now()
+	crossings(40)
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("within-burst crossings took %v", el)
+	}
+
+	// Past burst: at least (crossings - tokens left) * 2.5ms of pacing.
+	// 30 more crossings with at most ~9 tokens left costs >= ~50ms; assert
+	// half that to stay robust on slow CI.
+	throttledBefore := h.c.throttled.Load()
+	start = time.Now()
+	crossings(30)
+	el := time.Since(start)
+	if el < 25*time.Millisecond {
+		t.Fatalf("past-burst crossings took only %v, throttle not pacing", el)
+	}
+	if h.c.throttled.Load() == throttledBefore {
+		t.Fatal("throttled counter did not move")
+	}
+
+	// Clearing the rate stops the pacing.
+	if err := h.c.SetQuota(app, Quota{}); err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	crossings(30)
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("crossings after clear took %v, throttle still active", el)
+	}
+}
+
+func usageOf(t *testing.T, c *Controller, app AppID) AppUsage {
+	t.Helper()
+	for _, u := range c.Usage() {
+		if u.App == app {
+			return u
+		}
+	}
+	t.Fatalf("app %d not in usage table", app)
+	return AppUsage{}
+}

@@ -31,10 +31,72 @@ import (
 // < aclShard.mu < Mapping.mu.
 
 const (
-	nShadowShards = 16
-	nPageStripes  = 16
-	nACLShards    = 8
+	// nShadowShardsMin is the floor (and default) shadow shard count; the
+	// controller grows the table with the registered-app count up to
+	// nShadowShardsMax (see maybeGrowShards).
+	nShadowShardsMin = 16
+	nShadowShardsMax = 4096
+	nPageStripes     = 16
+	nACLShards       = 8
 )
+
+// shadowGen is one generation of the shadow-shard table. The controller
+// swaps in a larger generation (under the exclusive epoch) as tenants
+// register, so shard count scales with tenant count instead of pinning
+// 10k tenants' hot inodes onto 16 locks. Readers load the generation
+// pointer once per access; the swap is safe because it only happens while
+// every shared-epoch holder is drained.
+type shadowGen struct {
+	shards []shadowShard
+	mask   uint64
+}
+
+// shardsFor returns the shard count appropriate for napps registered
+// applications: the next power of two at or above napps, clamped to
+// [nShadowShardsMin, nShadowShardsMax].
+func shardsFor(napps int) int {
+	n := nShadowShardsMin
+	for n < napps && n < nShadowShardsMax {
+		n <<= 1
+	}
+	return n
+}
+
+func newShadowGen(n int) *shadowGen {
+	g := &shadowGen{shards: make([]shadowShard, n), mask: uint64(n - 1)}
+	for i := range g.shards {
+		g.shards[i].m = make(map[uint64]*shadowEnt)
+	}
+	return g
+}
+
+// maybeGrowShards grows the shadow table when the app count has outrun
+// the shard count. The fast path is one atomic load and a compare; the
+// grow path drains the epoch, rehashes every entry into a fresh
+// generation, and folds the old generation's lock-traffic counters into
+// the retired totals so the kernel.shard.* gauges stay monotonic.
+func (c *Controller) maybeGrowShards(napps int) {
+	want := shardsFor(napps)
+	if want <= len(c.shadow.Load().shards) {
+		return
+	}
+	c.enterExcl()
+	defer c.exitExcl()
+	old := c.shadow.Load()
+	if want <= len(old.shards) {
+		return // raced with another grower
+	}
+	next := newShadowGen(want)
+	for i := range old.shards {
+		sh := &old.shards[i]
+		for ino, se := range sh.m {
+			next.shards[ino&next.mask].m[ino] = se
+		}
+		c.shadowRetiredAcq.Add(sh.acquisitions.Load())
+		c.shadowRetiredCont.Add(sh.contended.Load())
+	}
+	c.shadow.Store(next)
+}
 
 // shadowShard holds a stripe of the shadow-inode table. The counters
 // feed the kernel.shard.* telemetry and arckshell's `shards` command.
@@ -61,7 +123,14 @@ type aclShard struct {
 }
 
 func (c *Controller) shardOf(ino uint64) *shadowShard {
-	return &c.shadowTab[ino%nShadowShards]
+	g := c.shadow.Load()
+	return &g.shards[ino&g.mask]
+}
+
+// shardIndex returns ino's shard index in the current generation (span
+// payloads and tooling).
+func (c *Controller) shardIndex(ino uint64) int {
+	return int(ino & c.shadow.Load().mask)
 }
 
 func (c *Controller) stripeOf(page uint64) *pageStripe {
@@ -81,23 +150,25 @@ func (c *Controller) enterExcl() {
 
 func (c *Controller) exitExcl() { c.epoch.Unlock() }
 
-// enterShared begins a single-inode crossing. With Options.Serialize the
-// controller degrades to the pre-sharding single-global-lock behaviour
-// (the A/B baseline in EXPERIMENTS.md): every crossing is exclusive.
-func (c *Controller) enterShared() {
+// enterShared begins a single-inode crossing and returns the epoch
+// reader-slot token the caller must pass back to exitShared. With
+// Options.Serialize the controller degrades to the pre-sharding
+// single-global-lock behaviour (the A/B baseline in EXPERIMENTS.md):
+// every crossing is exclusive, marked by a negative token.
+func (c *Controller) enterShared() int {
 	if c.opts.Serialize {
 		c.enterExcl()
-		return
+		return -1
 	}
-	c.epoch.RLock()
+	return c.epoch.RLock()
 }
 
-func (c *Controller) exitShared() {
-	if c.opts.Serialize {
+func (c *Controller) exitShared(tok int) {
+	if tok < 0 {
 		c.exitExcl()
 		return
 	}
-	c.epoch.RUnlock()
+	c.epoch.RUnlock(tok)
 }
 
 // shadowGet looks ino up in its shard. held, if non-nil, is a shard the
@@ -156,8 +227,9 @@ func (c *Controller) shadowDelete(ino uint64, held *shadowShard) {
 // shadowRange calls fn for every shadow entry. Exclusive epoch or
 // single-threaded (mount/recovery) callers only.
 func (c *Controller) shadowRange(fn func(ino uint64, se *shadowEnt)) {
-	for i := range c.shadowTab {
-		for ino, se := range c.shadowTab[i].m {
+	g := c.shadow.Load()
+	for i := range g.shards {
+		for ino, se := range g.shards[i].m {
 			fn(ino, se)
 		}
 	}
@@ -167,8 +239,9 @@ func (c *Controller) shadowRange(fn func(ino uint64, se *shadowEnt)) {
 // mount-time callers).
 func (c *Controller) shadowCount() int {
 	n := 0
-	for i := range c.shadowTab {
-		n += len(c.shadowTab[i].m)
+	g := c.shadow.Load()
+	for i := range g.shards {
+		n += len(g.shards[i].m)
 	}
 	return n
 }
@@ -275,11 +348,14 @@ type ShardStat struct {
 }
 
 // ShardStats snapshots per-shard lock acquisition and contention
-// counters for every stripe of the control-plane state.
+// counters for every stripe of the control-plane state. Shadow-shard
+// rows reset when the table grows a generation; the retired generations'
+// totals stay in the aggregate gauges (shardTelemetry).
 func (c *Controller) ShardStats() []ShardStat {
-	out := make([]ShardStat, 0, nShadowShards+nPageStripes+nACLShards+1)
-	for i := range c.shadowTab {
-		sh := &c.shadowTab[i]
+	g := c.shadow.Load()
+	out := make([]ShardStat, 0, len(g.shards)+nPageStripes+nACLShards+1)
+	for i := range g.shards {
+		sh := &g.shards[i]
 		out = append(out, ShardStat{"shadow", i, sh.acquisitions.Load(), sh.contended.Load()})
 	}
 	for i := range c.pageStripe {
@@ -294,7 +370,8 @@ func (c *Controller) ShardStats() []ShardStat {
 	return out
 }
 
-// shardTelemetry sums a counter over every shard.
+// shardTelemetry sums a counter over every shard, including retired
+// shadow-table generations (so the gauges stay monotonic across grows).
 func (c *Controller) shardTelemetry(contended bool) int64 {
 	var n int64
 	for _, s := range c.ShardStats() {
@@ -303,6 +380,11 @@ func (c *Controller) shardTelemetry(contended bool) int64 {
 		} else {
 			n += s.Acquisitions
 		}
+	}
+	if contended {
+		n += c.shadowRetiredCont.Load()
+	} else {
+		n += c.shadowRetiredAcq.Load()
 	}
 	return n
 }

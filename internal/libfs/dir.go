@@ -514,7 +514,10 @@ func (t *Thread) Rmdir(path string) (err error) {
 	if !ok {
 		return fsapi.ErrNotExist
 	}
-	child, err := fs.getMinode(t, childIno, false)
+	// Acquire the victim for write: the emptiness decision must run on
+	// the live directory, never on auxiliary state retained across a
+	// release (a peer may have created or unlinked entries since).
+	child, err := fs.getMinode(t, childIno, true)
 	if err != nil {
 		return err
 	}

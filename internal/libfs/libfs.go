@@ -222,6 +222,10 @@ type Stats struct {
 	LeaseHits       atomic.Int64
 	LeaseMisses     atomic.Int64
 	SyscallsAvoided atomic.Int64
+	// StaleReads counts read-path touches of a released inode that a
+	// peer actively held: served from the retained last-verified aux
+	// because a read cannot steal ownership from a live holder.
+	StaleReads atomic.Int64
 }
 
 // SetTelemetry attaches the owning system's counter set (core.NewApp
@@ -321,6 +325,31 @@ func (fs *FS) recycleIno(ino uint64) {
 // as a miss instead of a hit.
 const pageReserveTTL = 2 * time.Second
 
+// Reserve-pressure thresholds: the fraction of device pages still free
+// below which the lease reserve stops being cheap insurance and starts
+// starving other tenants. Below reservePressureLow the parked reserve's
+// TTL halves; below reservePressureHigh it drops to a quarter second and
+// refills stop over-granting entirely, so a tenant population that
+// collectively parked most of the device drains its reserves back to
+// the allocator instead of holding them while grants fail elsewhere.
+const (
+	reservePressureLow  = 0.25
+	reservePressureHigh = 0.10
+)
+
+// reserveTTL adapts the parked-reserve lifetime to allocator pressure.
+// Consulted only on the refill crossing (once per GrantPageBatch pages),
+// so the FreePageFraction read costs nothing on the alloc fast path.
+func (fs *FS) reserveTTL() time.Duration {
+	switch frac := fs.ctrl.FreePageFraction(); {
+	case frac < reservePressureHigh:
+		return pageReserveTTL / 8
+	case frac < reservePressureLow:
+		return pageReserveTTL / 2
+	}
+	return pageReserveTTL
+}
+
 // allocPage takes a granted page, refilling from the kernel when the
 // stripe runs dry. With leases enabled a dry stripe first consumes its
 // reserve — pages the kernel already granted on a previous crossing — so
@@ -370,7 +399,7 @@ func (fs *FS) allocPage(t *Thread, cpu int) (uint64, error) {
 		if len(reserve) > 0 {
 			if len(fs.pageReserve[s]) == 0 {
 				fs.pageReserve[s] = reserve
-				fs.pageReserveExp[s] = time.Now().Add(pageReserveTTL)
+				fs.pageReserveExp[s] = time.Now().Add(fs.reserveTTL())
 			} else {
 				// A racing refill already parked a reserve; ours goes
 				// straight to the pool.
@@ -388,10 +417,13 @@ func (fs *FS) allocPage(t *Thread, cpu int) (uint64, error) {
 // asks for double the batch and splits the result into an immediate pool
 // and a parked reserve; when the double grant fails (a small device near
 // capacity) it falls back to a plain single grant so leases never turn a
-// satisfiable allocation into ENOSPC.
+// satisfiable allocation into ENOSPC. Under high allocator pressure
+// (free fraction below reservePressureHigh) the over-grant is skipped
+// up front: hoarding a reserve while other tenants' grants fail is the
+// wrong trade, and skipping saves the doomed double-grant crossing.
 func (fs *FS) grantPageBatch(t *Thread, cpu int) (pool, reserve []uint64, err error) {
 	n := fs.opts.GrantPageBatch
-	if !fs.opts.NoLeases {
+	if !fs.opts.NoLeases && fs.ctrl.FreePageFraction() >= reservePressureHigh {
 		begin := t.crossStart()
 		batch, err := fs.ctrl.GrantPages(fs.app, cpu, 2*n)
 		t.crossEnd(telemetry.EvGrantPages, begin)
@@ -406,6 +438,27 @@ func (fs *FS) grantPageBatch(t *Thread, cpu int) (pool, reserve []uint64, err er
 		return nil, nil, err
 	}
 	return batch, nil, nil
+}
+
+// ReturnGrants hands every pooled page — the allocator stripes and the
+// parked lease reserves — back to the kernel in one crossing. The
+// tenancy registry calls it when retiring a tenant, so a departed app's
+// unused grants rejoin the global allocator immediately instead of
+// being swept up by UnregisterApp's ownership scan. Unused inode-number
+// grants are reclaimed by UnregisterApp itself.
+func (fs *FS) ReturnGrants() {
+	var pages []uint64
+	for s := range fs.pagePool {
+		fs.pageMu[s].Lock()
+		pages = append(pages, fs.pagePool[s]...)
+		pages = append(pages, fs.pageReserve[s]...)
+		fs.pagePool[s] = nil
+		fs.pageReserve[s] = nil
+		fs.pageMu[s].Unlock()
+	}
+	if len(pages) > 0 {
+		fs.ctrl.ReturnPages(fs.app, pages)
+	}
 }
 
 // recyclePages returns never-verified pages to the pool.
@@ -508,14 +561,19 @@ func (fs *FS) NewThread(cpu int) fsapi.Thread {
 	return t
 }
 
-// Detach releases the thread's RCU registration and drains any queued
-// persists. (Not part of fsapi.Thread; benchmark drivers call it when a
-// worker exits.)
+// Detach releases the thread's RCU registration, drains any queued
+// persists, and hands the thread's tracer lane back if it never recorded
+// a span — so tenant churn does not grow the tracer's registry. (Not
+// part of fsapi.Thread; benchmark drivers call it when a worker exits.)
 func (t *Thread) Detach() {
 	t.pb.Drain()
 	if t.rd != nil {
 		t.fs.dom.Unregister(t.rd)
 		t.rd = nil
+	}
+	if t.tl != nil {
+		t.fs.tracer.Release(t.tl)
+		t.tl = nil
 	}
 }
 

@@ -1,6 +1,7 @@
 package libfs
 
 import (
+	"errors"
 	"sync/atomic"
 
 	"arckfs/internal/fsapi"
@@ -168,11 +169,30 @@ func (mi *minode) stat() fsapi.Stat { return *mi.attrs.Load() }
 func (fs *FS) getMinode(t *Thread, ino uint64, write bool) (*minode, error) {
 	if v, ok := fs.mtab.Load(ino); ok {
 		mi := v.(*minode)
-		if mi.released.Load() && write {
-			// Re-acquire a previously released inode for writing.
-			if err := fs.reacquire(t, mi); err != nil {
-				return nil, err
+		if mi.released.Load() {
+			switch {
+			case write:
+				if err := fs.reacquire(t, mi); err != nil {
+					return nil, err
+				}
+			case mi.mapping == nil || !mi.mapping.Valid():
+				// The dormant lease is gone: another application owned
+				// this inode since we released it, so the retained
+				// auxiliary state may be stale. Re-acquire and rebuild;
+				// if a peer still actively holds it, fall back to the
+				// retained (last-verified) aux — a read-only touch must
+				// not steal ownership from a live holder, and any entry
+				// the walk then resolves is re-verified at its own
+				// acquire anyway.
+				if err := fs.reacquire(t, mi); err != nil {
+					if !errors.Is(err, fsapi.ErrBusy) {
+						return nil, err
+					}
+					fs.Stats.StaleReads.Add(1)
+				}
 			}
+			// Otherwise: a read under an intact dormant lease — the core
+			// state cannot have changed, the retained aux is exact.
 		}
 		return mi, nil
 	}

@@ -47,7 +47,10 @@ type Batch struct {
 	dev   *Device
 	eager bool
 
-	// pending is the set of queued line offsets in the current epoch.
+	// pending is the set of queued line offsets in the current epoch,
+	// allocated on first Flush: a thread that only ever streams (or never
+	// writes) carries no map, which matters when thousands of idle
+	// tenants each hold a Batch.
 	pending map[int64]struct{}
 	// scratch is the reusable sort buffer Barrier drains into.
 	scratch []int64
@@ -63,7 +66,7 @@ func (b *Batch) SetSink(s telemetry.SpanSink) { b.sink = s }
 
 // NewBatch creates a write-combining persist queue for the device.
 func (d *Device) NewBatch() *Batch {
-	return &Batch{dev: d, pending: make(map[int64]struct{}, 32)}
+	return &Batch{dev: d}
 }
 
 // NewEagerBatch creates a pass-through queue: every Flush issues its clwb
@@ -95,6 +98,9 @@ func (b *Batch) Flush(off, n int64) {
 		return
 	}
 	b.dev.check(off, n)
+	if b.pending == nil {
+		b.pending = make(map[int64]struct{}, 32)
+	}
 	for l := first; l <= last; l += LineSize {
 		if _, dup := b.pending[l]; dup {
 			b.dev.Stats.BatchDedup.Add(1)

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+func TestAppDimEvict(t *testing.T) {
+	d := NewAppDim()
+	d.Add(1, AppSyscalls, 3)
+	d.Add(2, AppSyscalls, 5)
+	if got := len(d.Snapshot()); got != 2 {
+		t.Fatalf("snapshot has %d rows, want 2", got)
+	}
+	d.Evict(1)
+	st := d.Snapshot()
+	if len(st) != 1 || st[0].App != 2 {
+		t.Fatalf("after evict: %+v", st)
+	}
+	// A fresh touch after eviction starts a new row from zero.
+	d.Add(1, AppSyscalls, 1)
+	st = d.Snapshot()
+	if len(st) != 2 || st[0].Syscalls != 1 {
+		t.Fatalf("re-registered row carried stale counts: %+v", st)
+	}
+}
+
+func TestAppDimUnattributedSentinel(t *testing.T) {
+	d := NewAppDim()
+	d.Add(0, AppSyscalls, 7) // kernel-internal crossing: must not make a row
+	if d.Row(0) != nil {
+		t.Fatal("app 0 materialized a row")
+	}
+	if got := len(d.Snapshot()); got != 0 {
+		t.Fatalf("snapshot has %d rows, want 0", got)
+	}
+}
+
+// TestAppDimChurnCardinality registers and evicts 10k tenant IDs — the
+// registry's lifecycle against the dimension — and checks cardinality
+// tracks the live set, not every ID ever seen.
+func TestAppDimChurnCardinality(t *testing.T) {
+	d := NewAppDim()
+	const cycles = 10000
+	for id := int64(1); id <= cycles; id++ {
+		d.Add(id, AppSyscalls, 1)
+		d.Add(id, AppOps, 2)
+		if id%3 == 0 {
+			d.Row(id).RecordLatency(1000) // exercise the lazy histogram
+		}
+		d.Evict(id)
+	}
+	if got := len(d.Snapshot()); got != 0 {
+		t.Fatalf("dimension holds %d rows after %d churn cycles", got, cycles)
+	}
+}
+
+// TestAppDimChurnAllocs pins the steady-state allocation cost of a
+// register/charge/evict cycle. A cycle allocates the row, its sync.Map
+// entry, and interface boxing — small constants; what this test guards
+// against is a regression that makes cost proportional to history (e.g.
+// rows or histograms that survive eviction).
+func TestAppDimChurnAllocs(t *testing.T) {
+	d := NewAppDim()
+	var id int64
+	avg := testing.AllocsPerRun(10000, func() {
+		id++
+		d.Add(id, AppSyscalls, 1)
+		d.Evict(id)
+	})
+	// Observed ~5 allocs/cycle; 16 leaves headroom for runtime changes
+	// while still catching anything O(history).
+	if avg > 16 {
+		t.Fatalf("churn cycle costs %.1f allocs, want <= 16", avg)
+	}
+}
+
+func BenchmarkAppDimChurn(b *testing.B) {
+	d := NewAppDim()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := int64(i + 1)
+		d.Add(id, AppSyscalls, 1)
+		d.Evict(id)
+	}
+	if got := len(d.Snapshot()); got != 0 {
+		b.Fatalf("dimension holds %d rows after churn", got)
+	}
+}
+
+func BenchmarkAppDimHotRow(b *testing.B) {
+	d := NewAppDim()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			d.Add(42, AppSyscalls, 1)
+		}
+	})
+}

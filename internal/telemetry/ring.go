@@ -48,6 +48,12 @@ const (
 	EvReturnPages
 	// EvSetACL: a per-app permission override was installed. A = perm.
 	EvSetACL
+	// EvUnregisterApp: an application identity was retired; held inodes
+	// were force-released and granted resources reclaimed.
+	EvUnregisterApp
+	// EvSetQuota: an application's resource quota changed. A = max pages,
+	// B = max inodes.
+	EvSetQuota
 )
 
 var eventKindNames = map[EventKind]string{
@@ -67,6 +73,8 @@ var eventKindNames = map[EventKind]string{
 	EvGrantPages:        "grant-pages",
 	EvReturnPages:       "return-pages",
 	EvSetACL:            "set-acl",
+	EvUnregisterApp:     "unregister-app",
+	EvSetQuota:          "set-quota",
 }
 
 func (k EventKind) String() string {

@@ -47,6 +47,10 @@ const (
 	// SpanEvRecoveryPass: one mount-time recovery pass finished. a = pass
 	// index (0-based, in Mount order), b = duration in nanoseconds.
 	SpanEvRecoveryPass
+	// SpanEvAdmitWait: the crossing queued in the fair-share admission
+	// scheduler before being admitted. a = app id, b = wait in
+	// nanoseconds.
+	SpanEvAdmitWait
 )
 
 var spanEventNames = [...]string{
@@ -58,6 +62,7 @@ var spanEventNames = [...]string{
 	SpanEvLeaseMiss:    "lease-miss",
 	SpanEvShardWait:    "shard-wait",
 	SpanEvRecoveryPass: "recovery-pass",
+	SpanEvAdmitWait:    "admit-wait",
 }
 
 // SpanEventName returns the display name of a SpanEv* kind.
